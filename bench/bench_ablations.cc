@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ * spatial prefetch scope, SDP gating, the frequency-stack reset
+ * interval, walker bandwidth, page-table depth (Section 4.3),
+ * context-switch robustness, and the prefetch-on-STLB-hits strategy.
+ */
+
+#include "bench_util.hh"
+
+#include "core/morrigan.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+namespace
+{
+
+struct Summary
+{
+    double speedup;
+    double coverage;
+    double prefetchRefs;  // relative to baseline demand refs
+};
+
+Summary
+evaluate(const SimConfig &cfg, const MorriganParams &mp,
+         const std::vector<unsigned> &indices,
+         const std::vector<SimResult> &base)
+{
+    std::vector<SimResult> runs;
+    double cov = 0.0;
+    std::uint64_t pf = 0, base_refs = 0;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        MorriganPrefetcher pref(mp);
+        runs.push_back(runWorkloadWith(cfg, &pref,
+                                       qmmWorkloadParams(indices[k])));
+        cov += runs.back().coverage;
+        pf += runs.back().prefetchWalkRefs;
+        base_refs += base[k].demandWalkRefsInstr;
+    }
+    return {geomeanSpeedupPct(base, runs),
+            100.0 * cov / indices.size(),
+            100.0 * pf / std::max<std::uint64_t>(1, base_refs)};
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Ablations", "design-choice studies (DESIGN.md section 6)",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+    auto indices = workloadIndices(scale);
+    if (indices.size() > 6)
+        indices.resize(6);
+
+    std::vector<SimResult> base;
+    for (unsigned i : indices)
+        base.push_back(runWorkload(cfg, PrefetcherKind::None,
+                                   qmmWorkloadParams(i)));
+
+    auto print = [](const char *label, const Summary &s,
+                    const char *note) {
+        std::printf("  %-28s %6.2f%% speedup, %5.1f%% coverage, "
+                    "%5.0f%% pf refs  %s\n",
+                    label, s.speedup, s.coverage, s.prefetchRefs,
+                    note);
+    };
+
+    std::printf("-- spatial prefetch scope --\n");
+    {
+        MorriganParams best_only;
+        print("highest-confidence slot",
+              evaluate(cfg, best_only, indices, base),
+              "(paper's design)");
+        MorriganParams all;
+        all.irip.spatialAllSlots = true;
+        print("every slot", evaluate(cfg, all, indices, base),
+              "(more walks for little coverage)");
+    }
+
+    std::printf("-- SDP gating --\n");
+    {
+        MorriganParams gated;
+        print("SDP on IRIP miss only",
+              evaluate(cfg, gated, indices, base),
+              "(paper's design)");
+        MorriganParams off;
+        off.sdpEnabled = false;
+        print("SDP disabled", evaluate(cfg, off, indices, base), "");
+        MorriganParams always;
+        always.sdpAlwaysOn = true;
+        print("SDP always on", evaluate(cfg, always, indices, base),
+              "");
+    }
+
+    std::printf("-- frequency-stack reset interval --\n");
+    for (std::uint64_t interval : {0ull, 2048ull, 8192ull,
+                                   65536ull}) {
+        MorriganParams mp;
+        mp.irip.freqResetInterval = interval;
+        char label[64];
+        std::snprintf(label, sizeof(label), "reset every %llu misses",
+                      static_cast<unsigned long long>(interval));
+        print(interval == 0 ? "no reset" : label,
+              evaluate(cfg, mp, indices, base),
+              interval == 8192 ? "(default)" : "");
+    }
+
+    std::printf("-- walker concurrency --\n");
+    for (std::uint32_t ports : {1u, 2u, 4u, 8u}) {
+        SimConfig c = cfg;
+        c.walker.ports = ports;
+        std::vector<SimResult> b2;
+        for (unsigned i : indices)
+            b2.push_back(runWorkload(c, PrefetcherKind::None,
+                                     qmmWorkloadParams(i)));
+        char label[32];
+        std::snprintf(label, sizeof(label), "%u ports", ports);
+        print(label, evaluate(c, MorriganParams{}, indices, b2),
+              ports == 4 ? "(Table 1)" : "");
+    }
+
+    std::printf("-- page table depth (Section 4.3) --\n");
+    for (unsigned depth : {4u, 5u}) {
+        SimConfig c = cfg;
+        c.pageTableDepth = depth;
+        std::vector<SimResult> b2;
+        for (unsigned i : indices)
+            b2.push_back(runWorkload(c, PrefetcherKind::None,
+                                     qmmWorkloadParams(i)));
+        char label[32];
+        std::snprintf(label, sizeof(label), "%u-level radix", depth);
+        print(label, evaluate(c, MorriganParams{}, indices, b2),
+              depth == 5 ? "(paper: gains may grow)" : "");
+    }
+
+    std::printf("-- context switching (Section 4.3) --\n");
+    for (std::uint64_t interval : {0ull, 1'000'000ull,
+                                   250'000ull}) {
+        SimConfig c = cfg;
+        c.contextSwitchInterval = interval;
+        std::vector<SimResult> b2;
+        for (unsigned i : indices)
+            b2.push_back(runWorkload(c, PrefetcherKind::None,
+                                     qmmWorkloadParams(i)));
+        char label[48];
+        if (interval == 0)
+            std::snprintf(label, sizeof(label), "no switches");
+        else
+            std::snprintf(label, sizeof(label), "switch every %lluK",
+                          static_cast<unsigned long long>(
+                              interval / 1000));
+        print(label, evaluate(c, MorriganParams{}, indices, b2),
+              "(tables refill after each flush)");
+    }
+
+    std::printf("-- prefetch trigger (Section 4.3) --\n");
+    {
+        print("on STLB misses",
+              evaluate(cfg, MorriganParams{}, indices, base),
+              "(paper's design)");
+        SimConfig c = cfg;
+        c.prefetchOnStlbHits = true;
+        print("on hits and misses",
+              evaluate(c, MorriganParams{}, indices, base), "");
+    }
+    return 0;
+}

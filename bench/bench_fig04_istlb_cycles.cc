@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 4: cycles spent serving iSTLB accesses as a percentage of
+ * total execution cycles. The paper reports 6.6-11.7% across the QMM
+ * suite, above VTune's 5% "bottleneck" threshold.
+ */
+
+#include "bench_util.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 4", "%% of cycles serving iSTLB accesses", scale);
+    SimConfig cfg = scaledConfig(scale);
+
+    std::printf("  %-10s %12s\n", "workload", "iSTLB cycles");
+    double lo = 1e9, hi = 0.0, sum = 0.0;
+    unsigned n = 0;
+    for (unsigned i : workloadIndices(scale)) {
+        SimResult r = runWorkload(cfg, PrefetcherKind::None,
+                                  qmmWorkloadParams(i));
+        double pct = r.istlbCycleFraction * 100.0;
+        std::printf("  %-10s %11.1f%%\n", r.workload.c_str(), pct);
+        lo = std::min(lo, pct);
+        hi = std::max(hi, pct);
+        sum += pct;
+        ++n;
+    }
+    std::printf("  range: %.1f%% - %.1f%%, mean %.1f%%  "
+                "(paper: 6.6%% - 11.7%%; VTune threshold 5%%)\n",
+                lo, hi, sum / n);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 7: breakdown of the number of successor pages per
+ * instruction page that missed in the STLB. The paper observes a
+ * large fraction with 1-2 successors, large fractions up to 4 and up
+ * to 8, and only a small tail beyond 8 -- the motivation for the
+ * PRT-S1/S2/S4/S8 ensemble.
+ */
+
+#include "bench_util.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 7",
+           "successors per instruction page in the miss stream",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+
+    double b12 = 0, b34 = 0, b58 = 0, b9p = 0;
+    unsigned n = 0;
+    for (unsigned i : workloadIndices(scale)) {
+        MissStreamStats ms =
+            collectMissStream(cfg, qmmWorkloadParams(i));
+        b12 += ms.successorCountFraction(1, 2);
+        b34 += ms.successorCountFraction(3, 4);
+        b58 += ms.successorCountFraction(5, 8);
+        b9p += ms.successorCountFraction(9, 1u << 30);
+        ++n;
+    }
+
+    std::printf("  %-18s %10s\n", "successor count", "fraction");
+    std::printf("  %-18s %9.1f%%   (paper: large)\n", "1-2",
+                100.0 * b12 / n);
+    std::printf("  %-18s %9.1f%%   (paper: large)\n", "3-4",
+                100.0 * b34 / n);
+    std::printf("  %-18s %9.1f%%   (paper: large)\n", "5-8",
+                100.0 * b58 / n);
+    std::printf("  %-18s %9.1f%%   (paper: small)\n", ">8",
+                100.0 * b9p / n);
+    return 0;
+}

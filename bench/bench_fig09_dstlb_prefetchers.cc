@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 9: performance of the prior dSTLB prefetchers on the iSTLB
+ * miss stream, against a Perfect iSTLB bound, plus the two idealised
+ * unbounded Markov prefetchers of Section 3.4. Paper geomeans:
+ * SP 1.6%, ASP ~0.4%, DP ~0.1%, MP 0.2%, MP-unbounded(2-succ) 7.9%,
+ * MP-unbounded(inf) 10.3%, Perfect iSTLB 11.1%.
+ */
+
+#include "bench_util.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 9",
+           "dSTLB prefetchers on the iSTLB miss stream vs perfect "
+           "iSTLB", scale);
+    SimConfig cfg = scaledConfig(scale);
+
+    auto indices = workloadIndices(scale);
+    std::vector<SimResult> base;
+    for (unsigned i : indices)
+        base.push_back(runWorkload(cfg, PrefetcherKind::None,
+                                   qmmWorkloadParams(i)));
+
+    struct Series
+    {
+        PrefetcherKind kind;
+        const char *paper;
+    };
+    const Series series[] = {
+        {PrefetcherKind::Sequential, "paper: 1.6%"},
+        {PrefetcherKind::Stride, "paper: ~0.4%"},
+        {PrefetcherKind::Distance, "paper: ~0.1%"},
+        {PrefetcherKind::Markov, "paper: 0.2%"},
+        {PrefetcherKind::MarkovUnbounded2, "paper: 7.9%"},
+        {PrefetcherKind::MarkovUnboundedInf, "paper: 10.3%"},
+    };
+
+    for (const Series &s : series) {
+        std::vector<SimResult> runs;
+        for (unsigned i : indices)
+            runs.push_back(runWorkload(cfg, s.kind,
+                                       qmmWorkloadParams(i)));
+        row(prefetcherKindName(s.kind),
+            geomeanSpeedupPct(base, runs), "%", s.paper);
+    }
+
+    SimConfig perfect_cfg = cfg;
+    perfect_cfg.perfectIstlb = true;
+    std::vector<SimResult> perfect;
+    for (unsigned i : indices)
+        perfect.push_back(runWorkload(perfect_cfg,
+                                      PrefetcherKind::None,
+                                      qmmWorkloadParams(i)));
+    row("Perfect iSTLB", geomeanSpeedupPct(base, perfect), "%",
+        "paper: 11.1%");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 13 + Section 6.1.3: Morrigan miss coverage as a function of
+ * the IRIP storage budget (fully associative tables), plus the
+ * associativity and PB-size studies. The paper sees coverage plateau
+ * past ~5KB, 81% at the selected 3.76KB FA point, 76% with the
+ * practical 32/16-way tables, and a 4-12% coverage drop for 16/32
+ * -entry PBs vs +2% for a 128-entry PB.
+ */
+
+#include "bench_util.hh"
+
+#include "core/morrigan.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+namespace
+{
+
+double
+meanCoverage(const SimConfig &cfg, const MorriganParams &mp,
+             const std::vector<unsigned> &indices)
+{
+    double acc = 0.0;
+    for (unsigned i : indices) {
+        MorriganPrefetcher pref(mp);
+        SimResult r =
+            runWorkloadWith(cfg, &pref, qmmWorkloadParams(i));
+        acc += r.coverage;
+    }
+    return 100.0 * acc / indices.size();
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 13", "miss coverage vs IRIP storage budget",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+    auto indices = workloadIndices(scale);
+    // Budget sweeps are expensive: cap the workload count.
+    if (indices.size() > 6)
+        indices.resize(6);
+
+    std::printf("  -- fully associative budget sweep --\n");
+    for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        MorriganParams mp;
+        mp.irip = mp.irip.scaled(factor).fullyAssociative();
+        MorriganPrefetcher probe(mp);
+        double kb = probe.storageBits() / 8.0 / 1024.0;
+        double cov = meanCoverage(cfg, mp, indices);
+        std::printf("  %6.2f KB: coverage %5.1f%%%s\n", kb, cov,
+                    factor == 1.0
+                        ? "   (paper: 81% at 3.76KB; plateau >5KB)"
+                        : "");
+    }
+
+    std::printf("  -- associativity (3.8KB budget) --\n");
+    {
+        MorriganParams fa;
+        fa.irip = fa.irip.fullyAssociative();
+        MorriganParams sa;  // default 32/32/32/16-way
+        double cov_fa = meanCoverage(cfg, fa, indices);
+        double cov_sa = meanCoverage(cfg, sa, indices);
+        std::printf("  fully assoc : %5.1f%%  (paper: 81%%)\n",
+                    cov_fa);
+        std::printf("  32/16-way   : %5.1f%%  (paper: 76%%, i.e. "
+                    "-5%%)\n", cov_sa);
+    }
+
+    std::printf("  -- PB size (set-assoc tables) --\n");
+    for (std::uint32_t pb : {16u, 32u, 64u, 128u}) {
+        SimConfig c = cfg;
+        c.pbEntries = pb;
+        double cov = meanCoverage(c, MorriganParams{}, indices);
+        std::printf("  %3u-entry PB: coverage %5.1f%%%s\n", pb, cov,
+                    pb == 64 ? "   (paper reference point)" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 14: miss coverage when the IRIP prediction tables use
+ * different replacement policies, across storage budgets. The paper
+ * finds RLFU > LFU > Random ~ LRU at small budgets, with RLFU +4.9%
+ * over LFU at the 3.76KB point, and the gap vanishing once the
+ * tables are large enough to hold every missing page.
+ */
+
+#include "bench_util.hh"
+
+#include "core/morrigan.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 14", "replacement policies vs storage budget",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+    auto indices = workloadIndices(scale);
+    if (indices.size() > 5)
+        indices.resize(5);
+
+    const ReplacementPolicy policies[] = {
+        ReplacementPolicy::Lru, ReplacementPolicy::Random,
+        ReplacementPolicy::Lfu, ReplacementPolicy::Rlfu};
+
+    std::printf("  %-10s", "budget");
+    for (auto p : policies)
+        std::printf(" %8s", replacementPolicyName(p));
+    std::printf("\n");
+
+    for (double factor : {0.25, 0.5, 1.0, 2.0}) {
+        MorriganParams base;
+        base.irip = base.irip.scaled(factor).fullyAssociative();
+        MorriganPrefetcher probe(base);
+        std::printf("  %6.2f KB ",
+                    probe.storageBits() / 8.0 / 1024.0);
+        for (auto pol : policies) {
+            MorriganParams mp = base;
+            mp.irip.policy = pol;
+            double acc = 0.0;
+            for (unsigned i : indices) {
+                MorriganPrefetcher pref(mp);
+                SimResult r = runWorkloadWith(cfg, &pref,
+                                              qmmWorkloadParams(i));
+                acc += r.coverage;
+            }
+            std::printf(" %7.1f%%", 100.0 * acc / indices.size());
+        }
+        std::printf("\n");
+    }
+    std::printf("  (paper at 3.76KB: RLFU > LFU by 4.9%%; LRU and "
+                "Random lowest; gap shrinks with budget)\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 15 + Section 6.2: ISO-storage performance comparison of
+ * Morrigan against the prior dSTLB prefetchers, plus the PB-hit
+ * attribution between IRIP and SDP. Paper geomeans: SP 1.6%, DP 0.1%,
+ * ASP 0.4%, MP 0.7%, Morrigan 7.6%; IRIP produces 93% of the PB hits
+ * and SDP 7%.
+ */
+
+#include "bench_util.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 15", "ISO-storage speedup comparison", scale);
+    SimConfig cfg = scaledConfig(scale);
+    auto indices = workloadIndices(scale);
+
+    std::vector<SimResult> base;
+    for (unsigned i : indices)
+        base.push_back(runWorkload(cfg, PrefetcherKind::None,
+                                   qmmWorkloadParams(i)));
+
+    struct Series
+    {
+        PrefetcherKind kind;
+        const char *paper;
+    };
+    const Series series[] = {
+        {PrefetcherKind::Sequential, "paper: 1.6%"},
+        {PrefetcherKind::Distance, "paper: 0.1%"},
+        {PrefetcherKind::Stride, "paper: 0.4%"},
+        {PrefetcherKind::MarkovIso, "paper: 0.7% (MP @ ISO budget)"},
+        {PrefetcherKind::Morrigan, "paper: 7.6%"},
+    };
+
+    std::uint64_t irip_hits = 0, sdp_hits = 0;
+    for (const Series &s : series) {
+        std::vector<SimResult> runs;
+        for (unsigned i : indices) {
+            runs.push_back(runWorkload(cfg, s.kind,
+                                       qmmWorkloadParams(i)));
+            if (s.kind == PrefetcherKind::Morrigan) {
+                irip_hits += runs.back().pbHitsIrip;
+                sdp_hits += runs.back().pbHitsSdp;
+            }
+        }
+        row(prefetcherKindName(s.kind),
+            geomeanSpeedupPct(base, runs), "%", s.paper);
+        if (s.kind == PrefetcherKind::Morrigan) {
+            double cov = 0.0;
+            for (const SimResult &r : runs)
+                cov += r.coverage;
+            row("  Morrigan coverage", 100.0 * cov / runs.size(),
+                "%", "");
+        }
+    }
+
+    double total = static_cast<double>(irip_hits + sdp_hits);
+    if (total > 0) {
+        row("PB hits from IRIP", 100.0 * irip_hits / total, "%",
+            "paper: 93%");
+        row("PB hits from SDP", 100.0 * sdp_hits / total, "%",
+            "paper: 7%");
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 16 + Section 6.2: memory references triggered by demand and
+ * prefetch page walks (instruction side), normalized to the
+ * no-prefetching baseline's demand-walk references. Paper: SP/ASP/DP
+ * /MP cut demand references by 11/1/2/8% while Morrigan cuts 69%,
+ * at the cost of +117% prefetch-walk references; 20/25/45/10% of
+ * Morrigan's prefetch-walk references are served by L1/L2/LLC/DRAM.
+ */
+
+#include "bench_util.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 16", "normalized page-walk memory references",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+    auto indices = workloadIndices(scale);
+
+    std::uint64_t base_refs = 0;
+    for (unsigned i : indices)
+        base_refs += runWorkload(cfg, PrefetcherKind::None,
+                                 qmmWorkloadParams(i))
+                         .demandWalkRefsInstr;
+
+    struct Series
+    {
+        PrefetcherKind kind;
+        const char *paper;
+    };
+    const Series series[] = {
+        {PrefetcherKind::Sequential, "paper: demand 89% + pf 20%"},
+        {PrefetcherKind::Stride, "paper: demand 99% + pf 1%"},
+        {PrefetcherKind::Distance, "paper: demand 98% + pf 6%"},
+        {PrefetcherKind::MarkovIso, "paper: demand 92% + pf 7%"},
+        {PrefetcherKind::Morrigan, "paper: demand 31% + pf 117%"},
+    };
+
+    std::printf("  %-10s %10s %10s   %s\n", "prefetcher", "demand",
+                "prefetch", "(100% = baseline demand refs)");
+    for (const Series &s : series) {
+        std::uint64_t demand = 0, prefetch = 0;
+        std::array<std::uint64_t, 4> by_level{};
+        for (unsigned i : indices) {
+            SimResult r = runWorkload(cfg, s.kind,
+                                      qmmWorkloadParams(i));
+            demand += r.demandWalkRefsInstr;
+            prefetch += r.prefetchWalkRefs;
+            for (unsigned l = 0; l < 4; ++l)
+                by_level[l] += r.prefetchWalkRefsByLevel[l];
+        }
+        std::printf("  %-10s %9.1f%% %9.1f%%   %s\n",
+                    prefetcherKindName(s.kind),
+                    100.0 * demand / base_refs,
+                    100.0 * prefetch / base_refs, s.paper);
+        if (s.kind == PrefetcherKind::Morrigan && prefetch > 0) {
+            std::printf("  Morrigan prefetch-walk refs served by: "
+                        "L1 %.0f%%, L2 %.0f%%, LLC %.0f%%, DRAM "
+                        "%.0f%%  (paper: 20/25/45/10%%)\n",
+                        100.0 * by_level[0] / prefetch,
+                        100.0 * by_level[1] / prefetch,
+                        100.0 * by_level[2] / prefetch,
+                        100.0 * by_level[3] / prefetch);
+        }
+    }
+    return 0;
+}

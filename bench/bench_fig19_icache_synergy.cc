@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 19 + Section 6.5: synergy between Morrigan and FNL+MMA.
+ * Paper geomeans over a next-line baseline: FNL+MMA 1.2%, Morrigan
+ * 7.6%, Morrigan+FNL+MMA 10.9% -- more than the sum of its parts
+ * because 51.7% of the beyond-page-boundary prefetches that need a
+ * walk hit in Morrigan's PB.
+ */
+
+#include "bench_util.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 19", "Morrigan synergy with I-cache prefetching",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+    auto indices = workloadIndices(scale);
+
+    std::vector<SimResult> base;
+    for (unsigned i : indices)
+        base.push_back(runWorkload(cfg, PrefetcherKind::None,
+                                   qmmWorkloadParams(i)));
+
+    SimConfig fnl = cfg;
+    fnl.icachePref = ICachePrefKind::FnlMma;
+
+    std::vector<SimResult> fnl_runs, morr_runs, combo_runs;
+    std::uint64_t cross_hits = 0, cross_walks = 0;
+    for (unsigned i : indices) {
+        fnl_runs.push_back(runWorkload(fnl, PrefetcherKind::None,
+                                       qmmWorkloadParams(i)));
+        morr_runs.push_back(runWorkload(cfg, PrefetcherKind::Morrigan,
+                                        qmmWorkloadParams(i)));
+        SimResult combo = runWorkload(fnl, PrefetcherKind::Morrigan,
+                                      qmmWorkloadParams(i));
+        cross_hits += combo.icacheCrossPagePbHits;
+        cross_walks += combo.icacheCrossPageNeedingWalk;
+        combo_runs.push_back(std::move(combo));
+    }
+
+    double s_fnl = geomeanSpeedupPct(base, fnl_runs);
+    double s_morr = geomeanSpeedupPct(base, morr_runs);
+    double s_combo = geomeanSpeedupPct(base, combo_runs);
+    row("FNL+MMA", s_fnl, "%", "paper: 1.2%");
+    row("Morrigan", s_morr, "%", "paper: 7.6%");
+    row("Morrigan+FNL+MMA", s_combo, "%", "paper: 10.9%");
+    row("sum of parts", s_fnl + s_morr, "%",
+        s_combo > s_fnl + s_morr ? "combo EXCEEDS the sum (synergy)"
+                                 : "combo below the sum");
+    if (cross_walks > 0) {
+        row("cross-page pf hitting PB",
+            100.0 * cross_hits / cross_walks, "%", "paper: 51.7%");
+    }
+    return 0;
+}

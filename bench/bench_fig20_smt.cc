@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 20 + Section 6.6: SMT colocation. Pairs of QMM workloads
+ * share the core; Morrigan doubles its prediction tables (7.5KB).
+ * Paper: Morrigan 8.9%, FNL+MMA 3.4%, Morrigan+FNL+MMA 13.7%; with
+ * un-doubled tables Morrigan drops to 6.4% (combo 11.1%).
+ */
+
+#include "bench_util.hh"
+
+#include "core/morrigan.hh"
+
+using namespace morrigan;
+using namespace morrigan::bench;
+
+namespace
+{
+
+std::vector<std::pair<unsigned, unsigned>>
+randomPairs(unsigned count)
+{
+    Rng rng(0xBADA55);
+    std::vector<std::pair<unsigned, unsigned>> pairs;
+    while (pairs.size() < count) {
+        unsigned a = rng.below(numQmmWorkloads);
+        unsigned b = rng.below(numQmmWorkloads);
+        if (a != b)
+            pairs.emplace_back(a, b);
+    }
+    return pairs;
+}
+
+double
+geoSpeedupPairs(
+    const SimConfig &cfg, const MorriganParams *mp,
+    ICachePrefKind icache,
+    const std::vector<std::pair<unsigned, unsigned>> &pairs,
+    const std::vector<SimResult> &base)
+{
+    SimConfig c = cfg;
+    c.icachePref = icache;
+    std::vector<SimResult> runs;
+    for (auto [a, b] : pairs) {
+        std::unique_ptr<MorriganPrefetcher> pref;
+        if (mp)
+            pref = std::make_unique<MorriganPrefetcher>(*mp);
+        runs.push_back(runSmtPair(c, pref.get(),
+                                  qmmWorkloadParams(a),
+                                  qmmWorkloadParams(b)));
+    }
+    return geomeanSpeedupPct(base, runs);
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchScale scale = benchScale(45);
+    header("Figure 20", "workload colocation on a 2-way SMT core",
+           scale);
+    SimConfig cfg = scaledConfig(scale);
+
+    unsigned pair_count = scale.full ? 50 : 6;
+    auto pairs = randomPairs(pair_count);
+    std::printf("  %u random QMM pairs\n", pair_count);
+
+    std::vector<SimResult> base;
+    for (auto [a, b] : pairs)
+        base.push_back(runSmtPair(cfg, nullptr, qmmWorkloadParams(a),
+                                  qmmWorkloadParams(b)));
+
+    MorriganParams doubled = MorriganParams{}.smtScaled();
+    MorriganParams plain;
+
+    row("Morrigan (2x tables)",
+        geoSpeedupPairs(cfg, &doubled, ICachePrefKind::NextLine,
+                        pairs, base),
+        "%", "paper: 8.9%");
+    row("FNL+MMA",
+        geoSpeedupPairs(cfg, nullptr, ICachePrefKind::FnlMma, pairs,
+                        base),
+        "%", "paper: 3.4%");
+    row("Morrigan+FNL+MMA (2x)",
+        geoSpeedupPairs(cfg, &doubled, ICachePrefKind::FnlMma, pairs,
+                        base),
+        "%", "paper: 13.7%");
+    row("Morrigan (1x tables)",
+        geoSpeedupPairs(cfg, &plain, ICachePrefKind::NextLine, pairs,
+                        base),
+        "%", "paper: 6.4%");
+    row("Morrigan+FNL+MMA (1x)",
+        geoSpeedupPairs(cfg, &plain, ICachePrefKind::FnlMma, pairs,
+                        base),
+        "%", "paper: 11.1%");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the core data structures:
+ * prediction-table lookup/train, RLFU victim selection, PB
+ * operations, full page walks, and workload generation throughput.
+ * These quantify the simulator's own hot paths, and back the
+ * DESIGN.md claim that distance-based slots and the RLFU stack add
+ * negligible model overhead.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/morrigan.hh"
+#include "core/prediction_table.hh"
+#include "mem/memory_hierarchy.hh"
+#include "tlb/prefetch_buffer.hh"
+#include "vm/walker.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+static void
+BM_PrtLookup(benchmark::State &state)
+{
+    FrequencyStack freq(0);
+    Rng rng(1);
+    PredictionTable t({"t", 128, 32, 2}, ReplacementPolicy::Rlfu,
+                      freq, rng);
+    for (Vpn v = 0; v < 128; ++v)
+        t.install(0x1000 + v, {});
+    Vpn v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(0x1000 + (v++ & 127)));
+    }
+}
+BENCHMARK(BM_PrtLookup);
+
+static void
+BM_PrtInstallRlfu(benchmark::State &state)
+{
+    FrequencyStack freq(8192);
+    Rng rng(1);
+    PredictionTable t({"t", 128, 32, 2}, ReplacementPolicy::Rlfu,
+                      freq, rng);
+    Vpn v = 0;
+    for (auto _ : state) {
+        freq.recordMiss(v);
+        t.install(v, {});
+        ++v;
+    }
+}
+BENCHMARK(BM_PrtInstallRlfu);
+
+static void
+BM_MorriganMiss(benchmark::State &state)
+{
+    MorriganPrefetcher m{MorriganParams{}};
+    std::vector<PrefetchRequest> out;
+    Rng rng(2);
+    for (auto _ : state) {
+        out.clear();
+        m.onInstrStlbMiss(0x4000 + rng.below(512), 0, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_MorriganMiss);
+
+static void
+BM_PbInsertLookup(benchmark::State &state)
+{
+    PrefetchBuffer pb(64, 2);
+    Vpn v = 0;
+    for (auto _ : state) {
+        PbEntry e;
+        e.pfn = v;
+        pb.insert(v & 255, e);
+        benchmark::DoNotOptimize(pb.lookupAndConsume((v - 8) & 255,
+                                                     v));
+        ++v;
+    }
+}
+BENCHMARK(BM_PbInsertLookup);
+
+static void
+BM_PageWalk(benchmark::State &state)
+{
+    PhysMem phys(1 << 20, 1);
+    PageTable pt(phys);
+    MemoryHierarchyParams mp;
+    mp.l2Prefetcher = false;
+    MemoryHierarchy mem(mp);
+    WalkerParams wp;
+    PageTableWalker walker(wp, pt, mem);
+    pt.mapRange(0x1000, 4096);
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        Vpn vpn = 0x1000 + rng.below(4096);
+        benchmark::DoNotOptimize(
+            walker.walk(vpn, WalkKind::Demand, now, true));
+        now += 200;
+    }
+}
+BENCHMARK(BM_PageWalk);
+
+static void
+BM_WorkloadGen(benchmark::State &state)
+{
+    ServerWorkload w(qmmWorkloadParams(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w.next());
+}
+BENCHMARK(BM_WorkloadGen);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure benchmark harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it runs the relevant simulations over the QMM-like suite and prints
+ * the same rows/series the paper reports, annotated with the paper's
+ * published value where one exists. Default runs use the fast scale
+ * (subset of workloads, shorter windows); MORRIGAN_FULL=1 selects the
+ * whole 45-workload suite with longer windows.
+ */
+
+#ifndef MORRIGAN_BENCH_BENCH_UTIL_HH
+#define MORRIGAN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/workload_factory.hh"
+
+namespace morrigan::bench
+{
+
+/** Default simulation configuration scaled by MORRIGAN_FULL. */
+inline SimConfig
+scaledConfig(const BenchScale &scale)
+{
+    SimConfig cfg;
+    cfg.warmupInstructions = scale.warmupInstructions;
+    cfg.simInstructions = scale.simInstructions;
+    return cfg;
+}
+
+/** Evenly spread workload indices covering the suite. */
+inline std::vector<unsigned>
+workloadIndices(const BenchScale &scale)
+{
+    std::vector<unsigned> idx;
+    unsigned n = scale.numWorkloads;
+    for (unsigned i = 0; i < n; ++i)
+        idx.push_back(i * numQmmWorkloads / n);
+    return idx;
+}
+
+/** Run a baseline simulation collecting the iSTLB miss stream. */
+inline MissStreamStats
+collectMissStream(const SimConfig &cfg,
+                  const ServerWorkloadParams &wl)
+{
+    SimConfig c = cfg;
+    c.collectMissStream = true;
+    ServerWorkload trace(wl);
+    Simulator sim(c);
+    sim.attachWorkload(&trace, 0);
+    sim.run();
+    return sim.missStream();
+}
+
+/** Print the standard bench header. */
+inline void
+header(const char *figure, const char *description,
+       const BenchScale &scale)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s: %s\n", figure, description);
+    std::printf("mode: %s (%u workloads, %llu warmup + %llu measured "
+                "instructions)\n",
+                scale.full ? "FULL" : "quick (set MORRIGAN_FULL=1 for "
+                                      "the full suite)",
+                scale.numWorkloads,
+                static_cast<unsigned long long>(
+                    scale.warmupInstructions),
+                static_cast<unsigned long long>(
+                    scale.simInstructions));
+    std::printf("==========================================================\n");
+}
+
+/** Print one labelled measured-vs-paper row. */
+inline void
+row(const std::string &label, double measured, const char *unit,
+    const char *paper_note)
+{
+    std::printf("  %-28s %8.2f %-6s %s\n", label.c_str(), measured,
+                unit, paper_note);
+}
+
+} // namespace morrigan::bench
+
+#endif // MORRIGAN_BENCH_BENCH_UTIL_HH

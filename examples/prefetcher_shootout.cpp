@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Example: compare every STLB prefetcher configuration on a chosen
+ * server workload -- a one-workload slice of Figures 9/15/18.
+ *
+ *   ./build/examples/prefetcher_shootout [workload-index]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+int
+main(int argc, char **argv)
+{
+    unsigned index = 0;
+    if (argc > 1)
+        index = static_cast<unsigned>(std::atoi(argv[1]));
+    if (index >= numQmmWorkloads) {
+        std::fprintf(stderr, "workload index must be < %u\n",
+                     numQmmWorkloads);
+        return 1;
+    }
+
+    SimConfig cfg;
+    cfg.warmupInstructions = 1'000'000;
+    cfg.simInstructions = 4'000'000;
+    ServerWorkloadParams wl = qmmWorkloadParams(index);
+
+    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
+    std::printf("workload %s: baseline IPC %.3f, iSTLB MPKI %.2f\n\n",
+                wl.name.c_str(), base.ipc, base.istlbMpki);
+    std::printf("%-22s %9s %10s %12s %12s\n", "prefetcher", "speedup",
+                "coverage", "demand refs", "prefetch refs");
+
+    const PrefetcherKind kinds[] = {
+        PrefetcherKind::Sequential,    PrefetcherKind::Stride,
+        PrefetcherKind::Distance,      PrefetcherKind::Markov,
+        PrefetcherKind::MarkovIso,     PrefetcherKind::MorriganMono,
+        PrefetcherKind::Morrigan,
+        PrefetcherKind::MarkovUnbounded2,
+        PrefetcherKind::MarkovUnboundedInf,
+    };
+    for (PrefetcherKind kind : kinds) {
+        SimResult r = runWorkload(cfg, kind, wl);
+        std::printf("%-22s %8.2f%% %9.1f%% %11.0f%% %12.0f%%\n",
+                    prefetcherKindName(kind), speedupPct(base, r),
+                    r.coverage * 100.0,
+                    100.0 * r.demandWalkRefsInstr /
+                        std::max<std::uint64_t>(
+                            1, base.demandWalkRefsInstr),
+                    100.0 * r.prefetchWalkRefs /
+                        std::max<std::uint64_t>(
+                            1, base.demandWalkRefsInstr));
+    }
+
+    SimConfig perfect = cfg;
+    perfect.perfectIstlb = true;
+    SimResult p = runWorkload(perfect, PrefetcherKind::None, wl);
+    std::printf("%-22s %8.2f%%  (upper bound)\n", "Perfect iSTLB",
+                speedupPct(base, p));
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one QMM-like server workload without STLB
+ * prefetching and with Morrigan, and print the headline numbers --
+ * iSTLB MPKI, miss coverage, and speedup.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [workload-index]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+int
+main(int argc, char **argv)
+{
+    unsigned index = 0;
+    if (argc > 1)
+        index = static_cast<unsigned>(std::atoi(argv[1]));
+    if (index >= numQmmWorkloads) {
+        std::fprintf(stderr, "workload index must be < %u\n",
+                     numQmmWorkloads);
+        return 1;
+    }
+
+    SimConfig cfg;
+    cfg.warmupInstructions = 500'000;
+    cfg.simInstructions = 2'000'000;
+
+    ServerWorkloadParams wl = qmmWorkloadParams(index);
+    std::printf("workload %s: %u code pages, %u hot + %u cold data "
+                "pages\n",
+                wl.name.c_str(), wl.codePages, wl.dataHotPages,
+                wl.dataColdPages);
+
+    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
+    std::printf("baseline    : IPC %.3f  iSTLB MPKI %.2f  "
+                "dSTLB MPKI %.2f  iSTLB cycles %.1f%%\n",
+                base.ipc, base.istlbMpki, base.dstlbMpki,
+                base.istlbCycleFraction * 100.0);
+    std::printf("              walk latency: instr %.0f cyc, "
+                "data %.0f cyc\n",
+                base.meanDemandWalkLatencyInstr,
+                base.meanDemandWalkLatencyData);
+
+    SimResult morr = runWorkload(cfg, PrefetcherKind::Morrigan, wl);
+    std::printf("morrigan    : IPC %.3f  coverage %.1f%%  "
+                "PB hits %llu (IRIP %.0f%% / SDP %.0f%%)\n",
+                morr.ipc, morr.coverage * 100.0,
+                static_cast<unsigned long long>(morr.pbHits),
+                morr.pbHits ? 100.0 * morr.pbHitsIrip / morr.pbHits
+                            : 0.0,
+                morr.pbHits ? 100.0 * morr.pbHitsSdp / morr.pbHits
+                            : 0.0);
+    std::printf("speedup     : %.2f%%\n", speedupPct(base, morr));
+    std::printf("demand walk refs (instr): base %llu -> morrigan "
+                "%llu (%.1f%% eliminated)\n",
+                static_cast<unsigned long long>(
+                    base.demandWalkRefsInstr),
+                static_cast<unsigned long long>(
+                    morr.demandWalkRefsInstr),
+                base.demandWalkRefsInstr
+                    ? 100.0 *
+                      (1.0 -
+                       static_cast<double>(morr.demandWalkRefsInstr) /
+                       static_cast<double>(base.demandWalkRefsInstr))
+                    : 0.0);
+    return 0;
+}

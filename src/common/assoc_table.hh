@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Generic set-associative lookup table with true-LRU replacement.
+ *
+ * Shared by the TLBs, the prefetch buffer, and the page structure
+ * caches. The key is hashed to a set by its low-order bits, matching
+ * hardware index functions for page-grained keys.
+ */
+
+#ifndef MORRIGAN_COMMON_ASSOC_TABLE_HH
+#define MORRIGAN_COMMON_ASSOC_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "logging.hh"
+
+namespace morrigan
+{
+
+/**
+ * A set-associative table mapping KeyT to ValueT.
+ *
+ * @tparam KeyT Unsigned integral key (e.g. a Vpn).
+ * @tparam ValueT Arbitrary copyable payload.
+ */
+template <typename KeyT, typename ValueT>
+class SetAssocTable
+{
+  public:
+    /**
+     * @param entries Total entry capacity.
+     * @param ways Associativity; entries/ways must be a power of two
+     * (use ways == entries for a fully associative table).
+     */
+    SetAssocTable(std::uint32_t entries, std::uint32_t ways)
+        : ways_(ways)
+    {
+        fatal_if(ways == 0 || entries == 0 || entries % ways != 0,
+                 "bad table geometry: %u entries, %u ways",
+                 entries, ways);
+        numSets_ = entries / ways;
+        fatal_if((numSets_ & (numSets_ - 1)) != 0,
+                 "set count %u is not a power of two", numSets_);
+        sets_.assign(numSets_, std::vector<Entry>(ways_));
+    }
+
+    /** Look up a key, updating LRU. @return payload or nullptr. */
+    ValueT *
+    find(KeyT key)
+    {
+        for (Entry &e : setOf(key)) {
+            if (e.valid && e.key == key) {
+                e.lastUse = ++useClock_;
+                return &e.value;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Look up without touching LRU state. */
+    const ValueT *
+    probe(KeyT key) const
+    {
+        for (const Entry &e : setOf(key)) {
+            if (e.valid && e.key == key)
+                return &e.value;
+        }
+        return nullptr;
+    }
+
+    /** Mutable probe without touching LRU state. */
+    ValueT *
+    probe(KeyT key)
+    {
+        for (Entry &e : setOf(key)) {
+            if (e.valid && e.key == key)
+                return &e.value;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert (or overwrite) a key, evicting the set's LRU entry when
+     * full.
+     *
+     * @param key Key to install.
+     * @param value Payload.
+     * @param evicted_key Set to the victim's key if one was evicted.
+     * @param evicted_value Set to the victim's payload if evicted.
+     * @return true if a valid entry was evicted.
+     */
+    bool
+    insert(KeyT key, ValueT value, KeyT *evicted_key = nullptr,
+           ValueT *evicted_value = nullptr)
+    {
+        return insertImpl(key, std::move(value), false, evicted_key,
+                          evicted_value);
+    }
+
+    /**
+     * Insert only if a free way is available in the key's set; never
+     * evicts. @return true if the value was installed.
+     */
+    bool
+    insertNoEvict(KeyT key, ValueT value)
+    {
+        bool installed = true;
+        insertImpl(key, std::move(value), true, nullptr, nullptr,
+                   &installed);
+        return installed;
+    }
+
+  private:
+    bool
+    insertImpl(KeyT key, ValueT value, bool no_evict,
+               KeyT *evicted_key, ValueT *evicted_value,
+               bool *installed = nullptr)
+    {
+        auto &set = setOf(key);
+        for (Entry &e : set) {
+            if (e.valid && e.key == key) {
+                e.value = std::move(value);
+                e.lastUse = ++useClock_;
+                return false;
+            }
+        }
+        Entry *victim = nullptr;
+        for (Entry &e : set) {
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        if (no_evict && victim->valid) {
+            if (installed)
+                *installed = false;
+            return false;
+        }
+        bool evicted = victim->valid;
+        if (evicted && evicted_key)
+            *evicted_key = victim->key;
+        if (evicted && evicted_value)
+            *evicted_value = victim->value;
+        victim->key = key;
+        victim->value = std::move(value);
+        victim->valid = true;
+        victim->lastUse = ++useClock_;
+        if (!evicted)
+            ++population_;
+        return evicted;
+    }
+
+  public:
+
+    /** Remove a key. @return true if it was present. */
+    bool
+    erase(KeyT key)
+    {
+        for (Entry &e : setOf(key)) {
+            if (e.valid && e.key == key) {
+                e.valid = false;
+                --population_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Remove every entry. */
+    void
+    flush()
+    {
+        for (auto &set : sets_)
+            for (Entry &e : set)
+                e.valid = false;
+        population_ = 0;
+    }
+
+    /** Apply @p fn to every valid (key, value) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &set : sets_)
+            for (const Entry &e : set)
+                if (e.valid)
+                    fn(e.key, e.value);
+    }
+
+    std::uint32_t capacity() const { return numSets_ * ways_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t population() const { return population_; }
+
+  private:
+    struct Entry
+    {
+        KeyT key{};
+        ValueT value{};
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> &
+    setOf(KeyT key)
+    {
+        return sets_[static_cast<std::uint32_t>(key) & (numSets_ - 1)];
+    }
+
+    const std::vector<Entry> &
+    setOf(KeyT key) const
+    {
+        return sets_[static_cast<std::uint32_t>(key) & (numSets_ - 1)];
+    }
+
+    std::uint32_t ways_;
+    std::uint32_t numSets_;
+    std::vector<std::vector<Entry>> sets_;
+    std::uint64_t useClock_ = 0;
+    std::uint32_t population_ = 0;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_COMMON_ASSOC_TABLE_HH

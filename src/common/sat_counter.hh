@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Saturating counters.
+ *
+ * IRIP attaches a 2-bit saturating confidence counter to each
+ * prediction slot (Section 6.1); confidences drive both slot
+ * replacement (lowest confidence is victimized) and spatial-prefetch
+ * selection (highest confidence wins the free cache-line-adjacent
+ * PTEs).
+ */
+
+#ifndef MORRIGAN_COMMON_SAT_COUNTER_HH
+#define MORRIGAN_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace morrigan
+{
+
+/** An n-bit unsigned saturating counter. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, std::uint32_t initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        panic_if(bits == 0 || bits > 31, "bad counter width %u", bits);
+        panic_if(initial > max_, "initial %u exceeds max %u",
+                 initial, max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** Set to an explicit value (clamped to the maximum). */
+    void
+    set(std::uint32_t v)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+    bool saturated() const { return value_ == max_; }
+
+    bool operator<(const SatCounter &o) const { return value_ < o.value_; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,154 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "logging.hh"
+
+namespace morrigan
+{
+
+Counter::Counter(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+Histogram::Histogram(StatGroup *group, std::string name, std::string desc,
+                     std::vector<std::uint64_t> buckets)
+    : name_(std::move(name)), desc_(std::move(desc)),
+      bounds_(std::move(buckets))
+{
+    panic_if(bounds_.empty(), "histogram %s has no buckets",
+             name_.c_str());
+    panic_if(!std::is_sorted(bounds_.begin(), bounds_.end()),
+             "histogram %s buckets not sorted", name_.c_str());
+    counts_.assign(bounds_.size() + 1, 0);
+    if (group)
+        group->add(this);
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t count)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    counts_[static_cast<std::size_t>(it - bounds_.begin())] += count;
+    samples_ += count;
+}
+
+std::uint64_t
+Histogram::bucketBound(std::size_t i) const
+{
+    if (i < bounds_.size())
+        return bounds_[i];
+    return std::numeric_limits<std::uint64_t>::max();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = 0;
+}
+
+Distribution::Distribution(StatGroup *group, std::string name,
+                           std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    std::string prefix = path();
+    for (const Counter *c : counters_) {
+        os << prefix << "." << c->name() << " " << c->value()
+           << "  # " << c->desc() << "\n";
+    }
+    for (const Distribution *d : distributions_) {
+        os << prefix << "." << d->name()
+           << " count=" << d->count()
+           << " mean=" << d->mean()
+           << " min=" << d->min()
+           << " max=" << d->max()
+           << "  # " << d->desc() << "\n";
+    }
+    for (const Histogram *h : histograms_) {
+        os << prefix << "." << h->name()
+           << " samples=" << h->totalSamples();
+        for (std::size_t i = 0; i < h->numBuckets(); ++i)
+            os << " [" << i << "]=" << h->bucketCount(i);
+        os << "  # " << h->desc() << "\n";
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Distribution *d : distributions_)
+        d->reset();
+    for (Histogram *h : histograms_)
+        h->reset();
+    for (StatGroup *child : children_)
+        child->resetAll();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geomean of empty vector");
+    double acc = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean requires positive values, got %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace morrigan

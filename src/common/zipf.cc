@@ -1,0 +1,44 @@
+#include "zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace morrigan
+{
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    fatal_if(n == 0, "ZipfSampler population must be non-empty");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = acc;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        cdf_[i] /= acc;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::probability(std::size_t rank) const
+{
+    if (rank >= cdf_.size())
+        return 0.0;
+    if (rank == 0)
+        return cdf_[0];
+    return cdf_[rank] - cdf_[rank - 1];
+}
+
+} // namespace morrigan

@@ -1,0 +1,231 @@
+#include "baseline_prefetchers.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+namespace
+{
+
+/** Append a plain (non-spatial) request produced by a baseline. */
+void
+push(std::vector<PrefetchRequest> &out, Vpn vpn,
+     PrefetchProducer producer)
+{
+    PrefetchRequest req;
+    req.vpn = vpn;
+    req.spatial = false;
+    req.tag.producer = producer;
+    out.push_back(req);
+}
+
+} // anonymous namespace
+
+void
+SequentialPrefetcher::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                                      std::vector<PrefetchRequest> &out)
+{
+    (void)pc;
+    (void)tid;
+    push(out, vpn + 1, PrefetchProducer::Other);
+}
+
+StridePrefetcher::StridePrefetcher(std::uint32_t entries,
+                                   std::uint32_t ways)
+    : table_(entries, ways)
+{
+}
+
+void
+StridePrefetcher::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                                  std::vector<PrefetchRequest> &out)
+{
+    (void)tid;
+    ++lookups_;
+    if (AspEntry *e = table_.find(pc)) {
+        PageDelta stride =
+            static_cast<PageDelta>(vpn) -
+            static_cast<PageDelta>(e->lastVpn);
+        if (stride != 0 && stride == e->stride) {
+            e->confirmed = true;
+            push(out, vpn + stride, PrefetchProducer::Other);
+        } else {
+            e->confirmed = false;
+            e->stride = stride;
+        }
+        e->lastVpn = vpn;
+        return;
+    }
+    Addr victim = 0;
+    if (table_.insert(pc, AspEntry{vpn, 0, false}, &victim))
+        ++conflicts_;
+}
+
+std::size_t
+StridePrefetcher::storageBits() const
+{
+    // tag (16b partial) + last VPN (36b) + stride (15b) + state (1b).
+    return static_cast<std::size_t>(table_.capacity()) *
+           (16 + 36 + 15 + 1);
+}
+
+DistancePrefetcher::DistancePrefetcher(std::uint32_t entries,
+                                       std::uint32_t ways)
+    : table_(entries, ways)
+{
+}
+
+void
+DistancePrefetcher::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                                    std::vector<PrefetchRequest> &out)
+{
+    (void)pc;
+    panic_if(tid >= 2, "DP supports two hardware threads");
+    History &h = hist_[tid];
+
+    if (!h.vpnValid) {
+        h.prevVpn = vpn;
+        h.vpnValid = true;
+        return;
+    }
+
+    PageDelta dist = static_cast<PageDelta>(vpn) -
+                     static_cast<PageDelta>(h.prevVpn);
+    h.prevVpn = vpn;
+
+    // Train: the previous distance is followed by the current one.
+    if (h.distValid) {
+        DpEntry *e = table_.probe(h.prevDist);
+        if (!e) {
+            ++lookups_;
+            PageDelta victim = 0;
+            if (table_.insert(h.prevDist, DpEntry{}, &victim))
+                ++conflicts_;
+            e = table_.probe(h.prevDist);
+        }
+        bool present = false;
+        for (unsigned s = 0; s < slots; ++s)
+            present |= e->valid[s] && e->next[s] == dist;
+        if (!present) {
+            unsigned s = e->lruVictim;
+            e->next[s] = dist;
+            e->valid[s] = true;
+            e->lruVictim =
+                static_cast<std::uint8_t>((s + 1) % slots);
+        }
+    }
+
+    // Predict: what distances tend to follow the current one?
+    ++lookups_;
+    if (DpEntry *e = table_.find(dist)) {
+        for (unsigned s = 0; s < slots; ++s) {
+            if (e->valid[s]) {
+                push(out, vpn + e->next[s],
+                     PrefetchProducer::Other);
+            }
+        }
+    }
+    h.prevDist = dist;
+    h.distValid = true;
+}
+
+void
+DistancePrefetcher::onContextSwitch()
+{
+    table_.flush();
+    hist_[0] = History{};
+    hist_[1] = History{};
+}
+
+std::size_t
+DistancePrefetcher::storageBits() const
+{
+    // tag (15b distance) + 2 x (15b distance + 1 valid) + lru bit.
+    return static_cast<std::size_t>(table_.capacity()) *
+           (15 + slots * 16 + 1);
+}
+
+MarkovPrefetcher::MarkovPrefetcher(std::uint32_t entries,
+                                   std::uint32_t ways,
+                                   std::uint32_t slots_per_entry)
+    : entries_(entries), slots_(slots_per_entry),
+      table_(entries == 0 ? 8 : entries, entries == 0 ? 8 : ways)
+{
+}
+
+void
+MarkovPrefetcher::recordTransition(Vpn from, Vpn to)
+{
+    MpEntry *e = nullptr;
+    if (unbounded()) {
+        e = &unboundedTable_[from];
+    } else {
+        e = table_.probe(from);
+        if (!e) {
+            table_.insert(from, MpEntry{});
+            e = table_.probe(from);
+        }
+    }
+    auto it = std::find(e->successors.begin(), e->successors.end(), to);
+    if (it != e->successors.end()) {
+        // Move to MRU position.
+        e->successors.erase(it);
+        e->successors.insert(e->successors.begin(), to);
+        return;
+    }
+    e->successors.insert(e->successors.begin(), to);
+    if (slots_ != 0 && e->successors.size() > slots_)
+        e->successors.resize(slots_);
+}
+
+const MarkovPrefetcher::MpEntry *
+MarkovPrefetcher::lookupEntry(Vpn vpn)
+{
+    if (unbounded()) {
+        auto it = unboundedTable_.find(vpn);
+        return it == unboundedTable_.end() ? nullptr : &it->second;
+    }
+    return table_.find(vpn);
+}
+
+void
+MarkovPrefetcher::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                                  std::vector<PrefetchRequest> &out)
+{
+    (void)pc;
+    panic_if(tid >= 2, "MP supports two hardware threads");
+    History &h = hist_[tid];
+
+    if (h.valid)
+        recordTransition(h.prevVpn, vpn);
+    h.prevVpn = vpn;
+    h.valid = true;
+
+    if (const MpEntry *e = lookupEntry(vpn)) {
+        for (Vpn succ : e->successors)
+            push(out, succ, PrefetchProducer::Other);
+    }
+}
+
+void
+MarkovPrefetcher::onContextSwitch()
+{
+    table_.flush();
+    unboundedTable_.clear();
+    hist_[0] = History{};
+    hist_[1] = History{};
+}
+
+std::size_t
+MarkovPrefetcher::storageBits() const
+{
+    if (unbounded())
+        return 0;  // idealisation; no hardware budget
+    // tag (16b) + slots x full VPN (36b each).
+    return static_cast<std::size_t>(entries_) * (16 + slots_ * 36);
+}
+
+} // namespace morrigan

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Frequency stack of iSTLB misses.
+ *
+ * RLFU's key insight (Finding 4 / Section 4.1.1): *access frequency*,
+ * not recency, correlates with which instruction pages will keep
+ * missing in the STLB. The frequency stack counts STLB misses per
+ * instruction page and is consulted when a prediction table set needs
+ * a victim. To track phase changes it is periodically reset, so a
+ * page that was hot in a previous phase does not stay artificially
+ * protected.
+ */
+
+#ifndef MORRIGAN_CORE_FREQUENCY_STACK_HH
+#define MORRIGAN_CORE_FREQUENCY_STACK_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace morrigan
+{
+
+/** Miss-frequency tracker with periodic phase reset. */
+class FrequencyStack
+{
+  public:
+    /**
+     * @param reset_interval Number of recorded misses after which the
+     * stack is cleared; 0 disables resets.
+     */
+    explicit FrequencyStack(std::uint64_t reset_interval = 8192)
+        : resetInterval_(reset_interval)
+    {
+    }
+
+    /** Record one iSTLB miss on @p vpn. */
+    void
+    recordMiss(Vpn vpn)
+    {
+        ++freq_[vpn];
+        if (resetInterval_ != 0 && ++sinceReset_ >= resetInterval_) {
+            freq_.clear();
+            sinceReset_ = 0;
+            ++resets_;
+        }
+    }
+
+    /** Current miss count of @p vpn within this interval. */
+    std::uint32_t
+    frequency(Vpn vpn) const
+    {
+        auto it = freq_.find(vpn);
+        return it == freq_.end() ? 0 : it->second;
+    }
+
+    /** Clear all state (context switch). */
+    void
+    clear()
+    {
+        freq_.clear();
+        sinceReset_ = 0;
+    }
+
+    std::uint64_t resets() const { return resets_; }
+    std::size_t trackedPages() const { return freq_.size(); }
+
+  private:
+    std::unordered_map<Vpn, std::uint32_t> freq_;
+    std::uint64_t resetInterval_;
+    std::uint64_t sinceReset_ = 0;
+    std::uint64_t resets_ = 0;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_CORE_FREQUENCY_STACK_HH

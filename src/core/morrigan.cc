@@ -1,0 +1,62 @@
+#include "morrigan.hh"
+
+namespace morrigan
+{
+
+MorriganParams
+MorriganParams::mono()
+{
+    MorriganParams p;
+    // ISO-storage single-table design: 203 entries x 8 slots matches
+    // the ensemble's 3.8KB budget (footnote 3 of the paper). Fully
+    // associative, like the idealised MP it generalises.
+    p.irip.tables = {{"prt_mono", 203, 203, 8}};
+    return p;
+}
+
+MorriganParams
+MorriganParams::smtScaled() const
+{
+    MorriganParams p = *this;
+    p.irip = p.irip.scaled(2.0);
+    return p;
+}
+
+MorriganPrefetcher::MorriganPrefetcher(const MorriganParams &params)
+    : params_(params), irip_(params.irip)
+{
+}
+
+void
+MorriganPrefetcher::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                                    std::vector<PrefetchRequest> &out)
+{
+    std::size_t before = out.size();
+    irip_.onInstrStlbMiss(vpn, pc, tid, out);
+
+    bool irip_produced = out.size() > before;
+    if (params_.sdpEnabled && (!irip_produced || params_.sdpAlwaysOn)) {
+        sdp_.onInstrStlbMiss(vpn, pc, tid, out);
+        ++sdpActivations_;
+    }
+}
+
+void
+MorriganPrefetcher::creditPbHit(const PrefetchTag &tag)
+{
+    irip_.creditPbHit(tag);
+}
+
+void
+MorriganPrefetcher::onContextSwitch()
+{
+    irip_.onContextSwitch();
+}
+
+std::size_t
+MorriganPrefetcher::storageBits() const
+{
+    return irip_.storageBits();  // SDP is stateless
+}
+
+} // namespace morrigan

@@ -1,0 +1,267 @@
+#include "prediction_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+const char *
+replacementPolicyName(ReplacementPolicy p)
+{
+    switch (p) {
+      case ReplacementPolicy::Lru:
+        return "LRU";
+      case ReplacementPolicy::Random:
+        return "Random";
+      case ReplacementPolicy::Lfu:
+        return "LFU";
+      case ReplacementPolicy::Rlfu:
+        return "RLFU";
+    }
+    return "?";
+}
+
+PredictionTable::PredictionTable(const PrtGeometry &geom,
+                                 ReplacementPolicy policy,
+                                 FrequencyStack &freq, Rng &rng)
+    : geom_(geom), policy_(policy), freq_(freq), rng_(rng)
+{
+    fatal_if(geom_.ways == 0 || geom_.entries == 0 ||
+             geom_.entries % geom_.ways != 0,
+             "%s: bad geometry %u entries / %u ways",
+             geom_.name.c_str(), geom_.entries, geom_.ways);
+    numSets_ = geom_.entries / geom_.ways;
+    fatal_if((numSets_ & (numSets_ - 1)) != 0,
+             "%s: %u sets is not a power of two",
+             geom_.name.c_str(), numSets_);
+    fatal_if(geom_.slots == 0, "%s: zero prediction slots",
+             geom_.name.c_str());
+    setShift_ = 0;
+    while ((1u << setShift_) < numSets_)
+        ++setShift_;
+    sets_.assign(numSets_, std::vector<PrtEntry>(geom_.ways));
+    for (auto &set : sets_)
+        for (PrtEntry &e : set)
+            e.slots.resize(geom_.slots);
+}
+
+std::vector<PrtEntry> &
+PredictionTable::setOf(Vpn vpn)
+{
+    return sets_[static_cast<std::uint32_t>(vpn) & (numSets_ - 1)];
+}
+
+std::uint16_t
+PredictionTable::tagOf(Vpn vpn) const
+{
+    // XOR-folded partial tag: cheap in hardware and far more robust
+    // against regularly spaced code segments than plain truncation.
+    std::uint64_t v = vpn >> setShift_;
+    return static_cast<std::uint16_t>(v ^ (v >> 16) ^ (v >> 32));
+}
+
+PrtEntry *
+PredictionTable::findIn(std::vector<PrtEntry> &set, std::uint16_t tag)
+{
+    for (PrtEntry &e : set)
+        if (e.valid && e.tag == tag)
+            return &e;
+    return nullptr;
+}
+
+PrtEntry *
+PredictionTable::lookup(Vpn vpn)
+{
+    PrtEntry *e = findIn(setOf(vpn), tagOf(vpn));
+    if (e)
+        e->lastUse = ++useClock_;
+    return e;
+}
+
+PrtEntry *
+PredictionTable::probe(Vpn vpn)
+{
+    return findIn(setOf(vpn), tagOf(vpn));
+}
+
+const PrtEntry *
+PredictionTable::probe(Vpn vpn) const
+{
+    auto *self = const_cast<PredictionTable *>(this);
+    return self->findIn(self->setOf(vpn), tagOf(vpn));
+}
+
+PrtEntry *
+PredictionTable::selectVictim(std::vector<PrtEntry> &set)
+{
+    // Invalid ways first.
+    for (PrtEntry &e : set)
+        if (!e.valid)
+            return &e;
+
+    switch (policy_) {
+      case ReplacementPolicy::Lru: {
+        PrtEntry *victim = &set[0];
+        for (PrtEntry &e : set)
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        return victim;
+      }
+      case ReplacementPolicy::Random:
+        return &set[rng_.below(static_cast<std::uint32_t>(set.size()))];
+      case ReplacementPolicy::Lfu: {
+        PrtEntry *victim = &set[0];
+        std::uint32_t best = freq_.frequency(victim->vpn);
+        for (PrtEntry &e : set) {
+            std::uint32_t f = freq_.frequency(e.vpn);
+            if (f < best ||
+                (f == best && e.lastUse < victim->lastUse)) {
+                victim = &e;
+                best = f;
+            }
+        }
+        return victim;
+      }
+      case ReplacementPolicy::Rlfu: {
+        // Order ways by frequency and pick uniformly among the
+        // least-frequent quartile (at least two candidates). A
+        // recently installed entry with a low count can thereby
+        // survive a conflict it would always lose under pure LFU.
+        std::vector<PrtEntry *> order;
+        order.reserve(set.size());
+        for (PrtEntry &e : set)
+            order.push_back(&e);
+        std::sort(order.begin(), order.end(),
+                  [this](const PrtEntry *a, const PrtEntry *b) {
+                      return freq_.frequency(a->vpn) <
+                             freq_.frequency(b->vpn);
+                  });
+        std::size_t candidates =
+            std::max<std::size_t>(2, order.size() / 4);
+        candidates = std::min(candidates, order.size());
+        return order[rng_.below(
+            static_cast<std::uint32_t>(candidates))];
+      }
+    }
+    return &set[0];
+}
+
+bool
+PredictionTable::install(Vpn vpn, std::vector<PrtSlot> slots,
+                         Vpn *evicted_vpn)
+{
+    auto &set = setOf(vpn);
+    std::uint16_t tag = tagOf(vpn);
+
+    slots.resize(geom_.slots);
+
+    if (PrtEntry *existing = findIn(set, tag)) {
+        existing->vpn = vpn;
+        existing->slots = std::move(slots);
+        existing->lastUse = ++useClock_;
+        return false;
+    }
+
+    PrtEntry *victim = selectVictim(set);
+    bool evicted = victim->valid;
+    if (evicted && evicted_vpn)
+        *evicted_vpn = victim->vpn;
+    if (!evicted)
+        ++population_;
+
+    victim->tag = tag;
+    victim->vpn = vpn;
+    victim->slots = std::move(slots);
+    victim->lastUse = ++useClock_;
+    victim->valid = true;
+    return evicted;
+}
+
+bool
+PredictionTable::erase(Vpn vpn)
+{
+    if (PrtEntry *e = probe(vpn)) {
+        e->valid = false;
+        for (PrtSlot &s : e->slots)
+            s = PrtSlot{};
+        --population_;
+        return true;
+    }
+    return false;
+}
+
+void
+PredictionTable::flush()
+{
+    for (auto &set : sets_) {
+        for (PrtEntry &e : set) {
+            e.valid = false;
+            for (PrtSlot &s : e.slots)
+                s = PrtSlot{};
+        }
+    }
+    population_ = 0;
+}
+
+bool
+PredictionTable::addDistance(Vpn vpn, PageDelta dist)
+{
+    PrtEntry *e = probe(vpn);
+    if (!e)
+        return false;
+    for (PrtSlot &s : e->slots)
+        if (s.valid && s.distance == dist)
+            return true;  // already predicted
+    for (PrtSlot &s : e->slots) {
+        if (!s.valid) {
+            s.valid = true;
+            s.distance = dist;
+            s.confidence = 0;
+            return true;
+        }
+    }
+    return false;  // full: caller transfers or victimises a slot
+}
+
+bool
+PredictionTable::replaceMinConfidenceSlot(Vpn vpn, PageDelta dist)
+{
+    PrtEntry *e = probe(vpn);
+    if (!e)
+        return false;
+    PrtSlot *victim = &e->slots[0];
+    for (PrtSlot &s : e->slots)
+        if (s.confidence < victim->confidence)
+            victim = &s;
+    victim->valid = true;
+    victim->distance = dist;
+    victim->confidence = 0;
+    return true;
+}
+
+bool
+PredictionTable::creditSlot(Vpn vpn, PageDelta dist)
+{
+    PrtEntry *e = probe(vpn);
+    if (!e)
+        return false;
+    for (PrtSlot &s : e->slots) {
+        if (s.valid && s.distance == dist) {
+            if (s.confidence < confidenceMax)
+                ++s.confidence;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+PredictionTable::storageBits() const
+{
+    return static_cast<std::size_t>(geom_.entries) *
+           (tagBits + geom_.slots * (distanceBits + confidenceBits));
+}
+
+} // namespace morrigan

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * IRIP prediction table (PRT).
+ *
+ * A set-associative buffer whose entries hold a 16-bit partial tag of
+ * the missing virtual page, s prediction slots (15-bit signed
+ * distances to the pages that followed this page in the iSTLB miss
+ * stream), and a 2-bit confidence counter per slot (Section 4.1.1,
+ * Figure 11). Four geometries instantiate PRT-S1/S2/S4/S8.
+ *
+ * Victim selection is pluggable so Figure 14's replacement study can
+ * be reproduced: LRU, Random, LFU, and the paper's RLFU, which picks
+ * a victim at random among the least-frequently-missing entries of
+ * the set -- the randomness acts as a second chance for recently
+ * installed entries that have not yet accumulated misses.
+ */
+
+#ifndef MORRIGAN_CORE_PREDICTION_TABLE_HH
+#define MORRIGAN_CORE_PREDICTION_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "core/frequency_stack.hh"
+
+namespace morrigan
+{
+
+/** Victim-selection policy for the prediction tables. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,
+    Random,
+    Lfu,
+    Rlfu,
+};
+
+const char *replacementPolicyName(ReplacementPolicy p);
+
+/** One prediction slot: a distance plus its confidence. */
+struct PrtSlot
+{
+    PageDelta distance = 0;
+    std::uint8_t confidence = 0;  //!< 2-bit saturating
+    bool valid = false;
+};
+
+/** Geometry of one prediction table. */
+struct PrtGeometry
+{
+    std::string name = "prt";
+    std::uint32_t entries = 128;
+    std::uint32_t ways = 32;
+    std::uint32_t slots = 1;
+};
+
+/** A full prediction-table entry (exposed for tests/inspection). */
+struct PrtEntry
+{
+    std::uint16_t tag = 0;
+    /** Full VPN kept as model bookkeeping: the frequency stack is
+     * indexed by page. Hardware would pair the stack with the same
+     * partial tags. */
+    Vpn vpn = 0;
+    std::vector<PrtSlot> slots;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+};
+
+/** One table of the IRIP ensemble. */
+class PredictionTable
+{
+  public:
+    /**
+     * @param geom Table geometry.
+     * @param policy Victim selection policy.
+     * @param freq Shared frequency stack (LFU/RLFU).
+     * @param rng Shared deterministic RNG (Random/RLFU).
+     */
+    PredictionTable(const PrtGeometry &geom, ReplacementPolicy policy,
+                    FrequencyStack &freq, Rng &rng);
+
+    /** Tag-match lookup (updates recency). @return entry or null. */
+    PrtEntry *lookup(Vpn vpn);
+
+    /** Tag-match probe without recency update. */
+    PrtEntry *probe(Vpn vpn);
+    const PrtEntry *probe(Vpn vpn) const;
+
+    /**
+     * Install an entry for @p vpn carrying @p slots (empty for a
+     * fresh install, populated for a transfer from a smaller table).
+     * Excess slots beyond the geometry are dropped, which cannot
+     * happen in correct transfers.
+     *
+     * @param evicted_vpn Receives the victim's VPN when one is
+     * evicted.
+     * @return true if a valid entry was evicted.
+     */
+    bool install(Vpn vpn, std::vector<PrtSlot> slots,
+                 Vpn *evicted_vpn = nullptr);
+
+    /** Remove the entry for @p vpn. @return true if present. */
+    bool erase(Vpn vpn);
+
+    /** Remove everything (context switch). */
+    void flush();
+
+    /**
+     * Add a distance to an existing entry.
+     *
+     * @retval true The distance was stored (or already present).
+     * @retval false The entry is absent or all slots are occupied by
+     * other distances; the caller escalates (transfer or min-conf
+     * slot replacement).
+     */
+    bool addDistance(Vpn vpn, PageDelta dist);
+
+    /**
+     * Overwrite the lowest-confidence slot with @p dist, resetting
+     * its confidence (terminal-table behaviour, Figure 12 step 25).
+     */
+    bool replaceMinConfidenceSlot(Vpn vpn, PageDelta dist);
+
+    /** Bump the confidence of the slot holding @p dist (PB hit). */
+    bool creditSlot(Vpn vpn, PageDelta dist);
+
+    const PrtGeometry &geometry() const { return geom_; }
+    std::uint32_t population() const { return population_; }
+
+    /** Hardware bits: entries * (tag + slots * (distance + conf)). */
+    std::size_t storageBits() const;
+
+    /** Apply @p fn to every valid entry (tests / invariants). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &set : sets_)
+            for (const PrtEntry &e : set)
+                if (e.valid)
+                    fn(e);
+    }
+
+    static constexpr unsigned tagBits = 16;
+    static constexpr unsigned distanceBits = 15;
+    static constexpr unsigned confidenceBits = 2;
+    static constexpr std::uint8_t confidenceMax =
+        (1u << confidenceBits) - 1;
+    /** Largest representable |distance| with 15 signed bits. */
+    static constexpr PageDelta maxDistance =
+        (PageDelta{1} << (distanceBits - 1)) - 1;
+
+  private:
+    std::vector<PrtEntry> &setOf(Vpn vpn);
+    std::uint16_t tagOf(Vpn vpn) const;
+    PrtEntry *findIn(std::vector<PrtEntry> &set, std::uint16_t tag);
+    PrtEntry *selectVictim(std::vector<PrtEntry> &set);
+
+    PrtGeometry geom_;
+    ReplacementPolicy policy_;
+    FrequencyStack &freq_;
+    Rng &rng_;
+    std::uint32_t numSets_;
+    unsigned setShift_;
+    std::vector<std::vector<PrtEntry>> sets_;
+    std::uint64_t useClock_ = 0;
+    std::uint32_t population_ = 0;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_CORE_PREDICTION_TABLE_HH

@@ -1,0 +1,97 @@
+#include "prefetcher_factory.hh"
+
+#include "common/logging.hh"
+#include "core/baseline_prefetchers.hh"
+#include "core/morrigan.hh"
+
+namespace morrigan
+{
+
+PrefetcherKind
+prefetcherKindFromName(const std::string &name)
+{
+    if (name == "none")
+        return PrefetcherKind::None;
+    if (name == "sp")
+        return PrefetcherKind::Sequential;
+    if (name == "asp")
+        return PrefetcherKind::Stride;
+    if (name == "dp")
+        return PrefetcherKind::Distance;
+    if (name == "mp")
+        return PrefetcherKind::Markov;
+    if (name == "mp-iso")
+        return PrefetcherKind::MarkovIso;
+    if (name == "mp-unbounded2")
+        return PrefetcherKind::MarkovUnbounded2;
+    if (name == "mp-unbounded")
+        return PrefetcherKind::MarkovUnboundedInf;
+    if (name == "morrigan")
+        return PrefetcherKind::Morrigan;
+    if (name == "morrigan-mono")
+        return PrefetcherKind::MorriganMono;
+    fatal("unknown prefetcher '%s'", name.c_str());
+}
+
+const char *
+prefetcherKindName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return "none";
+      case PrefetcherKind::Sequential:
+        return "SP";
+      case PrefetcherKind::Stride:
+        return "ASP";
+      case PrefetcherKind::Distance:
+        return "DP";
+      case PrefetcherKind::Markov:
+        return "MP";
+      case PrefetcherKind::MarkovIso:
+        return "MP-iso";
+      case PrefetcherKind::MarkovUnbounded2:
+        return "MP-unbounded-2succ";
+      case PrefetcherKind::MarkovUnboundedInf:
+        return "MP-unbounded-inf";
+      case PrefetcherKind::Morrigan:
+        return "Morrigan";
+      case PrefetcherKind::MorriganMono:
+        return "Morrigan-mono";
+    }
+    return "?";
+}
+
+std::unique_ptr<TlbPrefetcher>
+makePrefetcher(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::Sequential:
+        return std::make_unique<SequentialPrefetcher>();
+      case PrefetcherKind::Stride:
+        return std::make_unique<StridePrefetcher>(128, 8);
+      case PrefetcherKind::Distance:
+        return std::make_unique<DistancePrefetcher>(128, 8);
+      case PrefetcherKind::Markov:
+        return std::make_unique<MarkovPrefetcher>(128, 8, 2);
+      case PrefetcherKind::MarkovIso:
+        // ~3.8KB budget: entries * (16 + 2*36) bits => 344 entries;
+        // rounded to 512-entry 8-way for a valid geometry would
+        // overshoot, so use 344 -> 320 (64 sets x 5 ways is invalid)
+        // -> 352 = 32 sets x 11 ways.
+        return std::make_unique<MarkovPrefetcher>(352, 11, 2);
+      case PrefetcherKind::MarkovUnbounded2:
+        return std::make_unique<MarkovPrefetcher>(0, 0, 2);
+      case PrefetcherKind::MarkovUnboundedInf:
+        return std::make_unique<MarkovPrefetcher>(0, 0, 0);
+      case PrefetcherKind::Morrigan:
+        return std::make_unique<MorriganPrefetcher>(MorriganParams{});
+      case PrefetcherKind::MorriganMono:
+        return std::make_unique<MorriganPrefetcher>(
+            MorriganParams::mono());
+    }
+    return nullptr;
+}
+
+} // namespace morrigan

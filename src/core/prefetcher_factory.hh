@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Construction helpers for every prefetcher configuration evaluated
+ * in the paper, including the ISO-storage variants of Figure 15.
+ */
+
+#ifndef MORRIGAN_CORE_PREFETCHER_FACTORY_HH
+#define MORRIGAN_CORE_PREFETCHER_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/tlb_prefetcher.hh"
+
+namespace morrigan
+{
+
+/** Named prefetcher configurations. */
+enum class PrefetcherKind
+{
+    None,
+    Sequential,       //!< SP
+    Stride,           //!< ASP
+    Distance,         //!< DP
+    Markov,           //!< MP, 128-entry, 2 slots, LRU
+    MarkovIso,        //!< MP scaled to Morrigan's storage budget
+    MarkovUnbounded2, //!< idealised MP, infinite entries, 2 slots
+    MarkovUnboundedInf, //!< idealised MP, infinite entries and slots
+    Morrigan,
+    MorriganMono,     //!< single-table IRIP (Section 6.3)
+};
+
+/** Parse a kind from its CLI name (e.g. "morrigan", "sp"). */
+PrefetcherKind prefetcherKindFromName(const std::string &name);
+
+/** Printable name. */
+const char *prefetcherKindName(PrefetcherKind kind);
+
+/** Instantiate a prefetcher; nullptr for PrefetcherKind::None. */
+std::unique_ptr<TlbPrefetcher> makePrefetcher(PrefetcherKind kind);
+
+} // namespace morrigan
+
+#endif // MORRIGAN_CORE_PREFETCHER_FACTORY_HH

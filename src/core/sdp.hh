@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SDP -- the Small Delta Prefetcher (Section 4.1.2).
+ *
+ * A stateless enhanced sequential prefetcher: on an iSTLB miss for
+ * page V it prefetches the PTE of V+1 and, via page table locality,
+ * the PTEs sharing V+1's 64-byte cache line, capturing the
+ * small-strided misses of Finding 1. Morrigan engages SDP only when
+ * IRIP produced no prefetch (Figure 12 step 16), so every iSTLB miss
+ * still yields prefetches.
+ */
+
+#ifndef MORRIGAN_CORE_SDP_HH
+#define MORRIGAN_CORE_SDP_HH
+
+#include "core/tlb_prefetcher.hh"
+
+namespace morrigan
+{
+
+/** The small delta prefetcher. */
+class Sdp : public TlbPrefetcher
+{
+  public:
+    /** @param delta Prefetch stride in pages (the paper uses +1). */
+    explicit Sdp(PageDelta delta = 1) : delta_(delta) {}
+
+    const char *name() const override { return "SDP"; }
+
+    void
+    onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                    std::vector<PrefetchRequest> &out) override
+    {
+        (void)pc;
+        (void)tid;
+        PrefetchRequest req;
+        req.vpn = static_cast<Vpn>(
+            static_cast<PageDelta>(vpn) + delta_);
+        req.spatial = true;  // all PTEs in the target cache line
+        req.tag.producer = PrefetchProducer::Sdp;
+        req.tag.sourcePage = vpn;
+        req.tag.distance = delta_;
+        out.push_back(req);
+    }
+
+    /** SDP is stateless: zero hardware budget, nothing to flush. */
+    std::size_t storageBits() const override { return 0; }
+
+  private:
+    PageDelta delta_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_CORE_SDP_HH

@@ -1,0 +1,124 @@
+#include "cache_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+CacheModel::CacheModel(const CacheParams &params, StatGroup *parent)
+    : params_(params),
+      stats_(params.name, parent),
+      accesses_(&stats_, "accesses", "demand lookups"),
+      misses_(&stats_, "misses", "demand lookup misses"),
+      prefetchFills_(&stats_, "prefetch_fills", "lines filled by prefetch"),
+      evictions_(&stats_, "evictions", "valid lines evicted")
+{
+    fatal_if(params_.ways == 0, "%s: zero ways", params_.name.c_str());
+    std::uint32_t lines =
+        params_.sizeBytes / static_cast<std::uint32_t>(lineBytes);
+    fatal_if(lines == 0 || lines % params_.ways != 0,
+             "%s: size %u not divisible into %u ways",
+             params_.name.c_str(), params_.sizeBytes, params_.ways);
+    numSets_ = lines / params_.ways;
+    fatal_if(!isPowerOfTwo(numSets_),
+             "%s: set count %u is not a power of two",
+             params_.name.c_str(), numSets_);
+    sets_.assign(numSets_, std::vector<Way>(params_.ways));
+}
+
+bool
+CacheModel::lookup(Addr line)
+{
+    ++accesses_;
+    auto &set = sets_[setIndex(line)];
+    for (Way &w : set) {
+        if (w.valid && w.tag == line) {
+            w.lastUse = ++useClock_;
+            w.prefetched = false;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+CacheModel::contains(Addr line) const
+{
+    const auto &set = sets_[setIndex(line)];
+    return std::any_of(set.begin(), set.end(), [line](const Way &w) {
+        return w.valid && w.tag == line;
+    });
+}
+
+bool
+CacheModel::insert(Addr line, bool is_prefetch)
+{
+    auto &set = sets_[setIndex(line)];
+
+    // Refresh in place if already resident (e.g. racing fills).
+    for (Way &w : set) {
+        if (w.valid && w.tag == line) {
+            w.lastUse = ++useClock_;
+            return false;
+        }
+    }
+
+    Way *victim = nullptr;
+    for (Way &w : set) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (!victim || w.lastUse < victim->lastUse)
+            victim = &w;
+    }
+
+    bool evicted = victim->valid;
+    if (evicted)
+        ++evictions_;
+    if (is_prefetch)
+        ++prefetchFills_;
+
+    victim->tag = line;
+    victim->valid = true;
+    victim->prefetched = is_prefetch;
+    victim->lastUse = ++useClock_;
+    return evicted;
+}
+
+bool
+CacheModel::invalidate(Addr line)
+{
+    auto &set = sets_[setIndex(line)];
+    for (Way &w : set) {
+        if (w.valid && w.tag == line) {
+            w.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &set : sets_)
+        for (Way &w : set)
+            w.valid = false;
+}
+
+} // namespace morrigan

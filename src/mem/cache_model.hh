@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tag-only set-associative cache model.
+ *
+ * The reproduction needs hit/miss behaviour and per-level service
+ * latencies, not data movement, so the cache stores tags only. LRU
+ * replacement, true-LRU via a per-set sequence counter. MSHR capacity
+ * is recorded for configuration fidelity (Table 1) and exposed to the
+ * timing model, which uses it to bound the data-side overlap window.
+ */
+
+#ifndef MORRIGAN_MEM_CACHE_MODEL_HH
+#define MORRIGAN_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace morrigan
+{
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    Cycle latency = 4;          //!< Hit latency contribution.
+    std::uint32_t mshrs = 8;    //!< Miss status holding registers.
+};
+
+/**
+ * A set-associative, LRU, tag-only cache.
+ *
+ * Lines are identified by line address (byte address >> lineShift).
+ */
+class CacheModel
+{
+  public:
+    CacheModel(const CacheParams &params, StatGroup *parent = nullptr);
+
+    /**
+     * Demand lookup. Updates LRU on hit and counts stats. Does NOT
+     * install on miss; callers install explicitly once the fill
+     * returns, which lets prefetch fills be distinguished.
+     *
+     * @param line Line address.
+     * @return true on hit.
+     */
+    bool lookup(Addr line);
+
+    /** Probe without LRU update or stats side effects. */
+    bool contains(Addr line) const;
+
+    /**
+     * Install a line, evicting the LRU way if the set is full.
+     *
+     * @param line Line address.
+     * @param is_prefetch Fill caused by a prefetch rather than demand.
+     * @return true if a valid line was evicted.
+     */
+    bool insert(Addr line, bool is_prefetch = false);
+
+    /** Drop a line if present. @return true if it was present. */
+    bool invalidate(Addr line);
+
+    /** Drop every line. */
+    void flush();
+
+    const CacheParams &params() const { return params_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    std::uint64_t demandAccesses() const { return accesses_.value(); }
+    std::uint64_t demandMisses() const { return misses_.value(); }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool prefetched = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setIndex(Addr line) const
+    {
+        return static_cast<std::uint32_t>(line) & (numSets_ - 1);
+    }
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<std::vector<Way>> sets_;
+    std::uint64_t useClock_ = 0;
+
+    StatGroup stats_;
+    Counter accesses_;
+    Counter misses_;
+    Counter prefetchFills_;
+    Counter evictions_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_MEM_CACHE_MODEL_HH

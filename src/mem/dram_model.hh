@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simple open-row DRAM latency model.
+ *
+ * Matches Table 1's DRAM entry in spirit: tRP = tRCD = tCAS = 12
+ * memory cycles, scaled to core cycles. A per-bank open-row register
+ * makes row-buffer hits cheaper than conflicts, which gives page-walk
+ * references to contiguous PTE lines realistic locality behaviour.
+ */
+
+#ifndef MORRIGAN_MEM_DRAM_MODEL_HH
+#define MORRIGAN_MEM_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace morrigan
+{
+
+/** Static configuration of the DRAM model. */
+struct DramParams
+{
+    std::uint32_t banks = 8;
+    std::uint32_t rowBytes = 8 * 1024;
+    /** Core cycles per DRAM timing parameter (tRP = tRCD = tCAS). */
+    Cycle tParam = 12 * 3;  //!< 12 mem cycles at a 3x core clock ratio.
+};
+
+/** Open-row DRAM with fixed per-access timing. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramParams &params,
+                       StatGroup *parent = nullptr);
+
+    /** Access a byte address; returns the access latency in cycles. */
+    Cycle access(Addr addr);
+
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+
+  private:
+    DramParams params_;
+    std::vector<std::int64_t> openRow_;  //!< -1 when bank is closed.
+
+    StatGroup stats_;
+    Counter accessesStat_;
+    Counter rowHits_;
+    Counter rowConflicts_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_MEM_DRAM_MODEL_HH

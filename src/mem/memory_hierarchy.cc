@@ -1,0 +1,116 @@
+#include "memory_hierarchy.hh"
+
+namespace morrigan
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyParams &params,
+                                 StatGroup *parent)
+    : params_(params),
+      stats_("mem", parent),
+      l1i_(params.l1i, &stats_),
+      l1d_(params.l1d, &stats_),
+      l2_(params.l2, &stats_),
+      llc_(params.llc, &stats_),
+      dram_(params.dram, &stats_),
+      l2PrefetchIssued_(&stats_, "l2_prefetches",
+                        "lines prefetched into L2 by the SPP stand-in")
+{
+}
+
+MemAccessResult
+MemoryHierarchy::accessThrough(Addr line, CacheModel &l1)
+{
+    MemAccessResult res;
+    res.latency = l1.params().latency;
+    if (l1.lookup(line)) {
+        res.servedBy = MemLevel::L1;
+        return res;
+    }
+
+    res.latency += l2_.params().latency;
+    if (l2_.lookup(line)) {
+        res.servedBy = MemLevel::L2;
+        l1.insert(line);
+        return res;
+    }
+    maybeL2Prefetch(line);
+
+    res.latency += llc_.params().latency;
+    if (llc_.lookup(line)) {
+        res.servedBy = MemLevel::LLC;
+        l2_.insert(line);
+        l1.insert(line);
+        return res;
+    }
+
+    res.latency += dram_.access(line << lineShift);
+    res.servedBy = MemLevel::Dram;
+    llc_.insert(line);
+    l2_.insert(line);
+    l1.insert(line);
+    return res;
+}
+
+void
+MemoryHierarchy::maybeL2Prefetch(Addr missed_line)
+{
+    if (!params_.l2Prefetcher)
+        return;
+    // Degenerate SPP: next-line prefetch with configurable depth.
+    // The real SPP tracks signatures; a depth-N sequential fetcher
+    // reproduces its role as background data-side cache warming.
+    for (std::uint32_t d = 1; d <= params_.l2PrefetchDepth; ++d) {
+        Addr line = missed_line + d;
+        if (!l2_.contains(line)) {
+            l2_.insert(line, true);
+            ++l2PrefetchIssued_;
+        }
+    }
+}
+
+MemAccessResult
+MemoryHierarchy::access(Addr paddr, AccessType type)
+{
+    Addr line = lineOf(paddr);
+    return accessThrough(line,
+                         type == AccessType::Instruction ? l1i_ : l1d_);
+}
+
+MemAccessResult
+MemoryHierarchy::walkerAccess(Addr paddr)
+{
+    return accessThrough(lineOf(paddr), l1d_);
+}
+
+bool
+MemoryHierarchy::instructionLineInL1(Addr paddr) const
+{
+    return l1i_.contains(lineOf(paddr));
+}
+
+Cycle
+MemoryHierarchy::prefetchInstructionLine(Addr paddr)
+{
+    Addr line = lineOf(paddr);
+    if (l1i_.contains(line))
+        return 0;
+
+    Cycle latency = l2_.params().latency;
+    if (!l2_.contains(line)) {
+        latency += llc_.params().latency;
+        if (!llc_.contains(line)) {
+            latency += dram_.access(paddr);
+            llc_.insert(line, true);
+        }
+        l2_.insert(line, true);
+    }
+    return latency;
+}
+
+void
+MemoryHierarchy::commitInstructionPrefetch(Addr paddr)
+{
+    l1i_.insert(lineOf(paddr), true);
+}
+
+} // namespace morrigan

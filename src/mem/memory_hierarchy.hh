@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Composition of the cache hierarchy and DRAM (Table 1).
+ *
+ * L1I 32KB/8w 4-cycle, L1D 32KB/8w 4-cycle, unified L2 512KB/8w
+ * 8-cycle with a lightweight stride prefetcher standing in for SPP,
+ * LLC 2MB/16w 10-cycle, and the DRAM model. Page-walker references
+ * take the data path (L1D -> L2 -> LLC -> DRAM), matching the paper's
+ * observation that walk references can be served from any level.
+ */
+
+#ifndef MORRIGAN_MEM_MEMORY_HIERARCHY_HH
+#define MORRIGAN_MEM_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_model.hh"
+#include "mem/dram_model.hh"
+
+namespace morrigan
+{
+
+/** Hierarchy level that finally served a reference. */
+enum class MemLevel : std::uint8_t { L1, L2, LLC, Dram };
+
+/** Outcome of one reference through the hierarchy. */
+struct MemAccessResult
+{
+    Cycle latency = 0;
+    MemLevel servedBy = MemLevel::L1;
+};
+
+/** Static configuration of the full memory hierarchy. */
+struct MemoryHierarchyParams
+{
+    CacheParams l1i{"l1i", 32 * 1024, 8, 4, 8};
+    CacheParams l1d{"l1d", 32 * 1024, 8, 4, 8};
+    CacheParams l2{"l2", 512 * 1024, 8, 8, 32};
+    CacheParams llc{"llc", 2 * 1024 * 1024, 16, 10, 64};
+    DramParams dram{};
+    /** Enable the simple L2 stride prefetcher (SPP stand-in). */
+    bool l2Prefetcher = true;
+    /** Lines fetched ahead by the L2 prefetcher on a demand miss. */
+    std::uint32_t l2PrefetchDepth = 2;
+};
+
+/**
+ * The cache hierarchy + DRAM. All addresses are physical byte
+ * addresses; the hierarchy converts to line addresses internally.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryHierarchyParams &params,
+                             StatGroup *parent = nullptr);
+
+    /** Demand instruction fetch or data access. */
+    MemAccessResult access(Addr paddr, AccessType type);
+
+    /** Page-walker reference (takes the data path). */
+    MemAccessResult walkerAccess(Addr paddr);
+
+    /** Whether the instruction line already sits in L1I. */
+    bool instructionLineInL1(Addr paddr) const;
+
+    /**
+     * Start an instruction-line prefetch: fills L2/LLC immediately
+     * (the fill is in flight there) and returns the latency until the
+     * line could reach the L1I. The caller schedules
+     * commitInstructionPrefetch() at that time, which models prefetch
+     * timeliness: a line whose fill (or translation) has not
+     * completed cannot serve a demand fetch.
+     */
+    Cycle prefetchInstructionLine(Addr paddr);
+
+    /** Complete an in-flight instruction prefetch into the L1I. */
+    void commitInstructionPrefetch(Addr paddr);
+
+    const CacheModel &l1i() const { return l1i_; }
+    const CacheModel &l1d() const { return l1d_; }
+    const CacheModel &l2() const { return l2_; }
+    const CacheModel &llc() const { return llc_; }
+
+  private:
+    MemAccessResult accessThrough(Addr line, CacheModel &l1);
+    void maybeL2Prefetch(Addr missed_line);
+
+    MemoryHierarchyParams params_;
+    StatGroup stats_;
+    CacheModel l1i_;
+    CacheModel l1d_;
+    CacheModel l2_;
+    CacheModel llc_;
+    DramModel dram_;
+    Counter l2PrefetchIssued_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_MEM_MEMORY_HIERARCHY_HH

@@ -1,0 +1,85 @@
+#include "experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace morrigan
+{
+
+SimResult
+runWorkload(const SimConfig &cfg, PrefetcherKind kind,
+            const ServerWorkloadParams &workload)
+{
+    auto prefetcher = makePrefetcher(kind);
+    return runWorkloadWith(cfg, prefetcher.get(), workload);
+}
+
+SimResult
+runWorkloadWith(const SimConfig &cfg, TlbPrefetcher *prefetcher,
+                const ServerWorkloadParams &workload)
+{
+    ServerWorkload trace(workload);
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace, 0);
+    if (prefetcher)
+        sim.attachPrefetcher(prefetcher);
+    return sim.run();
+}
+
+SimResult
+runSmtPair(const SimConfig &cfg, TlbPrefetcher *prefetcher,
+           const ServerWorkloadParams &a, const ServerWorkloadParams &b)
+{
+    ServerWorkload trace_a(a);
+    ServerWorkload trace_b(b);
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace_a, 0);
+    sim.attachWorkload(&trace_b, 1);
+    if (prefetcher)
+        sim.attachPrefetcher(prefetcher);
+    return sim.run();
+}
+
+double
+speedupPct(const SimResult &base, const SimResult &opt)
+{
+    panic_if(base.ipc <= 0.0, "baseline IPC is zero");
+    return (opt.ipc / base.ipc - 1.0) * 100.0;
+}
+
+double
+geomeanSpeedupPct(const std::vector<SimResult> &base,
+                  const std::vector<SimResult> &opt)
+{
+    panic_if(base.size() != opt.size() || base.empty(),
+             "mismatched result vectors");
+    std::vector<double> ratios;
+    ratios.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        ratios.push_back(opt[i].ipc / base[i].ipc);
+    return (geomean(ratios) - 1.0) * 100.0;
+}
+
+BenchScale
+benchScale(unsigned max_workloads)
+{
+    const char *env = std::getenv("MORRIGAN_FULL");
+    bool full = env != nullptr && env[0] == '1';
+    BenchScale s;
+    s.full = full;
+    if (full) {
+        s.numWorkloads = max_workloads;
+        s.warmupInstructions = 2'000'000;
+        s.simInstructions = 10'000'000;
+    } else {
+        s.numWorkloads = std::min(max_workloads, 10u);
+        s.warmupInstructions = 1'000'000;
+        s.simInstructions = 4'000'000;
+    }
+    return s;
+}
+
+} // namespace morrigan

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment-runner helpers shared by the benches, examples and
+ * integration tests: construct a simulator for a workload + prefetcher
+ * combination, run it, and compute the derived metrics the paper
+ * reports (speedup over the no-prefetching baseline, geometric means,
+ * normalized walk references).
+ */
+
+#ifndef MORRIGAN_SIM_EXPERIMENT_HH
+#define MORRIGAN_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/prefetcher_factory.hh"
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+#include "workload/server_workload.hh"
+
+namespace morrigan
+{
+
+/** Run one workload through one configuration. */
+SimResult runWorkload(const SimConfig &cfg, PrefetcherKind kind,
+                      const ServerWorkloadParams &workload);
+
+/** Run with an externally constructed prefetcher (ablations). */
+SimResult runWorkloadWith(const SimConfig &cfg,
+                          TlbPrefetcher *prefetcher,
+                          const ServerWorkloadParams &workload);
+
+/** Run an SMT pair (two colocated workloads, Section 6.6). */
+SimResult runSmtPair(const SimConfig &cfg, TlbPrefetcher *prefetcher,
+                     const ServerWorkloadParams &a,
+                     const ServerWorkloadParams &b);
+
+/** Percentage speedup of @p opt over @p base. */
+double speedupPct(const SimResult &base, const SimResult &opt);
+
+/** Geometric-mean speedup (in %) over paired runs. */
+double geomeanSpeedupPct(const std::vector<SimResult> &base,
+                         const std::vector<SimResult> &opt);
+
+/**
+ * Bench scaling: default is a fast mode whose qualitative shapes
+ * already hold; setting the environment variable MORRIGAN_FULL=1
+ * selects the full suite with longer runs.
+ */
+struct BenchScale
+{
+    unsigned numWorkloads;
+    std::uint64_t warmupInstructions;
+    std::uint64_t simInstructions;
+    bool full;
+};
+
+BenchScale benchScale(unsigned max_workloads = 45);
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_EXPERIMENT_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Simulation configuration and results.
+ *
+ * SimConfig bundles every structural parameter of Table 1 plus the
+ * study switches the evaluation needs (perfect iSTLB, P2TLB, ASAP,
+ * I-cache translation-cost modelling, SMT). SimResult carries every
+ * number the paper's figures report.
+ */
+
+#ifndef MORRIGAN_SIM_SIM_CONFIG_HH
+#define MORRIGAN_SIM_SIM_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mem/memory_hierarchy.hh"
+#include "vm/page_table.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "vm/walker.hh"
+
+namespace morrigan
+{
+
+/** Which I-cache prefetcher the frontend uses. */
+enum class ICachePrefKind : std::uint8_t
+{
+    None,
+    NextLine,   //!< baseline (Table 1); stays within the page
+    FnlMma,     //!< crosses page boundaries (Sections 3.5/6.5)
+};
+
+/** Full system configuration. */
+struct SimConfig
+{
+    MemoryHierarchyParams mem{};
+    TlbHierarchyParams tlb{};
+    WalkerParams walker{};
+
+    /** Prefetch buffer (Table 1: 64-entry fully assoc., 2-cycle). */
+    std::uint32_t pbEntries = 64;
+    Cycle pbLatency = 2;
+
+    /** Core issue width (Table 1: 4-wide OoO). */
+    unsigned width = 4;
+
+    /**
+     * Fraction of data-side miss latency exposed on the critical
+     * path. Out-of-order execution and MLP hide most data-side
+     * stalls, unlike instruction-side stalls which serialize the
+     * frontend (Section 1). Calibrated so the iSTLB share of cycles
+     * lands in the paper's 6.6-11.7% band (Figure 4).
+     */
+    double dataMlpFactor = 0.08;
+
+    /**
+     * Fraction of I-cache miss latency exposed on the critical path.
+     * Fetch-ahead and the decoupled frontend overlap much of the
+     * latency of sequential line misses; iSTLB misses, in contrast,
+     * serialize completely (the fetch address cannot even be formed).
+     */
+    double fetchOverlapFactor = 0.12;
+
+    /**
+     * Pipeline-refill penalty charged after a demand iSTLB walk: by
+     * the time the translation returns, the frontend has drained and
+     * must re-steer and refill (akin to a branch-resteer bubble).
+     * PB hits resolve in a couple of cycles and avoid the drain,
+     * which is part of why eliminating demand walks pays so well.
+     */
+    Cycle frontendRedirectPenalty = 45;
+
+    /** Radix depth of the page table: 4 (default) or 5 (LA57;
+     * Section 4.3 extension study). */
+    unsigned pageTableDepth = 4;
+
+    /** Page table organisation: radix (default) or hashed
+     * (Section 4.3: "Morrigan would operate the same since hashed
+     * page tables preserve page table locality"). */
+    PageTableFormat pageTableFormat = PageTableFormat::Radix;
+
+    /**
+     * Simulated context-switch interval in instructions; 0 disables.
+     * On a switch the TLBs, PB, PSCs and the prefetcher state flush
+     * (Section 4.3: IRIP's small tables refill quickly).
+     */
+    std::uint64_t contextSwitchInterval = 0;
+
+    /**
+     * Engage the STLB prefetcher on STLB hits as well as misses
+     * (Section 4.3's alternative TLB prefetching strategy).
+     */
+    bool prefetchOnStlbHits = false;
+
+    /**
+     * Issue correcting page walks to reset the access bit of PTEs
+     * evicted from the PB without providing a hit (Section 4.3's
+     * optional mechanism for keeping the OS page-replacement policy
+     * unpolluted). Issued only when a walker port is idle.
+     */
+    bool correctingWalks = false;
+
+    /** Idealisation: all iSTLB lookups hit (Figure 9/18 bound). */
+    bool perfectIstlb = false;
+
+    /** Prefetch directly into the STLB instead of the PB
+     * (Figure 18's P2TLB configuration). */
+    bool prefetchIntoStlb = false;
+
+    /** Frontend I-cache prefetcher. */
+    ICachePrefKind icachePref = ICachePrefKind::NextLine;
+
+    /** Model translation cost for beyond-page I-cache prefetches;
+     * turning this off reproduces the raw IPC-1 idealisation of
+     * Figure 10's "FNL+MMA" line. */
+    bool icacheTranslationCost = true;
+
+    /** Instructions to warm structures before measuring. */
+    std::uint64_t warmupInstructions = 1'000'000;
+    /** Instructions measured. */
+    std::uint64_t simInstructions = 4'000'000;
+
+    /** Record the iSTLB miss stream for Figures 5-8 analyses. */
+    bool collectMissStream = false;
+
+    /** VPN offset applied to thread 1 in SMT mode (distinct address
+     * spaces of the two colocated workloads). */
+    Vpn smtThread1VpnOffset = Vpn{1} << 34;
+};
+
+/** Everything a simulation run reports. */
+struct SimResult
+{
+    std::string workload;
+    std::string prefetcher = "none";
+
+    std::uint64_t instructions = 0;
+    double cycles = 0.0;
+    double ipc = 0.0;
+
+    // --- frontend MPKIs (Figure 3) ---
+    double l1iMpki = 0.0;
+    double itlbMpki = 0.0;
+    double istlbMpki = 0.0;
+    double dstlbMpki = 0.0;
+
+    // --- iSTLB handling (Figures 4/9/13-20) ---
+    std::uint64_t istlbMisses = 0;
+    std::uint64_t dstlbMisses = 0;
+    std::uint64_t pbHits = 0;
+    std::uint64_t pbHitsIrip = 0;
+    std::uint64_t pbHitsSdp = 0;
+    std::uint64_t pbHitsICache = 0;
+    double istlbCycleFraction = 0.0;
+    /** Fraction of cycles stalled on I-cache misses. */
+    double icacheCycleFraction = 0.0;
+    /** Fraction of cycles charged to the data side. */
+    double dataCycleFraction = 0.0;
+    /** Fraction of iSTLB misses served by the PB (miss coverage). */
+    double coverage = 0.0;
+
+    // --- page walk accounting (Figure 16) ---
+    std::uint64_t demandWalks = 0;
+    std::uint64_t demandWalksInstr = 0;
+    std::uint64_t demandWalkRefs = 0;
+    std::uint64_t demandWalkRefsInstr = 0;
+    std::uint64_t prefetchWalks = 0;
+    std::uint64_t prefetchWalkRefs = 0;
+    std::array<std::uint64_t, 4> prefetchWalkRefsByLevel{};
+    double meanDemandWalkLatencyInstr = 0.0;
+    double meanDemandWalkLatencyData = 0.0;
+
+    // --- I-cache prefetching (Figures 10/19) ---
+    std::uint64_t icachePrefetches = 0;
+    std::uint64_t icacheCrossPagePrefetches = 0;
+    /** Cross-page prefetches whose translation was absent from the
+     * TLBs (i.e. that require a page walk). */
+    std::uint64_t icacheCrossPageNeedingWalk = 0;
+    std::uint64_t icacheCrossPagePbHits = 0;
+
+    /** PB hit use-distance histogram (<=1,2,4,8,16,32,64,>64 misses
+     * between insert and consumption). */
+    std::array<std::uint64_t, 8> pbHitDistance{};
+
+    /** Context switches simulated during measurement. */
+    std::uint64_t contextSwitches = 0;
+
+    /** Correcting page walks issued (Section 4.3). */
+    std::uint64_t correctingWalks = 0;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_SIM_CONFIG_HH

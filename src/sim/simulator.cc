@@ -1,0 +1,561 @@
+#include "simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "icache/fnl_mma.hh"
+
+namespace morrigan
+{
+
+Simulator::Simulator(const SimConfig &cfg)
+    : cfg_(cfg),
+      rootStats_("sim"),
+      phys_(1ULL << 22, 1),
+      pageTable_(phys_, &rootStats_, cfg.pageTableDepth,
+                 cfg.pageTableFormat),
+      mem_(cfg.mem, &rootStats_),
+      walker_(cfg.walker, pageTable_, mem_, &rootStats_),
+      tlbs_(cfg.tlb, &rootStats_),
+      pb_(cfg.pbEntries, cfg.pbLatency, &rootStats_)
+{
+    switch (cfg_.icachePref) {
+      case ICachePrefKind::None:
+        break;
+      case ICachePrefKind::NextLine:
+        icachePref_ = std::make_unique<NextLinePrefetcher>(1);
+        break;
+      case ICachePrefKind::FnlMma:
+        icachePref_ = std::make_unique<FnlMmaPrefetcher>();
+        break;
+    }
+}
+
+void
+Simulator::attachWorkload(TraceSource *trace, unsigned tid)
+{
+    fatal_if(tid >= 2, "at most two hardware threads");
+    fatal_if(workloads_[tid] != nullptr,
+             "thread %u already has a workload", tid);
+    workloads_[tid] = trace;
+    numThreads_ = std::max(numThreads_, tid + 1);
+    premapRegions(trace, tid);
+}
+
+void
+Simulator::attachPrefetcher(TlbPrefetcher *prefetcher)
+{
+    prefetcher_ = prefetcher;
+}
+
+bool
+Simulator::pbActive() const
+{
+    if (cfg_.prefetchIntoStlb)
+        return false;
+    if (prefetcher_)
+        return true;
+    // IPC-1 prefetchers are configured to store the PTEs of their
+    // beyond-page-boundary prefetches in the STLB PB (Section 3.5),
+    // so the PB serves demand misses even without an STLB prefetcher.
+    return icachePref_ && icachePref_->crossesPageBoundaries() &&
+           cfg_.icacheTranslationCost;
+}
+
+Addr
+Simulator::threadAddr(Addr va, unsigned tid) const
+{
+    if (tid == 0)
+        return va;
+    return va + (cfg_.smtThread1VpnOffset << pageShift);
+}
+
+void
+Simulator::premapRegions(TraceSource *trace, unsigned tid)
+{
+    for (const auto &[base, count] : trace->mappedRegions()) {
+        Vpn vbase = pageOf(threadAddr(pageBase(base), tid));
+        pageTable_.mapRange(vbase, count);
+    }
+    for (const auto &[base, count] : trace->largeMappedRegions()) {
+        Vpn vbase = pageOf(threadAddr(pageBase(base), tid));
+        pageTable_.mapLargeRange(vbase, count);
+    }
+}
+
+void
+Simulator::drainPendingLineFills()
+{
+    Cycle t = now();
+    while (!pendingLineFills_.empty() &&
+           pendingLineFills_.top().first <= t) {
+        mem_.commitInstructionPrefetch(pendingLineFills_.top().second);
+        pendingLineFills_.pop();
+    }
+}
+
+void
+Simulator::issueSpatialFills(Vpn target, Cycle ready_at,
+                             PrefetchProducer producer)
+{
+    // Page table locality: the fetched 64-byte line carries up to 7
+    // more PTEs; install them in the PB for free.
+    unsigned count = 0;
+    auto neighbors = pageTable_.lineNeighbors(target, &count);
+    for (unsigned i = 0; i < count; ++i) {
+        Vpn n = neighbors[i];
+        if (n == target || pb_.contains(n))
+            continue;
+        WalkPath p = pageTable_.walk(n, false);
+        if (!p.mapped)
+            continue;
+        PbEntry entry;
+        entry.pfn = p.pfn;
+        entry.readyAt = ready_at;
+        entry.tag.producer = producer;
+        entry.insertSeq = c_.istlbMisses;
+        if (cfg_.prefetchIntoStlb) {
+            tlbs_.fillStlbOnly(n, p.pfn, AccessType::Instruction);
+        } else {
+            pbInsert(n, entry);
+        }
+    }
+}
+
+void
+Simulator::pbInsert(Vpn vpn, const PbEntry &entry)
+{
+    Vpn evicted = 0;
+    if (!pb_.insert(vpn, entry, &evicted))
+        return;
+    if (!cfg_.correctingWalks)
+        return;
+    // A PTE left the PB unused: its access bit was set by the
+    // prefetch but the page may not belong to the active footprint.
+    // Issue a correcting walk to clear it -- but only when the
+    // walker is otherwise idle, so no demand walk is delayed.
+    if (walker_.earliestStart(now()) == now()) {
+        walker_.walk(evicted, WalkKind::Prefetch, now(), false);
+        ++c_.correctingWalks;
+    }
+}
+
+void
+Simulator::issueTlbPrefetch(const PrefetchRequest &req)
+{
+    // Duplicate filter against the PB only; probing the STLB would
+    // contend with demand lookups (Section 2.1 note (iii)).
+    if (!cfg_.prefetchIntoStlb && pb_.contains(req.vpn)) {
+        ++c_.prefetchesDiscarded;
+        return;
+    }
+
+    WalkResult wr =
+        walker_.walk(req.vpn, WalkKind::Prefetch, now(), false);
+    ++c_.prefetchWalks;
+    c_.prefetchWalkRefs += wr.memRefs;
+    for (unsigned i = 0; i < 4; ++i)
+        c_.prefetchWalkRefsByLevel[i] += wr.refsByLevel[i];
+
+    if (!wr.success)
+        return;  // non-faulting prefetch to an unmapped page
+
+    if (cfg_.prefetchIntoStlb) {
+        tlbs_.fillStlbOnly(req.vpn, wr.pfn, AccessType::Instruction);
+    } else {
+        PbEntry entry;
+        entry.pfn = wr.pfn;
+        entry.readyAt = wr.completeCycle;
+        entry.tag = req.tag;
+        entry.insertSeq = c_.istlbMisses;
+        pbInsert(req.vpn, entry);
+    }
+
+    if (req.spatial) {
+        PrefetchProducer spatial_producer =
+            req.tag.producer == PrefetchProducer::Irip
+                ? PrefetchProducer::IripSpatial
+                : PrefetchProducer::SdpSpatial;
+        issueSpatialFills(req.vpn, wr.completeCycle, spatial_producer);
+    }
+}
+
+void
+Simulator::engagePrefetcher(Vpn vpn, Addr pc, unsigned tid)
+{
+    if (!prefetcher_)
+        return;
+    reqScratch_.clear();
+    prefetcher_->onInstrStlbMiss(vpn, pc, tid, reqScratch_);
+    for (const PrefetchRequest &req : reqScratch_)
+        issueTlbPrefetch(req);
+}
+
+Pfn
+Simulator::resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid)
+{
+    TlbLookupResult tr = tlbs_.lookup(vpn, AccessType::Instruction);
+    if (tr.level == TlbHitLevel::L1)
+        return tr.pfn;  // pipelined, no stall
+
+    // L1 I-TLB miss: the STLB lookup is on the critical path.
+    ++c_.itlbMisses;
+    Cycle stlb_lat = tlbs_.stlb().params().latency;
+    cycles_ += static_cast<double>(stlb_lat);
+    c_.istlbStallCycles += static_cast<double>(stlb_lat);
+    if (tr.level == TlbHitLevel::Stlb) {
+        if (cfg_.prefetchOnStlbHits)
+            engagePrefetcher(vpn, pc, tid);
+        return tr.pfn;
+    }
+
+    if (cfg_.perfectIstlb) {
+        // Idealisation: every iSTLB lookup hits (Figure 9/18 bound).
+        WalkPath p = pageTable_.walk(vpn, true);
+        tlbs_.fill(vpn, p.pfn, AccessType::Instruction);
+        return p.pfn;
+    }
+
+    // --- genuine iSTLB miss ---
+    ++c_.istlbMisses;
+    if (cfg_.collectMissStream)
+        missStream_.record(vpn);
+
+    Pfn pfn = 0;
+    bool covered = false;
+    if (pbActive()) {
+        cycles_ += static_cast<double>(pb_.latency());
+        c_.istlbStallCycles += static_cast<double>(pb_.latency());
+        PbLookupResult pr = pb_.lookupAndConsume(vpn, now());
+        if (pr.hit) {
+            covered = true;
+            ++c_.pbHits;
+            switch (pr.entry.tag.producer) {
+              case PrefetchProducer::Irip:
+              case PrefetchProducer::IripSpatial:
+                ++c_.pbHitsIrip;
+                break;
+              case PrefetchProducer::Sdp:
+              case PrefetchProducer::SdpSpatial:
+                ++c_.pbHitsSdp;
+                break;
+              case PrefetchProducer::ICache:
+                ++c_.pbHitsICache;
+                break;
+              default:
+                break;
+            }
+            {
+                std::uint64_t d = c_.istlbMisses - pr.entry.insertSeq;
+                unsigned b = 0;
+                while (b < 7 && d > (1ull << b))
+                    ++b;
+                ++c_.pbHitDistance[b];
+            }
+            if (pr.pending) {
+                // Walk still in flight: wait for it instead of
+                // issuing a new one (partial coverage).
+                double wait = static_cast<double>(
+                    pr.entry.readyAt - now());
+                cycles_ += wait;
+                c_.istlbStallCycles += wait;
+            }
+            pfn = pr.entry.pfn;
+            tlbs_.fill(vpn, pfn, AccessType::Instruction);
+            if (prefetcher_)
+                prefetcher_->creditPbHit(pr.entry.tag);
+        }
+    }
+
+    if (!covered) {
+        WalkResult wr =
+            walker_.walk(vpn, WalkKind::Demand, now(), true);
+        ++c_.demandWalksInstr;
+        c_.demandWalkRefsInstr += wr.memRefs;
+        c_.demandWalkLatInstrSum += static_cast<double>(wr.latency);
+        double stall = static_cast<double>(
+            wr.latency + cfg_.frontendRedirectPenalty);
+        cycles_ += stall;
+        c_.istlbStallCycles += stall;
+        pfn = wr.pfn;
+        tlbs_.fill(vpn, pfn, AccessType::Instruction);
+    }
+
+    // The prefetcher is engaged on both PB hits and misses
+    // (Figure 12 step 7).
+    engagePrefetcher(vpn, pc, tid);
+    return pfn;
+}
+
+void
+Simulator::handleICachePrefetches(Addr pc, bool l1i_miss, Pfn cur_pfn,
+                                  unsigned tid)
+{
+    (void)tid;
+    if (!icachePref_)
+        return;
+    icacheScratch_.clear();
+    icachePref_->onFetch(pc, l1i_miss, icacheScratch_);
+
+    Vpn cur_vpn = pageOf(pc);
+    for (Addr target : icacheScratch_) {
+        ++c_.icachePrefetches;
+        Vpn tvpn = pageOf(target);
+        Pfn tpfn = 0;
+        Cycle translation_delay = 0;
+        if (tvpn == cur_vpn) {
+            tpfn = cur_pfn;
+        } else {
+            ++c_.icacheCrossPage;
+            // Beyond-page-boundary prefetch: the line address needs a
+            // translation of its own.
+            if (const TlbEntry *e = tlbs_.itlb().probeEntry(tvpn)) {
+                tpfn = e->pfn;
+            } else if (const TlbEntry *s =
+                           tlbs_.stlb().probeEntry(tvpn)) {
+                tpfn = s->pfn;
+            } else if (!cfg_.icacheTranslationCost) {
+                ++c_.icacheCrossPageNeedingWalk;
+                // IPC-1 idealisation: translations are free.
+                WalkPath p = pageTable_.walk(tvpn, false);
+                if (!p.mapped)
+                    continue;
+                tpfn = p.pfn;
+            } else if (const PbEntry *b = pb_.peek(tvpn)) {
+                // Synergy with an STLB prefetcher: the translation
+                // was already prefetched (Section 6.5's 51.7%).
+                ++c_.icacheCrossPageNeedingWalk;
+                ++c_.icacheCrossPagePbHits;
+                tpfn = b->pfn;
+                if (b->readyAt > now())
+                    translation_delay = b->readyAt - now();
+            } else {
+                // The I-cache prefetcher triggers its own prefetch
+                // page walk and stores the PTE in the PB
+                // (Section 3.5's extended IPC-1 configuration).
+                ++c_.icacheCrossPageNeedingWalk;
+                WalkResult wr = walker_.walk(tvpn, WalkKind::Prefetch,
+                                             now(), false);
+                ++c_.prefetchWalks;
+                c_.prefetchWalkRefs += wr.memRefs;
+                for (unsigned i = 0; i < 4; ++i)
+                    c_.prefetchWalkRefsByLevel[i] += wr.refsByLevel[i];
+                if (!wr.success)
+                    continue;
+                tpfn = wr.pfn;
+                translation_delay = wr.completeCycle - now();
+                PbEntry entry;
+                entry.pfn = wr.pfn;
+                entry.readyAt = wr.completeCycle;
+                entry.tag.producer = PrefetchProducer::ICache;
+                if (!cfg_.prefetchIntoStlb)
+                    pbInsert(tvpn, entry);
+            }
+        }
+
+        Addr paddr = (tpfn << pageShift) + pageOffset(target);
+        if (mem_.instructionLineInL1(paddr))
+            continue;
+        Cycle fill_latency = mem_.prefetchInstructionLine(paddr);
+        pendingLineFills_.emplace(
+            now() + translation_delay + fill_latency, paddr);
+    }
+}
+
+void
+Simulator::fetchLine(Addr pc, unsigned tid)
+{
+    drainPendingLineFills();
+
+    Vpn vpn = pageOf(pc);
+    Pfn pfn = resolveInstrTranslation(vpn, pc, tid);
+
+    Addr paddr = (pfn << pageShift) + pageOffset(pc);
+    MemAccessResult mr = mem_.access(paddr, AccessType::Instruction);
+    bool l1i_miss = mr.servedBy != MemLevel::L1;
+    if (l1i_miss) {
+        ++c_.l1iMisses;
+        // The L1 hit latency is pipelined; the miss portion stalls
+        // the frontend, partially hidden by fetch-ahead.
+        double stall = static_cast<double>(
+                           mr.latency - mem_.l1i().params().latency) *
+                       cfg_.fetchOverlapFactor;
+        cycles_ += stall;
+        c_.icacheStallCycles += stall;
+    }
+
+    handleICachePrefetches(pc, l1i_miss, pfn, tid);
+}
+
+void
+Simulator::handleData(Addr va, unsigned tid)
+{
+    (void)tid;
+    Vpn vpn = pageOf(va);
+    TlbLookupResult tr = tlbs_.lookup(vpn, AccessType::Data);
+    Pfn pfn = tr.pfn;
+    double mlp = cfg_.dataMlpFactor;
+
+    if (tr.level == TlbHitLevel::Stlb) {
+        double stall = static_cast<double>(
+                           tlbs_.stlb().params().latency) * mlp;
+        cycles_ += stall;
+        c_.dataStallCycles += stall;
+    } else if (tr.level == TlbHitLevel::Miss) {
+        ++c_.dstlbMisses;
+        WalkResult wr = walker_.walk(vpn, WalkKind::Demand, now(),
+                                     true);
+        ++c_.demandWalksData;
+        c_.demandWalkRefsData += wr.memRefs;
+        c_.demandWalkLatDataSum += static_cast<double>(wr.latency);
+        cycles_ += static_cast<double>(wr.latency) * mlp;
+        c_.dataStallCycles += static_cast<double>(wr.latency) * mlp;
+        pfn = wr.pfn;
+        tlbs_.fill(vpn, wr.large ? wr.basePfn : wr.pfn,
+                   AccessType::Data, wr.large);
+    }
+
+    Addr paddr = (pfn << pageShift) + pageOffset(va);
+    MemAccessResult mr = mem_.access(paddr, AccessType::Data);
+    if (mr.servedBy != MemLevel::L1) {
+        double stall = static_cast<double>(
+                           mr.latency - mem_.l1d().params().latency) *
+                       mlp;
+        cycles_ += stall;
+        c_.dataStallCycles += stall;
+    }
+}
+
+void
+Simulator::contextSwitch()
+{
+    ++c_.contextSwitches;
+    tlbs_.flush();
+    pb_.flush();
+    walker_.psc().flush();
+    if (prefetcher_)
+        prefetcher_->onContextSwitch();
+    // A context switch also costs a direct penalty (kernel entry,
+    // state save/restore); charge a small constant.
+    cycles_ += 2000.0;
+}
+
+void
+Simulator::simulateInstruction(const TraceRecord &rec, unsigned tid)
+{
+    cycles_ += 1.0 / cfg_.width;
+    ++c_.instructions;
+    if (cfg_.contextSwitchInterval != 0 &&
+        ++sinceContextSwitch_ >= cfg_.contextSwitchInterval) {
+        sinceContextSwitch_ = 0;
+        contextSwitch();
+    }
+
+    Addr pc = threadAddr(rec.pc, tid);
+    Addr line = lineOf(pc);
+    if (line != lastFetchLine_[tid]) {
+        lastFetchLine_[tid] = line;
+        fetchLine(pc, tid);
+    }
+
+    if (rec.hasData)
+        handleData(threadAddr(rec.dataAddr, tid), tid);
+}
+
+SimResult
+Simulator::run()
+{
+    fatal_if(numThreads_ == 0, "no workload attached");
+
+    // Basic-block-grained round robin between SMT threads.
+    constexpr unsigned blockSize = 8;
+
+    auto step = [&](std::uint64_t target) {
+        std::uint64_t done = 0;
+        while (done < target) {
+            for (unsigned tid = 0; tid < numThreads_; ++tid) {
+                for (unsigned i = 0; i < blockSize; ++i) {
+                    simulateInstruction(workloads_[tid]->next(), tid);
+                    ++done;
+                }
+            }
+        }
+    };
+
+    step(cfg_.warmupInstructions);
+
+    // Reset measurement state after warmup.
+    c_ = Counters{};
+    rootStats_.resetAll();
+    missStream_ = MissStreamStats{};
+    measureStartCycles_ = cycles_;
+
+    step(cfg_.simInstructions);
+    return buildResult();
+}
+
+SimResult
+Simulator::buildResult() const
+{
+    SimResult r;
+    r.workload = workloads_[0]->name();
+    if (numThreads_ > 1)
+        r.workload += "+" + workloads_[1]->name();
+    r.prefetcher = prefetcher_ ? prefetcher_->name() : "none";
+
+    r.instructions = c_.instructions;
+    r.cycles = cycles_ - measureStartCycles_;
+    r.ipc = r.cycles > 0.0
+                ? static_cast<double>(r.instructions) / r.cycles
+                : 0.0;
+
+    double kilo_instr = static_cast<double>(r.instructions) / 1000.0;
+    r.l1iMpki = c_.l1iMisses / kilo_instr;
+    r.itlbMpki = c_.itlbMisses / kilo_instr;
+    r.istlbMpki = c_.istlbMisses / kilo_instr;
+    r.dstlbMpki = c_.dstlbMisses / kilo_instr;
+
+    r.istlbMisses = c_.istlbMisses;
+    r.dstlbMisses = c_.dstlbMisses;
+    r.pbHits = c_.pbHits;
+    r.pbHitsIrip = c_.pbHitsIrip;
+    r.pbHitsSdp = c_.pbHitsSdp;
+    r.pbHitsICache = c_.pbHitsICache;
+    r.istlbCycleFraction =
+        r.cycles > 0.0 ? c_.istlbStallCycles / r.cycles : 0.0;
+    r.icacheCycleFraction =
+        r.cycles > 0.0 ? c_.icacheStallCycles / r.cycles : 0.0;
+    r.dataCycleFraction =
+        r.cycles > 0.0 ? c_.dataStallCycles / r.cycles : 0.0;
+    r.coverage = c_.istlbMisses > 0
+                     ? static_cast<double>(c_.pbHits) /
+                       static_cast<double>(c_.istlbMisses)
+                     : 0.0;
+
+    r.demandWalks = c_.demandWalksInstr + c_.demandWalksData;
+    r.demandWalksInstr = c_.demandWalksInstr;
+    r.demandWalkRefs = c_.demandWalkRefsInstr + c_.demandWalkRefsData;
+    r.demandWalkRefsInstr = c_.demandWalkRefsInstr;
+    r.prefetchWalks = c_.prefetchWalks;
+    r.prefetchWalkRefs = c_.prefetchWalkRefs;
+    r.prefetchWalkRefsByLevel = c_.prefetchWalkRefsByLevel;
+    r.meanDemandWalkLatencyInstr =
+        c_.demandWalksInstr > 0
+            ? c_.demandWalkLatInstrSum / c_.demandWalksInstr
+            : 0.0;
+    r.meanDemandWalkLatencyData =
+        c_.demandWalksData > 0
+            ? c_.demandWalkLatDataSum / c_.demandWalksData
+            : 0.0;
+
+    r.icachePrefetches = c_.icachePrefetches;
+    r.icacheCrossPagePrefetches = c_.icacheCrossPage;
+    r.icacheCrossPageNeedingWalk = c_.icacheCrossPageNeedingWalk;
+    r.icacheCrossPagePbHits = c_.icacheCrossPagePbHits;
+    r.pbHitDistance = c_.pbHitDistance;
+    r.contextSwitches = c_.contextSwitches;
+    r.correctingWalks = c_.correctingWalks;
+    return r;
+}
+
+} // namespace morrigan

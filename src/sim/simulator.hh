@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Trace-driven, cycle-approximate core simulator.
+ *
+ * Models what the paper's numbers depend on (see DESIGN.md §5):
+ *
+ * - a 4-wide core retiring width instructions per cycle when nothing
+ *   stalls,
+ * - instruction-side events (I-cache misses, STLB lookups, iSTLB
+ *   misses with their page walks) serialize the frontend and charge
+ *   their full latency,
+ * - data-side events (dSTLB misses, data-cache misses) are largely
+ *   hidden by out-of-order execution; a calibrated MLP factor
+ *   determines the exposed fraction,
+ * - page walks flow through the shared walker ports, so prefetch
+ *   walks contend with demand walks,
+ * - prefetched PTEs become visible in the PB only when their walk
+ *   completes (in-flight entries cause partial stalls), and I-cache
+ *   prefetched lines install only after their fill (and, for
+ *   beyond-page prefetches, their translation) completes -- the
+ *   timeliness effects behind Findings 5 and Figure 19's synergy.
+ *
+ * Single-threaded and dual-threaded SMT (Section 6.6) drivers share
+ * the same datapath; SMT interleaves two workloads one basic block at
+ * a time and disambiguates their address spaces with a fixed VPN
+ * offset.
+ */
+
+#ifndef MORRIGAN_SIM_SIMULATOR_HH
+#define MORRIGAN_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/tlb_prefetcher.hh"
+#include "icache/icache_prefetcher.hh"
+#include "mem/memory_hierarchy.hh"
+#include "sim/sim_config.hh"
+#include "tlb/prefetch_buffer.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/walker.hh"
+#include "workload/miss_stream_stats.hh"
+#include "workload/trace.hh"
+
+namespace morrigan
+{
+
+/** The system simulator. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &cfg);
+
+    /** Attach the workload for hardware thread @p tid (0 or 1). */
+    void attachWorkload(TraceSource *trace, unsigned tid = 0);
+
+    /** Attach the (optional) STLB prefetcher. Not owned. */
+    void attachPrefetcher(TlbPrefetcher *prefetcher);
+
+    /** Run warmup + measurement; returns the measured results. */
+    SimResult run();
+
+    /** iSTLB miss stream recorded during measurement (when
+     * SimConfig::collectMissStream is set). */
+    const MissStreamStats &missStream() const { return missStream_; }
+
+    // Component access for white-box tests.
+    TlbHierarchy &tlbs() { return tlbs_; }
+    PageTableWalker &walker() { return walker_; }
+    PrefetchBuffer &pb() { return pb_; }
+    MemoryHierarchy &mem() { return mem_; }
+    PageTable &pageTable() { return pageTable_; }
+    StatGroup &rootStats() { return rootStats_; }
+
+  private:
+    /** Measurement counters, reset after warmup. */
+    struct Counters
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t l1iMisses = 0;
+        std::uint64_t itlbMisses = 0;
+        std::uint64_t istlbMisses = 0;
+        std::uint64_t dstlbMisses = 0;
+        std::uint64_t pbHits = 0;
+        std::uint64_t pbHitsIrip = 0;
+        std::uint64_t pbHitsSdp = 0;
+        std::uint64_t pbHitsICache = 0;
+        double istlbStallCycles = 0.0;
+        double icacheStallCycles = 0.0;
+        double dataStallCycles = 0.0;
+        std::uint64_t demandWalksInstr = 0;
+        std::uint64_t demandWalksData = 0;
+        std::uint64_t demandWalkRefsInstr = 0;
+        std::uint64_t demandWalkRefsData = 0;
+        std::uint64_t prefetchWalks = 0;
+        std::uint64_t prefetchWalkRefs = 0;
+        std::array<std::uint64_t, 4> prefetchWalkRefsByLevel{};
+        double demandWalkLatInstrSum = 0.0;
+        double demandWalkLatDataSum = 0.0;
+        std::uint64_t prefetchesDiscarded = 0;
+        std::uint64_t icachePrefetches = 0;
+        std::uint64_t icacheCrossPage = 0;
+        std::uint64_t icacheCrossPageNeedingWalk = 0;
+        std::uint64_t icacheCrossPagePbHits = 0;
+        std::uint64_t contextSwitches = 0;
+        std::uint64_t correctingWalks = 0;
+        /** PB hit use-distance histogram: buckets <=1,2,4,...,>64
+         * misses between insert and hit. */
+        std::array<std::uint64_t, 8> pbHitDistance{};
+    };
+
+    Cycle now() const { return static_cast<Cycle>(cycles_); }
+    /** Whether the PB participates in demand miss handling. */
+    bool pbActive() const;
+    Addr threadAddr(Addr va, unsigned tid) const;
+    void premapRegions(TraceSource *trace, unsigned tid);
+    void simulateInstruction(const TraceRecord &rec, unsigned tid);
+    void fetchLine(Addr pc, unsigned tid);
+    /** Resolve the instruction translation; returns the PFN and
+     * charges all frontend stalls. */
+    Pfn resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid);
+    void engagePrefetcher(Vpn vpn, Addr pc, unsigned tid);
+    void issueTlbPrefetch(const PrefetchRequest &req);
+    void pbInsert(Vpn vpn, const PbEntry &entry);
+    void issueSpatialFills(Vpn target, Cycle ready_at,
+                           PrefetchProducer producer);
+    void handleICachePrefetches(Addr pc, bool l1i_miss, Pfn cur_pfn,
+                                unsigned tid);
+    void handleData(Addr va, unsigned tid);
+    void contextSwitch();
+    void drainPendingLineFills();
+    SimResult buildResult() const;
+
+    SimConfig cfg_;
+    StatGroup rootStats_;
+    PhysMem phys_;
+    PageTable pageTable_;
+    MemoryHierarchy mem_;
+    PageTableWalker walker_;
+    TlbHierarchy tlbs_;
+    PrefetchBuffer pb_;
+
+    TlbPrefetcher *prefetcher_ = nullptr;
+    std::unique_ptr<ICachePrefetcher> icachePref_;
+
+    TraceSource *workloads_[2] = {nullptr, nullptr};
+    unsigned numThreads_ = 0;
+
+    double cycles_ = 0.0;
+    double measureStartCycles_ = 0.0;
+    std::uint64_t sinceContextSwitch_ = 0;
+    Addr lastFetchLine_[2] = {~Addr{0}, ~Addr{0}};
+
+    /** (readyAt, physical line address) of in-flight I-prefetches. */
+    using PendingFill = std::pair<Cycle, Addr>;
+    std::priority_queue<PendingFill, std::vector<PendingFill>,
+                        std::greater<>> pendingLineFills_;
+
+    Counters c_;
+    MissStreamStats missStream_;
+    std::vector<PrefetchRequest> reqScratch_;
+    std::vector<Addr> icacheScratch_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_SIMULATOR_HH

@@ -1,0 +1,97 @@
+#include "prefetch_buffer.hh"
+
+namespace morrigan
+{
+
+PrefetchBuffer::PrefetchBuffer(std::uint32_t entries, Cycle latency,
+                               StatGroup *parent)
+    : table_(entries, entries),  // fully associative
+      latency_(latency),
+      stats_("pb", parent),
+      lookups_(&stats_, "lookups", "demand lookups"),
+      hits_(&stats_, "hits", "demand hits (walk avoided)"),
+      misses_(&stats_, "misses", "demand misses (walk required)"),
+      pendingHits_(&stats_, "pending_hits",
+                   "hits on in-flight prefetches"),
+      inserts_(&stats_, "inserts", "prefetched PTEs installed"),
+      duplicateInserts_(&stats_, "duplicate_inserts",
+                        "inserts dropped as duplicates"),
+      uselessEvictions_(&stats_, "useless_evictions",
+                        "entries evicted without providing a hit")
+{
+}
+
+PbLookupResult
+PrefetchBuffer::lookupAndConsume(Vpn vpn, Cycle now)
+{
+    ++lookups_;
+    PbLookupResult res;
+    PbEntry *entry = table_.probe(vpn);
+    if (!entry) {
+        ++misses_;
+        return res;
+    }
+    res.hit = true;
+    res.pending = entry->readyAt > now;
+    res.entry = *entry;
+    res.entry.usedOnce = true;
+    if (res.pending)
+        ++pendingHits_;
+    ++hits_;
+    ++hitsByProducer_[static_cast<unsigned>(entry->tag.producer)];
+    // The translation moves to the STLB; free the PB slot.
+    table_.erase(vpn);
+    return res;
+}
+
+bool
+PrefetchBuffer::contains(Vpn vpn) const
+{
+    return table_.probe(vpn) != nullptr;
+}
+
+const PbEntry *
+PrefetchBuffer::peek(Vpn vpn) const
+{
+    return table_.probe(vpn);
+}
+
+bool
+PrefetchBuffer::insert(Vpn vpn, const PbEntry &entry,
+                       Vpn *evicted_unused)
+{
+    if (table_.probe(vpn)) {
+        ++duplicateInserts_;
+        return false;
+    }
+    ++inserts_;
+    PbEntry victim;
+    Vpn victim_vpn = 0;
+    bool evicted = table_.insert(vpn, entry, &victim_vpn, &victim);
+    if (evicted && !victim.usedOnce) {
+        ++uselessEvictions_;
+        if (evicted_unused)
+            *evicted_unused = victim_vpn;
+        return true;
+    }
+    return false;
+}
+
+void
+PrefetchBuffer::insertOpportunistic(Vpn vpn, const PbEntry &entry)
+{
+    if (table_.probe(vpn)) {
+        ++duplicateInserts_;
+        return;
+    }
+    if (table_.insertNoEvict(vpn, entry))
+        ++inserts_;
+}
+
+void
+PrefetchBuffer::flush()
+{
+    table_.flush();
+}
+
+} // namespace morrigan

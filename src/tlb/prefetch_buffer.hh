@@ -1,0 +1,152 @@
+/**
+ * @file
+ * STLB prefetch buffer (PB).
+ *
+ * Prefetched PTEs are staged in a small fully associative buffer
+ * instead of the STLB itself so that inaccurate prefetches cannot
+ * pollute the STLB (Section 2.1; Figure 18's P2TLB experiment shows
+ * the 18.9% degradation when this buffer is bypassed). On an STLB
+ * miss the PB is probed; a hit moves the translation into the STLB
+ * and cancels the demand page walk.
+ *
+ * Each entry carries (i) the cycle its prefetch walk completes, so a
+ * demand access arriving before the fill is timely-miss accounted,
+ * and (ii) a producer tag identifying which prefetch engine and which
+ * prediction slot created it, so IRIP can credit the right confidence
+ * counter on a hit.
+ */
+
+#ifndef MORRIGAN_TLB_PREFETCH_BUFFER_HH
+#define MORRIGAN_TLB_PREFETCH_BUFFER_HH
+
+#include <cstdint>
+
+#include "common/assoc_table.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace morrigan
+{
+
+/** Which engine created a prefetch (for credit + stats). */
+enum class PrefetchProducer : std::uint8_t
+{
+    Irip,       //!< IRIP prediction-table hit
+    IripSpatial,//!< free cache-line-adjacent PTE via IRIP
+    Sdp,        //!< small delta prefetcher
+    SdpSpatial, //!< free cache-line-adjacent PTE via SDP
+    ICache,     //!< I-cache prefetcher crossing a page boundary
+    Other,
+};
+
+/** Identifies the prediction slot that generated a prefetch. */
+struct PrefetchTag
+{
+    PrefetchProducer producer = PrefetchProducer::Other;
+    /** Page whose PRT entry produced the prediction. */
+    Vpn sourcePage = 0;
+    /** Predicted distance stored in that slot. */
+    PageDelta distance = 0;
+};
+
+/** One buffered prefetched translation. */
+struct PbEntry
+{
+    Pfn pfn = 0;
+    Cycle readyAt = 0;  //!< prefetch walk completion cycle
+    PrefetchTag tag{};
+    bool usedOnce = false;
+    /** Miss-sequence number at insert (use-distance accounting). */
+    std::uint64_t insertSeq = 0;
+};
+
+/** Result of a PB lookup. */
+struct PbLookupResult
+{
+    bool hit = false;
+    /** Hit on an entry whose walk has not completed yet; the demand
+     * access must wait until readyAt instead of re-walking. */
+    bool pending = false;
+    PbEntry entry{};
+};
+
+/** The prefetch buffer. */
+class PrefetchBuffer
+{
+  public:
+    /**
+     * @param entries Capacity (Table 1: 64, fully associative).
+     * @param latency Access latency in cycles (Table 1: 2).
+     */
+    explicit PrefetchBuffer(std::uint32_t entries = 64,
+                            Cycle latency = 2,
+                            StatGroup *parent = nullptr);
+
+    /**
+     * Demand lookup on an STLB miss. A hit consumes the entry (the
+     * translation moves to the STLB, as in Figure 1).
+     */
+    PbLookupResult lookupAndConsume(Vpn vpn, Cycle now);
+
+    /** Whether a translation is already buffered (duplicate check
+     * before issuing a prefetch; Section 2.1 note (iii)). */
+    bool contains(Vpn vpn) const;
+
+    /** Probe without consuming (used by I-cache prefetch
+     * translation checks; the entry stays for the demand miss). */
+    const PbEntry *peek(Vpn vpn) const;
+
+    /**
+     * Install a prefetched translation.
+     *
+     * @param evicted_unused Receives the VPN of an entry evicted
+     * without ever providing a hit (the candidate for a correcting
+     * page walk, Section 4.3); untouched otherwise.
+     * @return true when an unused entry was evicted.
+     */
+    bool insert(Vpn vpn, const PbEntry &entry,
+                Vpn *evicted_unused = nullptr);
+
+    /**
+     * Opportunistic install for "free" cache-line-adjacent PTEs:
+     * only fills an empty slot, never evicting a demanded prefetch.
+     */
+    void insertOpportunistic(Vpn vpn, const PbEntry &entry);
+
+    /** Remove everything (context switch). */
+    void flush();
+
+    Cycle latency() const { return latency_; }
+    std::uint32_t capacity() const { return table_.capacity(); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t inserts() const { return inserts_.value(); }
+    /** Entries evicted without ever providing a hit. */
+    std::uint64_t uselessEvictions() const
+    {
+        return uselessEvictions_.value();
+    }
+    std::uint64_t hitsFrom(PrefetchProducer p) const
+    {
+        return hitsByProducer_[static_cast<unsigned>(p)];
+    }
+
+  private:
+    SetAssocTable<Vpn, PbEntry> table_;
+    Cycle latency_;
+
+    StatGroup stats_;
+    Counter lookups_;
+    Counter hits_;
+    Counter misses_;
+    Counter pendingHits_;
+    Counter inserts_;
+    Counter duplicateInserts_;
+    Counter uselessEvictions_;
+    std::uint64_t hitsByProducer_[6] = {};
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_TLB_PREFETCH_BUFFER_HH

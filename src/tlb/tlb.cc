@@ -1,0 +1,128 @@
+#include "tlb.hh"
+
+namespace morrigan
+{
+
+Tlb::Tlb(const TlbParams &params, StatGroup *parent)
+    : params_(params),
+      table_(params.entries, params.ways),
+      stats_(params.name, parent),
+      instrAccesses_(&stats_, "instr_accesses",
+                     "instruction-side lookups"),
+      instrMisses_(&stats_, "instr_misses", "instruction-side misses"),
+      dataAccesses_(&stats_, "data_accesses", "data-side lookups"),
+      dataMisses_(&stats_, "data_misses", "data-side misses"),
+      fills_(&stats_, "fills", "translations installed"),
+      crossEvictions_(&stats_, "cross_evictions",
+                      "evictions across the i/d boundary")
+{
+}
+
+namespace
+{
+
+/** Distinguished key space for 2MB entries in the shared table. */
+constexpr Vpn largeKeyBit = Vpn{1} << 62;
+
+Vpn
+largeKey(Vpn vpn)
+{
+    return (largePageBase(vpn) >> radixBits) | largeKeyBit;
+}
+
+} // anonymous namespace
+
+TlbHit
+Tlb::lookupAny(Vpn vpn, AccessType type)
+{
+    TlbHit hit;
+    if (type == AccessType::Instruction)
+        ++instrAccesses_;
+    else
+        ++dataAccesses_;
+
+    if (const TlbEntry *e = table_.find(vpn)) {
+        hit.entry = e;
+        hit.pagePfn = e->pfn;
+        return hit;
+    }
+    if (const TlbEntry *e = table_.find(largeKey(vpn))) {
+        hit.entry = e;
+        hit.pagePfn = e->pfn + (vpn & (pagesPerLargePage - 1));
+        return hit;
+    }
+    if (type == AccessType::Instruction)
+        ++instrMisses_;
+    else
+        ++dataMisses_;
+    return hit;
+}
+
+const TlbEntry *
+Tlb::lookup(Vpn vpn, AccessType type)
+{
+    if (type == AccessType::Instruction)
+        ++instrAccesses_;
+    else
+        ++dataAccesses_;
+
+    const TlbEntry *entry = table_.find(vpn);
+    if (!entry) {
+        if (type == AccessType::Instruction)
+            ++instrMisses_;
+        else
+            ++dataMisses_;
+    }
+    return entry;
+}
+
+bool
+Tlb::contains(Vpn vpn) const
+{
+    return table_.probe(vpn) != nullptr;
+}
+
+const TlbEntry *
+Tlb::probeEntry(Vpn vpn) const
+{
+    return table_.probe(vpn);
+}
+
+void
+Tlb::fill(Vpn vpn, Pfn pfn, AccessType type)
+{
+    ++fills_;
+    TlbEntry victim;
+    Vpn victim_vpn = 0;
+    bool evicted = table_.insert(vpn, TlbEntry{pfn, type},
+                                 &victim_vpn, &victim);
+    if (evicted && victim.filledBy != type)
+        ++crossEvictions_;
+}
+
+void
+Tlb::fillLarge(Vpn vpn, Pfn base_pfn, AccessType type)
+{
+    ++fills_;
+    TlbEntry victim;
+    Vpn victim_vpn = 0;
+    TlbEntry entry{base_pfn, type, true};
+    bool evicted =
+        table_.insert(largeKey(vpn), entry, &victim_vpn, &victim);
+    if (evicted && victim.filledBy != type)
+        ++crossEvictions_;
+}
+
+bool
+Tlb::invalidate(Vpn vpn)
+{
+    return table_.erase(vpn);
+}
+
+void
+Tlb::flush()
+{
+    table_.flush();
+}
+
+} // namespace morrigan

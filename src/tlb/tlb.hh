@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A translation lookaside buffer.
+ *
+ * Set-associative, LRU, holding VPN -> PFN translations. Used for the
+ * L1 I-TLB (128-entry/8-way), L1 D-TLB (64-entry/4-way) and the
+ * shared second-level STLB (1536-entry/6-way) of Table 1. The STLB is
+ * shared between instruction and data translations, so each entry
+ * remembers which side filled it; that exposes the i/d contention the
+ * paper highlights (instruction references evict useful data
+ * translations and vice versa).
+ */
+
+#ifndef MORRIGAN_TLB_TLB_HH
+#define MORRIGAN_TLB_TLB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/assoc_table.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace morrigan
+{
+
+/** Static configuration of one TLB level. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    std::uint32_t entries = 64;
+    std::uint32_t ways = 4;
+    Cycle latency = 1;
+    std::uint32_t mshrs = 4;
+};
+
+/** One cached translation. */
+struct TlbEntry
+{
+    /** For 4KB entries the frame of the page; for 2MB entries the
+     * first frame of the contiguous 2MB group. */
+    Pfn pfn = 0;
+    /** Which side installed the entry (contention accounting). */
+    AccessType filledBy = AccessType::Instruction;
+    /** 2MB large-page entry (Section 4.3). */
+    bool large = false;
+};
+
+/** Outcome of a dual-size lookup. */
+struct TlbHit
+{
+    const TlbEntry *entry = nullptr;
+    /** Frame of the referenced 4KB page (offset applied for 2MB
+     * entries). */
+    Pfn pagePfn = 0;
+};
+
+/** A single TLB level. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params, StatGroup *parent = nullptr);
+
+    /**
+     * Demand lookup; updates LRU and stats.
+     *
+     * @param vpn Page to translate.
+     * @param type Side of the access (stats split).
+     * @return the entry, or nullptr on miss.
+     */
+    const TlbEntry *lookup(Vpn vpn, AccessType type);
+
+    /**
+     * Dual-size demand lookup: probes the 4KB entry and, failing
+     * that, the 2MB entry covering @p vpn. Counts a single access.
+     */
+    TlbHit lookupAny(Vpn vpn, AccessType type);
+
+    /** Probe without LRU or stats side effects. */
+    bool contains(Vpn vpn) const;
+
+    /** Probe returning the entry, without LRU or stats effects. */
+    const TlbEntry *probeEntry(Vpn vpn) const;
+
+    /** Install a translation (evicting LRU if needed). */
+    void fill(Vpn vpn, Pfn pfn, AccessType type);
+
+    /** Install a 2MB translation (@p base_pfn = first frame of the
+     * group). Shares capacity with the 4KB entries, as in Intel's
+     * shared STLBs. */
+    void fillLarge(Vpn vpn, Pfn base_pfn, AccessType type);
+
+    /** Remove one translation (TLB shootdown). */
+    bool invalidate(Vpn vpn);
+
+    /** Remove everything (context switch). */
+    void flush();
+
+    const TlbParams &params() const { return params_; }
+
+    std::uint64_t accesses(AccessType t) const
+    {
+        return t == AccessType::Instruction ? instrAccesses_.value()
+                                            : dataAccesses_.value();
+    }
+    std::uint64_t misses(AccessType t) const
+    {
+        return t == AccessType::Instruction ? instrMisses_.value()
+                                            : dataMisses_.value();
+    }
+    std::uint64_t totalAccesses() const
+    {
+        return instrAccesses_.value() + dataAccesses_.value();
+    }
+    std::uint64_t totalMisses() const
+    {
+        return instrMisses_.value() + dataMisses_.value();
+    }
+    /** Evictions where an instruction entry displaced a data entry or
+     * vice versa -- the paper's STLB contention effect. */
+    std::uint64_t crossEvictions() const
+    {
+        return crossEvictions_.value();
+    }
+
+  private:
+    TlbParams params_;
+    SetAssocTable<Vpn, TlbEntry> table_;
+
+    StatGroup stats_;
+    Counter instrAccesses_;
+    Counter instrMisses_;
+    Counter dataAccesses_;
+    Counter dataMisses_;
+    Counter fills_;
+    Counter crossEvictions_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_TLB_TLB_HH

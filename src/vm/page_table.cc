@@ -1,0 +1,309 @@
+#include "page_table.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+PageTable::PageTable(PhysMem &phys, StatGroup *parent,
+                     unsigned levels, PageTableFormat format)
+    : phys_(phys),
+      levels_(levels),
+      format_(format),
+      stats_("page_table", parent),
+      mappedPages_(&stats_, "mapped_pages", "4KB pages mapped"),
+      tableFrames_(&stats_, "table_frames",
+                   "physical frames used by table nodes")
+{
+    fatal_if(levels_ < 2 || levels_ > maxPageTableLevels,
+             "unsupported page table depth %u", levels_);
+    root_.frame = phys_.allocFrame();
+    ++tableFrames_;
+    if (format_ == PageTableFormat::Hashed) {
+        // One bucket (64 bytes) per aligned 8-page group; size the
+        // array generously (2^20 buckets = 8M pages coverage) and
+        // back it with contiguous physical frames.
+        buckets_.assign(1u << 20, ~Vpn{0});
+        std::uint64_t frames =
+            buckets_.size() * lineBytes / pageBytes;
+        hashBase_ = phys_.allocFrame();
+        for (std::uint64_t i = 1; i < frames; ++i)
+            phys_.allocFrame();
+        tableFrames_ += frames;
+    }
+}
+
+std::uint64_t
+PageTable::findBucket(Vpn group, bool allocate, unsigned *probes)
+{
+    std::uint64_t mask = buckets_.size() - 1;
+    // Multiplicative hash of the group number.
+    std::uint64_t h = (group * 0x9e3779b97f4a7c15ULL) & mask;
+    unsigned n = 0;
+    for (;;) {
+        ++n;
+        if (buckets_[h] == group) {
+            *probes = n;
+            return h;
+        }
+        if (buckets_[h] == ~Vpn{0}) {
+            if (!allocate) {
+                *probes = n;
+                return buckets_.size();
+            }
+            buckets_[h] = group;
+            *probes = n;
+            return h;
+        }
+        h = (h + 1) & mask;  // linear probing
+        panic_if(n > 64, "hashed page table overfull");
+    }
+}
+
+WalkPath
+PageTable::walkHashed(Vpn vpn, bool allocate)
+{
+    WalkPath path;
+    Vpn group = vpn >> 3;
+    auto it = hashedLeaves_.find(vpn);
+    bool mapped = it != hashedLeaves_.end();
+    if (!mapped && allocate) {
+        hashedLeaves_[vpn] = phys_.allocFrame();
+        ++mappedPages_;
+        mapped = true;
+    }
+
+    unsigned probes = 0;
+    std::uint64_t bucket = findBucket(group, mapped, &probes);
+    hashProbes_ += probes;
+    // One memory reference per probed bucket, all within the flat
+    // hashed array.
+    path.levels = probes;
+    std::uint64_t mask = buckets_.size() - 1;
+    std::uint64_t h = (group * 0x9e3779b97f4a7c15ULL) & mask;
+    for (unsigned p = 0; p < probes && p < maxPageTableLevels; ++p) {
+        path.entryAddr[p] = (hashBase_ << pageShift) + h * lineBytes +
+                            (vpn & 7) * pteBytes;
+        h = (h + 1) & mask;
+    }
+    if (path.levels > maxPageTableLevels)
+        path.levels = maxPageTableLevels;
+    (void)bucket;
+
+    if (mapped) {
+        path.mapped = true;
+        path.pfn = hashedLeaves_[vpn];
+    }
+    return path;
+}
+
+void
+PageTable::mapRange(Vpn start, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        mapPage(start + i);
+}
+
+bool
+PageTable::mapPage(Vpn vpn)
+{
+    if (format_ == PageTableFormat::Hashed) {
+        auto [it, inserted] = hashedLeaves_.emplace(vpn, Pfn{0});
+        if (inserted) {
+            it->second = phys_.allocFrame();
+            ++mappedPages_;
+            unsigned probes = 0;
+            findBucket(vpn >> 3, true, &probes);
+        }
+        return inserted;
+    }
+    Node *node = &root_;
+    // Descend through the interior levels, creating nodes.
+    for (unsigned depth = 0; depth < levels_ - 1; ++depth) {
+        unsigned level = levels_ - 1 - depth;
+        auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
+        auto it = node->children.find(idx);
+        if (it == node->children.end()) {
+            auto child = std::make_unique<Node>();
+            child->frame = phys_.allocFrame();
+            ++tableFrames_;
+            it = node->children.emplace(idx, std::move(child)).first;
+        }
+        node = it->second.get();
+    }
+    auto leaf_idx = static_cast<std::uint32_t>(radixIndex(vpn, 0));
+    auto [it, inserted] = node->leaves.emplace(leaf_idx, Pfn{0});
+    if (inserted) {
+        it->second = phys_.allocFrame();
+        ++mappedPages_;
+    }
+    return inserted;
+}
+
+bool
+PageTable::mapLargePage(Vpn vpn)
+{
+    fatal_if(format_ == PageTableFormat::Hashed,
+             "large pages unsupported in the hashed format");
+    Vpn base = largePageBase(vpn);
+    Node *node = &root_;
+    // Descend to the PD level (stop one interior level early).
+    for (unsigned depth = 0; depth + 2 < levels_; ++depth) {
+        unsigned level = levels_ - 1 - depth;
+        auto idx = static_cast<std::uint32_t>(radixIndex(base, level));
+        auto it = node->children.find(idx);
+        if (it == node->children.end()) {
+            auto child = std::make_unique<Node>();
+            child->frame = phys_.allocFrame();
+            ++tableFrames_;
+            it = node->children.emplace(idx, std::move(child)).first;
+        }
+        node = it->second.get();
+    }
+    auto pd_idx = static_cast<std::uint32_t>(radixIndex(base, 1));
+    panic_if(node->children.count(pd_idx) != 0,
+             "2MB mapping over existing 4KB mappings");
+    auto [it, inserted] = node->largeLeaves.emplace(pd_idx, Pfn{0});
+    if (inserted) {
+        // Allocate a contiguous 2MB frame group.
+        Pfn first = phys_.allocFrame();
+        for (unsigned i = 1; i < pagesPerLargePage; ++i)
+            phys_.allocFrame();
+        it->second = first;
+        mappedPages_ += pagesPerLargePage;
+    }
+    return inserted;
+}
+
+void
+PageTable::mapLargeRange(Vpn start, std::uint64_t count_4k)
+{
+    for (Vpn v = largePageBase(start);
+         v < start + count_4k;
+         v += pagesPerLargePage) {
+        mapLargePage(v);
+    }
+}
+
+bool
+PageTable::isMapped(Vpn vpn) const
+{
+    if (format_ == PageTableFormat::Hashed)
+        return hashedLeaves_.count(vpn) != 0;
+    // Walk interior levels manually so a PD-level large leaf is
+    // recognised.
+    const Node *node = &root_;
+    for (unsigned depth = 0; depth + 1 < levels_; ++depth) {
+        unsigned level = levels_ - 1 - depth;
+        auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
+        if (level == 1 && node->largeLeaves.count(idx))
+            return true;
+        auto it = node->children.find(idx);
+        if (it == node->children.end())
+            return false;
+        node = it->second.get();
+    }
+    auto leaf_idx = static_cast<std::uint32_t>(radixIndex(vpn, 0));
+    return node->leaves.count(leaf_idx) != 0;
+}
+
+PageTable::Node *
+PageTable::findLeafNode(Vpn vpn) const
+{
+    const Node *node = &root_;
+    for (unsigned depth = 0; depth < levels_ - 1; ++depth) {
+        unsigned level = levels_ - 1 - depth;
+        auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
+        auto it = node->children.find(idx);
+        if (it == node->children.end())
+            return nullptr;
+        node = it->second.get();
+    }
+    return const_cast<Node *>(node);
+}
+
+WalkPath
+PageTable::walk(Vpn vpn, bool allocate)
+{
+    if (format_ == PageTableFormat::Hashed)
+        return walkHashed(vpn, allocate);
+    if (allocate && !isMapped(vpn))
+        mapPage(vpn);
+
+    WalkPath path;
+    path.levels = levels_;
+    const Node *node = &root_;
+    for (unsigned depth = 0; depth < levels_; ++depth) {
+        unsigned level = levels_ - 1 - depth;
+        auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
+        path.entryAddr[depth] =
+            (node->frame << pageShift) + idx * pteBytes;
+        if (depth == levels_ - 1) {
+            auto it = node->leaves.find(idx);
+            if (it != node->leaves.end()) {
+                path.pfn = it->second;
+                path.mapped = true;
+            }
+            break;
+        }
+        if (level == 1) {
+            // A PD entry can be a 2MB leaf (Section 4.3).
+            auto lit = node->largeLeaves.find(idx);
+            if (lit != node->largeLeaves.end()) {
+                path.pfn = lit->second +
+                           (vpn & (pagesPerLargePage - 1));
+                path.mapped = true;
+                path.large = true;
+                path.levels = depth + 1;  // walk ends at the PD
+                break;
+            }
+        }
+        auto it = node->children.find(idx);
+        if (it == node->children.end()) {
+            // Walk terminates early: the interior entry is absent.
+            // Entry addresses below this level stay zero and
+            // path.mapped stays false.
+            break;
+        }
+        node = it->second.get();
+    }
+    return path;
+}
+
+std::array<Vpn, ptesPerLine>
+PageTable::lineNeighbors(Vpn vpn, unsigned *count) const
+{
+    std::array<Vpn, ptesPerLine> out{};
+    unsigned n = 0;
+    if (format_ == PageTableFormat::Hashed) {
+        // Clustered hashing keeps an aligned 8-page group in one
+        // bucket line, so the locality property is identical.
+        Vpn group_base = vpn & ~static_cast<Vpn>(ptesPerLine - 1);
+        for (unsigned i = 0; i < ptesPerLine; ++i) {
+            Vpn cand = group_base + i;
+            if (hashedLeaves_.count(cand))
+                out[n++] = cand;
+        }
+        *count = n;
+        return out;
+    }
+    // The leaf PTE of vpn sits at byte (vpn & 511) * 8 of its PT
+    // frame; the 8 PTEs in its 64-byte line cover the aligned group
+    // of 8 virtually contiguous pages.
+    Vpn group_base = vpn & ~static_cast<Vpn>(ptesPerLine - 1);
+    const Node *node = findLeafNode(vpn);
+    if (node) {
+        for (unsigned i = 0; i < ptesPerLine; ++i) {
+            Vpn cand = group_base + i;
+            auto idx = static_cast<std::uint32_t>(radixIndex(cand, 0));
+            if (node->leaves.count(idx))
+                out[n++] = cand;
+        }
+    }
+    *count = n;
+    return out;
+}
+
+} // namespace morrigan

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * x86-64 style 4-level radix page table.
+ *
+ * The table is modelled structurally: each node occupies a physical
+ * frame, and each entry within a node has a real physical byte
+ * address (frame base + index * 8). That gives the walker concrete
+ * addresses to push through the cache hierarchy, and it makes the
+ * "page table locality" property emerge naturally: the leaf PTEs of
+ * 8 virtually contiguous pages share one 64-byte cache line.
+ */
+
+#ifndef MORRIGAN_VM_PAGE_TABLE_HH
+#define MORRIGAN_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/phys_mem.hh"
+
+namespace morrigan
+{
+
+/** Page table organisation (Section 4.3). */
+enum class PageTableFormat : std::uint8_t
+{
+    /** x86-64 multi-level radix tree (default). */
+    Radix,
+    /**
+     * Hashed page table with clustered buckets (Yaniv & Tsafrir
+     * style): each 64-byte bucket holds the PTEs of one aligned
+     * 8-page group, so page table locality -- the property IRIP and
+     * SDP exploit for free spatial prefetches -- is preserved, and a
+     * walk needs one memory reference per probed bucket.
+     */
+    Hashed,
+};
+
+/** Addresses touched by a full root-to-leaf traversal. */
+struct WalkPath
+{
+    /**
+     * Physical byte address of the page table entry read at each
+     * level; index 0 is the root entry, index levels-1 the leaf PTE.
+     */
+    std::array<Addr, maxPageTableLevels> entryAddr{};
+
+    /** Number of radix levels in the traversal (4 or 5). */
+    unsigned levels = pageTableLevels;
+
+    /** Translation result. */
+    Pfn pfn = 0;
+
+    /** Whether the VPN was mapped at the time of the walk. */
+    bool mapped = false;
+
+    /** The mapping is a 2MB large page (leaf at the PD level). */
+    bool large = false;
+};
+
+/**
+ * The OS-managed page table for one address space.
+ *
+ * Mappings are created either up front (mapRange -- the loaded binary
+ * image / pre-touched heap) or on first demand access (allocate-on-
+ * fault). Prefetch walks never create mappings: prefetches are
+ * speculative, so only non-faulting prefetches are permitted
+ * (Section 2.1).
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param phys Frame allocator.
+     * @param parent Statistics parent.
+     * @param levels Radix depth: 4 (default x86-64) or 5 (LA57,
+     * Section 4.3 -- the extra level lengthens cold walks, which the
+     * paper notes can increase Morrigan's gains).
+     */
+    explicit PageTable(PhysMem &phys, StatGroup *parent = nullptr,
+                       unsigned levels = pageTableLevels,
+                       PageTableFormat format = PageTableFormat::Radix);
+
+    /** Radix depth of this table. */
+    unsigned levels() const { return levels_; }
+
+    /** Table organisation. */
+    PageTableFormat format() const { return format_; }
+
+    /** Hash-probe chain lengths observed (hashed format only). */
+    std::uint64_t hashProbes() const { return hashProbes_; }
+
+    /** Pre-map a contiguous range of virtual pages. */
+    void mapRange(Vpn start, std::uint64_t count);
+
+    /** Map one page if not already mapped. @return true if new. */
+    bool mapPage(Vpn vpn);
+
+    /**
+     * Map the 2MB large page containing @p vpn (leaf entry at the PD
+     * level, Section 4.3's multiple-page-size support). The region
+     * must not already contain 4KB mappings. Radix format only.
+     * @return true if newly mapped.
+     */
+    bool mapLargePage(Vpn vpn);
+
+    /** Pre-map a range with 2MB pages (THP-style data mapping). */
+    void mapLargeRange(Vpn start, std::uint64_t count_4k);
+
+    /** Whether a translation exists. */
+    bool isMapped(Vpn vpn) const;
+
+    /**
+     * Traverse root to leaf.
+     *
+     * @param vpn Page to translate.
+     * @param allocate Allocate a mapping if absent (demand fault
+     * semantics); with allocate == false an unmapped page yields
+     * path.mapped == false and only the entry addresses of the levels
+     * that exist are meaningful.
+     */
+    WalkPath walk(Vpn vpn, bool allocate);
+
+    /**
+     * VPNs whose leaf PTEs share the 64-byte cache line with @p vpn's
+     * leaf PTE (including @p vpn itself). Only mapped VPNs are
+     * returned. This is the source of the "free" spatial prefetches
+     * IRIP and SDP exploit.
+     */
+    std::array<Vpn, ptesPerLine> lineNeighbors(Vpn vpn,
+                                               unsigned *count) const;
+
+    std::uint64_t mappedPages() const { return mappedPages_.value(); }
+
+  private:
+    struct Node
+    {
+        Pfn frame = 0;
+        /** Interior children, keyed by radix index. */
+        std::unordered_map<std::uint32_t, std::unique_ptr<Node>>
+            children;
+        /** Leaf translations (only used at the PT level). */
+        std::unordered_map<std::uint32_t, Pfn> leaves;
+        /** 2MB leaf translations (only used at the PD level). */
+        std::unordered_map<std::uint32_t, Pfn> largeLeaves;
+    };
+
+    Node *findLeafNode(Vpn vpn) const;
+    WalkPath walkHashed(Vpn vpn, bool allocate);
+    /** Bucket index for a group, probing linearly from its hash;
+     * returns the capacity if absent and allocate is false. */
+    std::uint64_t findBucket(Vpn group, bool allocate,
+                             unsigned *probes);
+
+    PhysMem &phys_;
+    unsigned levels_;
+    PageTableFormat format_;
+    Node root_;
+
+    // --- hashed-format state ---
+    /** Bucket occupancy: group key per bucket; ~0 when free. */
+    std::vector<Vpn> buckets_;
+    /** Base physical frame of the hashed table array. */
+    Pfn hashBase_ = 0;
+    /** Leaf translations for the hashed format. */
+    std::unordered_map<Vpn, Pfn> hashedLeaves_;
+    std::uint64_t hashProbes_ = 0;
+    StatGroup stats_;
+    Counter mappedPages_;
+    Counter tableFrames_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_VM_PAGE_TABLE_HH

@@ -1,0 +1,40 @@
+#include "phys_mem.hh"
+
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+PhysMem::PhysMem(std::uint64_t total_frames, std::uint64_t scatter_seed)
+    : totalFrames_(total_frames), scatterSeed_(scatter_seed)
+{
+    fatal_if(total_frames == 0, "empty physical memory");
+}
+
+Pfn
+PhysMem::allocFrame()
+{
+    fatal_if(next_ >= totalFrames_, "out of physical memory "
+             "(%llu frames)",
+             static_cast<unsigned long long>(totalFrames_));
+    std::uint64_t seq = next_++;
+    if (scatterSeed_ == 0)
+        return seq;
+    // Feistel-free scatter: multiply by an odd constant mod 2^k over
+    // the frame space rounded to a power of two, retrying values that
+    // land outside the real space. Deterministic and collision-free.
+    std::uint64_t space = totalFrames_;
+    std::uint64_t pow2 = 1;
+    while (pow2 < space)
+        pow2 <<= 1;
+    std::uint64_t mask = pow2 - 1;
+    std::uint64_t mult = (scatterSeed_ * 2 + 1) | 0x9e3779b9ULL;
+    mult |= 1;  // odd => bijective mod 2^k
+    std::uint64_t x = seq;
+    do {
+        x = (x * mult + scatterSeed_) & mask;
+    } while (x >= space);
+    return x;
+}
+
+} // namespace morrigan

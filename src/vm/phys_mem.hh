@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Physical frame allocator.
+ *
+ * Frames are handed out from a bounded physical address space with a
+ * deterministic scatter so that consecutive allocations do not map to
+ * consecutive frames (no accidental physical contiguity -- the paper
+ * stresses that physical contiguity is *not* guaranteed in servers,
+ * which is why Morrigan relies only on virtual contiguity).
+ */
+
+#ifndef MORRIGAN_VM_PHYS_MEM_HH
+#define MORRIGAN_VM_PHYS_MEM_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace morrigan
+{
+
+/** Allocates 4KB physical frames. */
+class PhysMem
+{
+  public:
+    /**
+     * @param total_frames Size of the physical space in frames.
+     * @param scatter_seed Seed for the frame-scatter permutation;
+     * pass 0 for sequential allocation (useful in tests).
+     */
+    explicit PhysMem(std::uint64_t total_frames = 1ULL << 22,
+                     std::uint64_t scatter_seed = 1);
+
+    /** Allocate a fresh frame; frames are never freed. */
+    Pfn allocFrame();
+
+    std::uint64_t framesAllocated() const { return next_; }
+    std::uint64_t totalFrames() const { return totalFrames_; }
+
+  private:
+    std::uint64_t totalFrames_;
+    std::uint64_t next_ = 0;
+    std::uint64_t scatterSeed_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_VM_PHYS_MEM_HH

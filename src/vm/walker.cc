@@ -1,0 +1,125 @@
+#include "walker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+PageTableWalker::PageTableWalker(const WalkerParams &params,
+                                 PageTable &table, MemoryHierarchy &mem,
+                                 StatGroup *parent)
+    : params_(params), table_(table), mem_(mem),
+      psc_(params.psc, parent),
+      stats_("walker", parent),
+      demandWalks_(&stats_, "demand_walks", "demand page walks"),
+      prefetchWalks_(&stats_, "prefetch_walks", "prefetch page walks"),
+      demandMemRefs_(&stats_, "demand_mem_refs",
+                     "memory references by demand walks"),
+      prefetchMemRefs_(&stats_, "prefetch_mem_refs",
+                       "memory references by prefetch walks"),
+      droppedPrefetchWalks_(&stats_, "dropped_prefetch_walks",
+                            "non-faulting prefetches to unmapped pages"),
+      demandLatency_(&stats_, "demand_latency",
+                     "demand walk latency (cycles)"),
+      prefetchLatency_(&stats_, "prefetch_latency",
+                       "prefetch walk latency (cycles)")
+{
+    fatal_if(params_.ports == 0, "walker needs at least one port");
+    portBusyUntil_.assign(params_.ports, 0);
+}
+
+Cycle
+PageTableWalker::earliestStart(Cycle now) const
+{
+    Cycle freest =
+        *std::min_element(portBusyUntil_.begin(), portBusyUntil_.end());
+    return std::max(now, freest);
+}
+
+WalkResult
+PageTableWalker::walk(Vpn vpn, WalkKind kind, Cycle now, bool allocate)
+{
+    panic_if(kind == WalkKind::Prefetch && allocate,
+             "prefetch walks must be non-faulting");
+
+    WalkResult res;
+    res.startCycle = earliestStart(now);
+
+    WalkPath path = table_.walk(vpn, allocate);
+    bool hashed = table_.format() == PageTableFormat::Hashed;
+    unsigned refs_needed;
+    if (hashed) {
+        // A hashed table has no partial translations to cache: the
+        // walk is the probe chain itself (usually one reference).
+        refs_needed = path.levels;
+    } else {
+        refs_needed = psc_.lookupRefsNeeded(vpn);
+        // The PSC caches the bottom three interior levels; a full
+        // PSC miss walks every level of the (possibly 5-level) tree.
+        if (refs_needed == pageTableLevels)
+            refs_needed = path.levels;
+    }
+
+    if (!path.mapped && kind == WalkKind::Prefetch) {
+        // Non-faulting prefetch to an unmapped page: the walker
+        // discovers the absent entry part-way down and drops the
+        // request. Charge only the references actually performed:
+        // entryAddr slots below the absent entry are zero.
+        ++droppedPrefetchWalks_;
+    }
+
+    Cycle access_latency = 0;
+    Cycle max_ref_latency = 0;
+    unsigned first_level = path.levels - refs_needed;
+    for (unsigned depth = first_level; depth < path.levels;
+         ++depth) {
+        if (path.entryAddr[depth] == 0 && depth > 0) {
+            // Traversal ended early at an absent interior entry.
+            break;
+        }
+        MemAccessResult mr = mem_.walkerAccess(path.entryAddr[depth]);
+        ++res.memRefs;
+        ++res.refsByLevel[static_cast<unsigned>(mr.servedBy)];
+        access_latency += mr.latency;
+        max_ref_latency = std::max(max_ref_latency, mr.latency);
+    }
+
+    // ASAP overlaps the serialized chain: only the slowest reference
+    // remains on the critical path.
+    Cycle chain = params_.asap ? max_ref_latency : access_latency;
+    Cycle duration = (hashed ? 0 : psc_.latency()) + chain;
+
+    res.completeCycle = res.startCycle + duration;
+    res.latency = res.completeCycle - now;
+    res.success = path.mapped;
+    res.pfn = path.pfn;
+    res.large = path.large;
+    res.basePfn = path.large
+                      ? path.pfn - (vpn & (pagesPerLargePage - 1))
+                      : path.pfn;
+
+    // Occupy the freest port for the walk's duration.
+    auto port = std::min_element(portBusyUntil_.begin(),
+                                 portBusyUntil_.end());
+    *port = res.completeCycle;
+
+    if (path.mapped && !hashed)
+        psc_.fill(vpn);
+
+    if (kind == WalkKind::Demand) {
+        ++demandWalks_;
+        demandMemRefs_ += res.memRefs;
+        demandLatency_.sample(static_cast<double>(res.latency));
+    } else {
+        ++prefetchWalks_;
+        prefetchMemRefs_ += res.memRefs;
+        prefetchLatency_.sample(static_cast<double>(res.latency));
+        for (unsigned i = 0; i < 4; ++i)
+            prefetchRefsByLevel_[i] += res.refsByLevel[i];
+    }
+    return res;
+}
+
+} // namespace morrigan

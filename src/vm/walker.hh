@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Hardware page table walker.
+ *
+ * On an STLB (or prefetch-buffer) miss, the walker traverses the
+ * radix page table. The split PSC short-circuits upper levels; each
+ * remaining level issues one reference into the cache hierarchy via
+ * the data path. References are serialized -- the address of each
+ * level's entry depends on the previous level's contents -- which is
+ * exactly why page walks are long-latency events (tens to hundreds of
+ * cycles) and why iSTLB misses stall the frontend.
+ *
+ * A small number of walker ports is shared by demand and prefetch
+ * walks; prefetch walks therefore consume real walker bandwidth and
+ * can delay demand walks (the effect behind the FNL+MMA degradation
+ * in Section 3.5).
+ *
+ * The optional ASAP mode models Prefetched Address Translation
+ * (Margaritov et al., MICRO'19): the non-leaf references of a walk
+ * are fetched ahead of time, so the serialized chain collapses to the
+ * slowest single reference.
+ */
+
+#ifndef MORRIGAN_VM_WALKER_HH
+#define MORRIGAN_VM_WALKER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/memory_hierarchy.hh"
+#include "vm/page_table.hh"
+#include "vm/psc.hh"
+
+namespace morrigan
+{
+
+/** Static configuration of the walker. */
+struct WalkerParams
+{
+    /** Concurrent walks in flight (Table 1: 4-entry STLB MSHR). */
+    std::uint32_t ports = 4;
+    /** Model ASAP-style page-walk prefetching. */
+    bool asap = false;
+    PscParams psc{};
+};
+
+/** Outcome of one page walk. */
+struct WalkResult
+{
+    /** Translation obtained (false only for non-faulting prefetches
+     * to unmapped pages, which are dropped). */
+    bool success = false;
+    /** Frame of the referenced 4KB page. */
+    Pfn pfn = 0;
+    /** Translation is a 2MB large page; basePfn is the group base. */
+    bool large = false;
+    Pfn basePfn = 0;
+    /** Cycle the walk actually started (>= request time if the
+     * walker was busy). */
+    Cycle startCycle = 0;
+    /** Cycle the walk completed. */
+    Cycle completeCycle = 0;
+    /** completeCycle - request time; includes port queueing. */
+    Cycle latency = 0;
+    /** References issued into the memory hierarchy. */
+    unsigned memRefs = 0;
+    /** memRefs broken down by serving level (MemLevel index). */
+    std::array<unsigned, 4> refsByLevel{};
+};
+
+/** The page table walker. */
+class PageTableWalker
+{
+  public:
+    PageTableWalker(const WalkerParams &params, PageTable &table,
+                    MemoryHierarchy &mem, StatGroup *parent = nullptr);
+
+    /**
+     * Perform a page walk.
+     *
+     * @param vpn Virtual page to translate.
+     * @param kind Demand or prefetch (stats + fault policy).
+     * @param now Request cycle.
+     * @param allocate Allocate-on-fault (demand semantics); prefetch
+     * walks must pass false so they stay non-faulting.
+     */
+    WalkResult walk(Vpn vpn, WalkKind kind, Cycle now, bool allocate);
+
+    /** Earliest cycle a new walk could start if requested at @p now. */
+    Cycle earliestStart(Cycle now) const;
+
+    PageStructureCache &psc() { return psc_; }
+
+    std::uint64_t demandWalks() const { return demandWalks_.value(); }
+    std::uint64_t prefetchWalks() const
+    {
+        return prefetchWalks_.value();
+    }
+    std::uint64_t demandMemRefs() const
+    {
+        return demandMemRefs_.value();
+    }
+    std::uint64_t prefetchMemRefs() const
+    {
+        return prefetchMemRefs_.value();
+    }
+    /** Prefetch-walk refs by serving hierarchy level. */
+    std::uint64_t
+    prefetchRefsAtLevel(MemLevel level) const
+    {
+        return prefetchRefsByLevel_[static_cast<unsigned>(level)];
+    }
+    double
+    meanDemandWalkLatency() const
+    {
+        return demandLatency_.mean();
+    }
+
+  private:
+    WalkerParams params_;
+    PageTable &table_;
+    MemoryHierarchy &mem_;
+    PageStructureCache psc_;
+    std::vector<Cycle> portBusyUntil_;
+
+    StatGroup stats_;
+    Counter demandWalks_;
+    Counter prefetchWalks_;
+    Counter demandMemRefs_;
+    Counter prefetchMemRefs_;
+    Counter droppedPrefetchWalks_;
+    Distribution demandLatency_;
+    Distribution prefetchLatency_;
+    std::array<std::uint64_t, 4> prefetchRefsByLevel_{};
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_VM_WALKER_HH

@@ -1,0 +1,196 @@
+/** @file Unit tests for the prior dSTLB prefetchers (SP/ASP/DP/MP). */
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_prefetchers.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+std::vector<PrefetchRequest>
+miss(TlbPrefetcher &p, Vpn vpn, Addr pc = 0, unsigned tid = 0)
+{
+    std::vector<PrefetchRequest> out;
+    p.onInstrStlbMiss(vpn, pc, tid, out);
+    return out;
+}
+
+} // namespace
+
+TEST(Sequential, PrefetchesNextPage)
+{
+    SequentialPrefetcher sp;
+    auto out = miss(sp, 0x100);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vpn, 0x101u);
+    EXPECT_FALSE(out[0].spatial);
+}
+
+TEST(Stride, RequiresConfirmedStride)
+{
+    StridePrefetcher asp(128, 8);
+    Addr pc = 0x4000;
+    EXPECT_TRUE(miss(asp, 100, pc).empty());  // allocate
+    EXPECT_TRUE(miss(asp, 110, pc).empty());  // learn stride 10
+    auto out = miss(asp, 120, pc);            // confirm
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vpn, 130u);
+}
+
+TEST(Stride, BrokenStrideStopsPrefetching)
+{
+    StridePrefetcher asp(128, 8);
+    Addr pc = 0x4000;
+    miss(asp, 100, pc);
+    miss(asp, 110, pc);
+    miss(asp, 120, pc);
+    EXPECT_TRUE(miss(asp, 500, pc).empty());  // stride broke
+}
+
+TEST(Stride, NegativeStrideWorks)
+{
+    StridePrefetcher asp(128, 8);
+    Addr pc = 0x8;
+    miss(asp, 100, pc);
+    miss(asp, 90, pc);
+    auto out = miss(asp, 80, pc);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vpn, 70u);
+}
+
+TEST(Stride, DistinctPcsTrackedSeparately)
+{
+    StridePrefetcher asp(128, 8);
+    miss(asp, 100, 0x10);
+    miss(asp, 200, 0x20);
+    miss(asp, 110, 0x10);
+    auto out = miss(asp, 120, 0x10);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vpn, 130u);
+}
+
+TEST(Distance, LearnsDistanceChains)
+{
+    DistancePrefetcher dp(128, 8);
+    // Misses 10, 20, 30: distances 10 -> 10. After training, a miss
+    // at distance 10 predicts the next distance 10.
+    miss(dp, 10);
+    miss(dp, 20);
+    miss(dp, 30);
+    auto out = miss(dp, 40);
+    ASSERT_GE(out.size(), 1u);
+    EXPECT_EQ(out[0].vpn, 50u);
+}
+
+TEST(Distance, AlternatingPattern)
+{
+    DistancePrefetcher dp(128, 8);
+    // Pattern +5, +3, +5, +3: after distance 5 comes 3 and after 3
+    // comes 5.
+    Vpn v = 100;
+    miss(dp, v);
+    v += 5; miss(dp, v);
+    v += 3; miss(dp, v);
+    v += 5; miss(dp, v);
+    v += 3;
+    auto out = miss(dp, v);  // current distance 3 -> predict +5
+    bool found = false;
+    for (const auto &r : out)
+        found |= r.vpn == v + 5;
+    EXPECT_TRUE(found);
+}
+
+TEST(Markov, RemembersSuccessors)
+{
+    MarkovPrefetcher mp(128, 8, 2);
+    miss(mp, 1);
+    miss(mp, 2);   // trains 1 -> 2
+    miss(mp, 1);
+    auto out = miss(mp, 1);  // 1 -> 1 trains; lookup of 1
+    // After visiting 1 again, its successor list contains 2 (and 1).
+    bool found = false;
+    for (const auto &r : out)
+        found |= r.vpn == 2;
+    EXPECT_TRUE(found);
+}
+
+TEST(Markov, SlotLimitKeepsMostRecent)
+{
+    MarkovPrefetcher mp(128, 8, 2);
+    // Successors of page 1: 2, then 3, then 4 => slots keep {4, 3}.
+    miss(mp, 1); miss(mp, 2);
+    miss(mp, 1); miss(mp, 3);
+    miss(mp, 1); miss(mp, 4);
+    auto out = miss(mp, 1);
+    std::vector<Vpn> preds;
+    for (const auto &r : out)
+        preds.push_back(r.vpn);
+    EXPECT_EQ(preds.size(), 2u);
+    EXPECT_NE(std::find(preds.begin(), preds.end(), 4), preds.end());
+    EXPECT_NE(std::find(preds.begin(), preds.end(), 3), preds.end());
+    EXPECT_EQ(std::find(preds.begin(), preds.end(), 2), preds.end());
+}
+
+TEST(Markov, UnboundedKeepsEverySuccessor)
+{
+    MarkovPrefetcher mp(0, 0, 0);
+    EXPECT_TRUE(mp.unbounded());
+    for (Vpn succ = 2; succ < 12; ++succ) {
+        miss(mp, 1);
+        miss(mp, succ);
+    }
+    auto out = miss(mp, 1);
+    // 10 distinct successors plus possibly page 1 itself from
+    // succ -> 1 transitions.
+    EXPECT_GE(out.size(), 10u);
+}
+
+TEST(Markov, BoundedTableEvicts)
+{
+    MarkovPrefetcher mp(8, 8, 2);
+    for (Vpn v = 0; v < 64; v += 2) {
+        miss(mp, v);
+        miss(mp, v + 1);
+    }
+    // Early pages have been evicted from the 8-entry table.
+    auto out = miss(mp, 0);
+    (void)out;
+    SUCCEED();  // behavioural: no crash, bounded memory
+}
+
+TEST(Markov, ContextSwitchClears)
+{
+    MarkovPrefetcher mp(128, 8, 2);
+    miss(mp, 1);
+    miss(mp, 2);
+    mp.onContextSwitch();
+    auto out = miss(mp, 1);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Baselines, StorageBitsSane)
+{
+    StridePrefetcher asp(128, 8);
+    DistancePrefetcher dp(128, 8);
+    MarkovPrefetcher mp(128, 8, 2);
+    MarkovPrefetcher unbounded(0, 0, 0);
+    EXPECT_GT(asp.storageBits(), 0u);
+    EXPECT_GT(dp.storageBits(), 0u);
+    EXPECT_GT(mp.storageBits(), 0u);
+    EXPECT_EQ(unbounded.storageBits(), 0u);
+    EXPECT_EQ(SequentialPrefetcher{}.storageBits(), 0u);
+}
+
+TEST(Baselines, SmtThreadsKeepSeparateHistory)
+{
+    MarkovPrefetcher mp(128, 8, 2);
+    miss(mp, 1, 0, 0);
+    miss(mp, 100, 0, 1);  // thread 1 must not train 1 -> 100
+    miss(mp, 2, 0, 0);    // thread 0 trains 1 -> 2
+    miss(mp, 1, 0, 0);
+    auto out = miss(mp, 1, 0, 0);
+    for (const auto &r : out)
+        EXPECT_NE(r.vpn, 100u);
+}

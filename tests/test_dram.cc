@@ -1,0 +1,55 @@
+/** @file Unit tests for the DRAM latency model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_model.hh"
+
+using namespace morrigan;
+
+TEST(Dram, FirstAccessIsRowConflict)
+{
+    DramModel d(DramParams{});
+    Cycle lat = d.access(0);
+    EXPECT_EQ(lat, 3 * DramParams{}.tParam);
+    EXPECT_EQ(d.rowConflicts(), 1u);
+}
+
+TEST(Dram, SameRowHitsAreCheaper)
+{
+    DramParams p;
+    DramModel d(p);
+    d.access(0);
+    Cycle hit = d.access(64);  // same row
+    EXPECT_EQ(hit, p.tParam);
+    EXPECT_EQ(d.rowHits(), 1u);
+}
+
+TEST(Dram, DifferentRowSameBankConflicts)
+{
+    DramParams p;
+    DramModel d(p);
+    d.access(0);
+    // Same bank, different row: rows are striped across banks, so
+    // row r and row r + banks share a bank.
+    Addr conflict_addr = static_cast<Addr>(p.rowBytes) * p.banks;
+    Cycle lat = d.access(conflict_addr);
+    EXPECT_EQ(lat, 3 * p.tParam);
+}
+
+TEST(Dram, BanksAreIndependent)
+{
+    DramParams p;
+    DramModel d(p);
+    d.access(0);                       // opens bank 0
+    d.access(p.rowBytes);              // opens bank 1
+    EXPECT_EQ(d.access(0), p.tParam);  // bank 0 row still open
+}
+
+TEST(Dram, StreamingIsMostlyRowHits)
+{
+    DramParams p;
+    DramModel d(p);
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        d.access(a);
+    EXPECT_GT(d.rowHits(), d.rowConflicts() * 10);
+}

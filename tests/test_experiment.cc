@@ -1,0 +1,84 @@
+/** @file Unit tests for the experiment-runner helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/prefetcher_factory.hh"
+#include "sim/experiment.hh"
+
+using namespace morrigan;
+
+TEST(Experiment, SpeedupPctMath)
+{
+    SimResult base, opt;
+    base.ipc = 1.0;
+    opt.ipc = 1.076;
+    EXPECT_NEAR(speedupPct(base, opt), 7.6, 1e-9);
+    opt.ipc = 0.9;
+    EXPECT_NEAR(speedupPct(base, opt), -10.0, 1e-9);
+}
+
+TEST(Experiment, GeomeanSpeedup)
+{
+    std::vector<SimResult> base(2), opt(2);
+    base[0].ipc = 1.0;
+    base[1].ipc = 2.0;
+    opt[0].ipc = 1.1;
+    opt[1].ipc = 2.2;
+    EXPECT_NEAR(geomeanSpeedupPct(base, opt), 10.0, 1e-6);
+}
+
+TEST(Experiment, BenchScaleQuickDefaults)
+{
+    unsetenv("MORRIGAN_FULL");
+    BenchScale s = benchScale(45);
+    EXPECT_FALSE(s.full);
+    EXPECT_LE(s.numWorkloads, 45u);
+    EXPECT_GT(s.simInstructions, 0u);
+}
+
+TEST(Experiment, BenchScaleFullMode)
+{
+    setenv("MORRIGAN_FULL", "1", 1);
+    BenchScale s = benchScale(45);
+    EXPECT_TRUE(s.full);
+    EXPECT_EQ(s.numWorkloads, 45u);
+    unsetenv("MORRIGAN_FULL");
+}
+
+TEST(Factory, RoundTripNames)
+{
+    for (const char *name :
+         {"none", "sp", "asp", "dp", "mp", "mp-iso", "mp-unbounded2",
+          "mp-unbounded", "morrigan", "morrigan-mono"}) {
+        PrefetcherKind k = prefetcherKindFromName(name);
+        auto p = makePrefetcher(k);
+        if (k == PrefetcherKind::None)
+            EXPECT_EQ(p, nullptr);
+        else
+            EXPECT_NE(p, nullptr);
+    }
+}
+
+TEST(Factory, MorriganHasPaperBudget)
+{
+    auto p = makePrefetcher(PrefetcherKind::Morrigan);
+    double kb = p->storageBits() / 8.0 / 1024.0;
+    EXPECT_NEAR(kb, 3.8, 0.3);
+}
+
+TEST(Factory, IsoMarkovMatchesMorriganBudget)
+{
+    auto morrigan = makePrefetcher(PrefetcherKind::Morrigan);
+    auto mp_iso = makePrefetcher(PrefetcherKind::MarkovIso);
+    double ratio = static_cast<double>(mp_iso->storageBits()) /
+                   static_cast<double>(morrigan->storageBits());
+    EXPECT_NEAR(ratio, 1.0, 0.15);
+}
+
+TEST(FactoryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(prefetcherKindFromName("bogus"),
+                ::testing::ExitedWithCode(1), "unknown prefetcher");
+}

@@ -1,0 +1,57 @@
+/** @file Unit tests for the RLFU frequency stack. */
+
+#include <gtest/gtest.h>
+
+#include "core/frequency_stack.hh"
+
+using namespace morrigan;
+
+TEST(FrequencyStack, CountsMisses)
+{
+    FrequencyStack fs(0);
+    fs.recordMiss(1);
+    fs.recordMiss(1);
+    fs.recordMiss(2);
+    EXPECT_EQ(fs.frequency(1), 2u);
+    EXPECT_EQ(fs.frequency(2), 1u);
+    EXPECT_EQ(fs.frequency(3), 0u);
+    EXPECT_EQ(fs.trackedPages(), 2u);
+}
+
+TEST(FrequencyStack, PeriodicResetAdaptsToPhases)
+{
+    FrequencyStack fs(4);
+    fs.recordMiss(1);
+    fs.recordMiss(1);
+    fs.recordMiss(1);
+    EXPECT_EQ(fs.frequency(1), 3u);
+    fs.recordMiss(1);  // 4th miss triggers the reset
+    EXPECT_EQ(fs.frequency(1), 0u);
+    EXPECT_EQ(fs.resets(), 1u);
+}
+
+TEST(FrequencyStack, ZeroIntervalNeverResets)
+{
+    FrequencyStack fs(0);
+    for (int i = 0; i < 100000; ++i)
+        fs.recordMiss(7);
+    EXPECT_EQ(fs.frequency(7), 100000u);
+    EXPECT_EQ(fs.resets(), 0u);
+}
+
+TEST(FrequencyStack, ClearDropsState)
+{
+    FrequencyStack fs(100);
+    fs.recordMiss(9);
+    fs.clear();
+    EXPECT_EQ(fs.frequency(9), 0u);
+    EXPECT_EQ(fs.trackedPages(), 0u);
+}
+
+TEST(FrequencyStack, ResetCountsAccumulate)
+{
+    FrequencyStack fs(2);
+    for (int i = 0; i < 10; ++i)
+        fs.recordMiss(1);
+    EXPECT_EQ(fs.resets(), 5u);
+}

@@ -1,0 +1,81 @@
+/** @file Unit tests for the miss-stream analyser (Figures 5-8). */
+
+#include <gtest/gtest.h>
+
+#include "workload/miss_stream_stats.hh"
+
+using namespace morrigan;
+
+TEST(MissStream, DeltaCdfExact)
+{
+    MissStreamStats ms;
+    ms.record(100);
+    ms.record(101);   // delta 1
+    ms.record(111);   // delta 10
+    ms.record(61);    // |delta| 50
+    EXPECT_EQ(ms.totalMisses(), 4u);
+    EXPECT_NEAR(ms.deltaCdfAt(1), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(ms.deltaCdfAt(10), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(ms.deltaCdfAt(50), 1.0, 1e-9);
+}
+
+TEST(MissStream, PagesCoveringFraction)
+{
+    MissStreamStats ms;
+    // Page 1 misses 8 times, page 2 once, page 3 once.
+    for (int i = 0; i < 8; ++i)
+        ms.record(1);
+    ms.record(2);
+    ms.record(3);
+    EXPECT_EQ(ms.pagesCoveringFraction(0.8), 1u);
+    EXPECT_EQ(ms.pagesCoveringFraction(0.9), 2u);
+    EXPECT_EQ(ms.pagesCoveringFraction(1.0), 3u);
+    EXPECT_EQ(ms.distinctPages(), 3u);
+}
+
+TEST(MissStream, SuccessorCountBuckets)
+{
+    MissStreamStats ms;
+    // Stream: 1 2 1 3 1 2 => page 1 has successors {2, 3}.
+    for (Vpn v : {1, 2, 1, 3, 1, 2})
+        ms.record(v);
+    EXPECT_NEAR(ms.successorCountFraction(1, 2), 1.0, 1e-9);
+    EXPECT_NEAR(ms.successorCountFraction(3, 8), 0.0, 1e-9);
+}
+
+TEST(MissStream, SuccessorProbabilityRanks)
+{
+    MissStreamStats ms;
+    // Page 1 -> 2 three times, 1 -> 3 once.
+    for (Vpn v : {1, 2, 1, 2, 1, 2, 1, 3})
+        ms.record(v);
+    // Rank 0 successor of page 1 is 2 with prob 3/4.
+    double r0 = ms.successorProbability(0, 1);
+    double r1 = ms.successorProbability(1, 1);
+    EXPECT_NEAR(r0, 0.75, 0.1);
+    EXPECT_NEAR(r1, 0.25, 0.1);
+    EXPECT_NEAR(ms.successorTailProbability(2, 1), 0.0, 0.1);
+}
+
+TEST(MissStream, EmptyStreamSafeDefaults)
+{
+    MissStreamStats ms;
+    EXPECT_EQ(ms.totalMisses(), 0u);
+    EXPECT_EQ(ms.deltaCdfAt(10), 0.0);
+    EXPECT_EQ(ms.pagesCoveringFraction(0.9), 0u);
+    EXPECT_EQ(ms.successorProbability(0), 0.0);
+}
+
+TEST(MissStream, PagesByMissCountSorted)
+{
+    MissStreamStats ms;
+    ms.record(5);
+    for (int i = 0; i < 3; ++i)
+        ms.record(7);
+    ms.record(5);
+    auto pages = ms.pagesByMissCount();
+    ASSERT_EQ(pages.size(), 2u);
+    EXPECT_EQ(pages[0].first, 7u);
+    EXPECT_EQ(pages[0].second, 3u);
+    EXPECT_EQ(pages[1].second, 2u);
+}

@@ -1,0 +1,161 @@
+/** @file Unit tests for the 4-level radix page table. */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "vm/page_table.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+struct Fixture
+{
+    PhysMem phys{1 << 20, 1};
+    PageTable pt{phys};
+};
+
+} // namespace
+
+TEST(PageTable, UnmappedByDefault)
+{
+    Fixture f;
+    EXPECT_FALSE(f.pt.isMapped(0x1234));
+}
+
+TEST(PageTable, MapPageThenMapped)
+{
+    Fixture f;
+    EXPECT_TRUE(f.pt.mapPage(0x1234));
+    EXPECT_FALSE(f.pt.mapPage(0x1234));  // already mapped
+    EXPECT_TRUE(f.pt.isMapped(0x1234));
+    EXPECT_EQ(f.pt.mappedPages(), 1u);
+}
+
+TEST(PageTable, MapRangeMapsAll)
+{
+    Fixture f;
+    f.pt.mapRange(0x1000, 64);
+    for (Vpn v = 0x1000; v < 0x1040; ++v)
+        EXPECT_TRUE(f.pt.isMapped(v));
+    EXPECT_FALSE(f.pt.isMapped(0x1040));
+}
+
+TEST(PageTable, WalkAllocates)
+{
+    Fixture f;
+    WalkPath p = f.pt.walk(0x777, true);
+    EXPECT_TRUE(p.mapped);
+    EXPECT_TRUE(f.pt.isMapped(0x777));
+}
+
+TEST(PageTable, NonAllocatingWalkOfUnmapped)
+{
+    Fixture f;
+    WalkPath p = f.pt.walk(0x888, false);
+    EXPECT_FALSE(p.mapped);
+    EXPECT_FALSE(f.pt.isMapped(0x888));
+}
+
+TEST(PageTable, WalkPathAddressesAreDistinctLevels)
+{
+    Fixture f;
+    f.pt.mapPage(0x42);
+    WalkPath p = f.pt.walk(0x42, false);
+    ASSERT_TRUE(p.mapped);
+    std::unordered_set<Addr> frames;
+    for (unsigned d = 0; d < pageTableLevels; ++d) {
+        EXPECT_NE(p.entryAddr[d], 0u);
+        frames.insert(p.entryAddr[d] >> pageShift);
+    }
+    // Four levels live in four distinct table frames.
+    EXPECT_EQ(frames.size(), pageTableLevels);
+}
+
+TEST(PageTable, LeafEntryAddressMatchesRadixIndex)
+{
+    Fixture f;
+    Vpn vpn = 0xABCDE;
+    f.pt.mapPage(vpn);
+    WalkPath p = f.pt.walk(vpn, false);
+    Addr leaf = p.entryAddr[pageTableLevels - 1];
+    EXPECT_EQ(pageOffset(leaf), radixIndex(vpn, 0) * pteBytes);
+}
+
+TEST(PageTable, ContiguousPagesShareLeafCacheLine)
+{
+    Fixture f;
+    // 8-aligned group of pages: their leaf PTEs pack one 64B line.
+    Vpn base = 0x5000;
+    f.pt.mapRange(base, 8);
+    WalkPath first = f.pt.walk(base, false);
+    for (unsigned i = 1; i < 8; ++i) {
+        WalkPath p = f.pt.walk(base + i, false);
+        EXPECT_EQ(lineOf(p.entryAddr[3]), lineOf(first.entryAddr[3]));
+    }
+    // The 9th page starts a new line.
+    f.pt.mapPage(base + 8);
+    WalkPath ninth = f.pt.walk(base + 8, false);
+    EXPECT_NE(lineOf(ninth.entryAddr[3]), lineOf(first.entryAddr[3]));
+}
+
+TEST(PageTable, LineNeighborsReturnsMappedGroup)
+{
+    Fixture f;
+    Vpn base = 0x6000;           // 8-aligned
+    f.pt.mapRange(base, 5);      // map only 5 of the 8 group pages
+    unsigned count = 0;
+    auto n = f.pt.lineNeighbors(base + 2, &count);
+    EXPECT_EQ(count, 5u);
+    for (unsigned i = 0; i < count; ++i) {
+        EXPECT_GE(n[i], base);
+        EXPECT_LT(n[i], base + 5);
+    }
+}
+
+TEST(PageTable, LineNeighborsOfUnmappedRegionIsEmpty)
+{
+    Fixture f;
+    unsigned count = 99;
+    f.pt.lineNeighbors(0x9999, &count);
+    EXPECT_EQ(count, 0u);
+}
+
+TEST(PageTable, DistinctPagesGetDistinctFrames)
+{
+    Fixture f;
+    f.pt.mapRange(0x100, 100);
+    std::unordered_set<Pfn> pfns;
+    for (Vpn v = 0x100; v < 0x164; ++v) {
+        WalkPath p = f.pt.walk(v, false);
+        EXPECT_TRUE(pfns.insert(p.pfn).second);
+    }
+}
+
+TEST(PageTable, TranslationIsStable)
+{
+    Fixture f;
+    f.pt.mapPage(0x321);
+    Pfn first = f.pt.walk(0x321, false).pfn;
+    Pfn second = f.pt.walk(0x321, true).pfn;
+    EXPECT_EQ(first, second);
+}
+
+TEST(PageTable, DistantRegionsUseDifferentInteriorNodes)
+{
+    Fixture f;
+    Vpn a = 0x1;
+    Vpn b = Vpn{1} << 30;        // different PML4 subtree
+    f.pt.mapPage(a);
+    f.pt.mapPage(b);
+    WalkPath pa = f.pt.walk(a, false);
+    WalkPath pb = f.pt.walk(b, false);
+    // Root frame is shared; the PDP entries live in the same root
+    // frame but the deeper entries diverge.
+    EXPECT_EQ(pa.entryAddr[0] >> pageShift,
+              pb.entryAddr[0] >> pageShift);
+    EXPECT_NE(pa.entryAddr[1] >> pageShift,
+              pb.entryAddr[1] >> pageShift);
+}

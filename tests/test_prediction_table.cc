@@ -1,0 +1,244 @@
+/** @file Unit tests for the IRIP prediction table (PRT). */
+
+#include <gtest/gtest.h>
+
+#include "core/prediction_table.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+struct Fixture
+{
+    FrequencyStack freq{0};  // no resets
+    Rng rng{1234};
+
+    PredictionTable
+    make(std::uint32_t entries, std::uint32_t ways,
+         std::uint32_t slots,
+         ReplacementPolicy pol = ReplacementPolicy::Rlfu)
+    {
+        return PredictionTable({"t", entries, ways, slots}, pol,
+                               freq, rng);
+    }
+};
+
+} // namespace
+
+TEST(Prt, InstallLookup)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 2);
+    t.install(0x100, {});
+    PrtEntry *e = t.lookup(0x100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->vpn, 0x100u);
+    EXPECT_EQ(e->slots.size(), 2u);
+    EXPECT_EQ(t.lookup(0x200), nullptr);
+}
+
+TEST(Prt, AddDistanceFillsFreeSlots)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 2);
+    t.install(1, {});
+    EXPECT_TRUE(t.addDistance(1, 5));
+    EXPECT_TRUE(t.addDistance(1, -3));
+    EXPECT_FALSE(t.addDistance(1, 7));  // full
+}
+
+TEST(Prt, AddExistingDistanceIsIdempotent)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 2);
+    t.install(1, {});
+    EXPECT_TRUE(t.addDistance(1, 5));
+    EXPECT_TRUE(t.addDistance(1, 5));  // already present: ok
+    PrtEntry *e = t.probe(1);
+    unsigned valid = 0;
+    for (const auto &s : e->slots)
+        valid += s.valid;
+    EXPECT_EQ(valid, 1u);
+}
+
+TEST(Prt, AddDistanceToAbsentEntryFails)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 2);
+    EXPECT_FALSE(t.addDistance(42, 1));
+}
+
+TEST(Prt, ReplaceMinConfidenceSlot)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 2);
+    t.install(1, {});
+    t.addDistance(1, 5);
+    t.addDistance(1, 9);
+    t.creditSlot(1, 5);  // slot(5) confidence 1, slot(9) confidence 0
+    EXPECT_TRUE(t.replaceMinConfidenceSlot(1, 77));
+    PrtEntry *e = t.probe(1);
+    bool has5 = false, has9 = false, has77 = false;
+    for (const auto &s : e->slots) {
+        if (!s.valid)
+            continue;
+        has5 |= s.distance == 5;
+        has9 |= s.distance == 9;
+        has77 |= s.distance == 77;
+    }
+    EXPECT_TRUE(has5);    // survived (higher confidence)
+    EXPECT_FALSE(has9);   // victimised
+    EXPECT_TRUE(has77);
+}
+
+TEST(Prt, CreditSaturatesAtTwoBits)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 1);
+    t.install(1, {});
+    t.addDistance(1, 3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(t.creditSlot(1, 3));
+    EXPECT_EQ(t.probe(1)->slots[0].confidence,
+              PredictionTable::confidenceMax);
+    EXPECT_FALSE(t.creditSlot(1, 99));  // unknown distance
+}
+
+TEST(Prt, EraseFreesEntry)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 1);
+    t.install(1, {});
+    EXPECT_EQ(t.population(), 1u);
+    EXPECT_TRUE(t.erase(1));
+    EXPECT_FALSE(t.erase(1));
+    EXPECT_EQ(t.population(), 0u);
+}
+
+TEST(Prt, TransferredSlotsSurviveInstall)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 4);
+    std::vector<PrtSlot> slots(2);
+    slots[0] = {10, 2, true};
+    slots[1] = {-4, 1, true};
+    t.install(7, slots);
+    PrtEntry *e = t.probe(7);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->slots.size(), 4u);  // resized to geometry
+    EXPECT_TRUE(e->slots[0].valid);
+    EXPECT_EQ(e->slots[0].distance, 10);
+    EXPECT_EQ(e->slots[0].confidence, 2u);
+    EXPECT_FALSE(e->slots[2].valid);
+}
+
+TEST(Prt, PartialTagAliasing)
+{
+    // Two VPNs engineered to share set and 16-bit folded tag behave
+    // as one entry -- the cost of partial tags the paper accepts.
+    Fixture f;
+    auto t = f.make(16, 4, 1);
+    t.install(0x50, {});
+    // Find an aliasing VPN: same set (low bits), same folded tag.
+    // With 4 sets, setShift = 2; tag = fold(vpn >> 2). An alias needs
+    // (vpn>>2) differing only above bit 47 -- out of practical range,
+    // so instead verify non-aliasing VPNs do NOT match.
+    EXPECT_EQ(t.probe(0x54), nullptr);
+    EXPECT_EQ(t.probe(0x50 + (1 << 10)), nullptr);
+}
+
+TEST(Prt, StorageBitsMatchFormula)
+{
+    Fixture f;
+    auto t = f.make(128, 32, 2);
+    EXPECT_EQ(t.storageBits(), 128u * (16 + 2 * (15 + 2)));
+}
+
+TEST(Prt, MaxDistanceConstant)
+{
+    EXPECT_EQ(PredictionTable::maxDistance, 16383);
+}
+
+/** Replacement policy behaviours over a full set. */
+class PrtPolicy : public ::testing::TestWithParam<ReplacementPolicy>
+{
+};
+
+TEST_P(PrtPolicy, VictimChosenFromSet)
+{
+    FrequencyStack freq{0};
+    Rng rng{7};
+    PredictionTable t({"t", 4, 4, 1}, GetParam(), freq, rng);
+    for (Vpn v = 0; v < 4; ++v)
+        t.install(v * 4, {});  // fully associative single set
+    EXPECT_EQ(t.population(), 4u);
+    t.install(100, {});
+    EXPECT_EQ(t.population(), 4u);  // someone was evicted
+    EXPECT_NE(t.probe(100), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PrtPolicy,
+    ::testing::Values(ReplacementPolicy::Lru, ReplacementPolicy::Random,
+                      ReplacementPolicy::Lfu, ReplacementPolicy::Rlfu));
+
+TEST(PrtPolicy, LfuProtectsFrequentEntries)
+{
+    FrequencyStack freq{0};
+    Rng rng{7};
+    PredictionTable t({"t", 4, 4, 1}, ReplacementPolicy::Lfu, freq,
+                      rng);
+    for (Vpn v = 1; v <= 4; ++v)
+        t.install(v, {});
+    // Page 1 misses often; pages 2-4 do not.
+    for (int i = 0; i < 50; ++i)
+        freq.recordMiss(1);
+    t.install(99, {});
+    EXPECT_NE(t.probe(1), nullptr);  // frequent entry survived
+}
+
+TEST(PrtPolicy, RlfuNeverEvictsTheHottestEntry)
+{
+    FrequencyStack freq{0};
+    Rng rng{7};
+    PredictionTable t({"t", 8, 8, 1}, ReplacementPolicy::Rlfu, freq,
+                      rng);
+    for (Vpn v = 1; v <= 8; ++v) {
+        t.install(v, {});
+        // Graded frequencies: page v missed v*10 times.
+        for (Vpn k = 0; k < v * 10; ++k)
+            freq.recordMiss(v);
+    }
+    // Many conflicting installs: the hottest pages (7, 8) must stay,
+    // since RLFU victimises only within the least-frequent quartile.
+    for (Vpn v = 100; v < 140; ++v)
+        t.install(v, {});
+    EXPECT_NE(t.probe(8), nullptr);
+    EXPECT_NE(t.probe(7), nullptr);
+}
+
+TEST(PrtPolicy, LruEvictsOldest)
+{
+    FrequencyStack freq{0};
+    Rng rng{7};
+    PredictionTable t({"t", 2, 2, 1}, ReplacementPolicy::Lru, freq,
+                      rng);
+    t.install(1, {});
+    t.install(2, {});
+    t.lookup(1);       // refresh 1
+    t.install(3, {});  // evicts 2
+    EXPECT_NE(t.probe(1), nullptr);
+    EXPECT_EQ(t.probe(2), nullptr);
+}
+
+TEST(Prt, FlushClearsEverything)
+{
+    Fixture f;
+    auto t = f.make(16, 4, 2);
+    t.install(1, {});
+    t.addDistance(1, 5);
+    t.flush();
+    EXPECT_EQ(t.population(), 0u);
+    EXPECT_EQ(t.probe(1), nullptr);
+}

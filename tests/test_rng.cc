@@ -1,0 +1,105 @@
+/** @file Unit tests for the deterministic PCG32 generator. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace morrigan;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next32() == b.next32();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiverge)
+{
+    Rng a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next32() == b.next32();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1u << 20}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.between(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_EQ(rng.between(4, 4), 4);
+    EXPECT_EQ(rng.between(9, 3), 9);  // degenerate range clamps to lo
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng rng(17);
+    const std::uint32_t bound = 10;
+    int counts[10] = {};
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(bound)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 50);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}

@@ -1,0 +1,72 @@
+/** @file Unit tests for saturating counters. */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace morrigan;
+
+TEST(SatCounter, DefaultTwoBit)
+{
+    SatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.max(), 3u);
+}
+
+TEST(SatCounter, SaturatesAtMax)
+{
+    SatCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesAtZero)
+{
+    SatCounter c(2, 1);
+    c.decrement();
+    c.decrement();
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(3);
+    c.set(100);
+    EXPECT_EQ(c.value(), 7u);
+    c.set(5);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(SatCounter, ResetZeroes)
+{
+    SatCounter c(4, 9);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, Comparison)
+{
+    SatCounter a(2, 1), b(2, 2);
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidths, MaxMatchesWidth)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    for (unsigned i = 0; i < c.max() + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));

@@ -1,0 +1,218 @@
+/** @file Integration tests: the full system end to end. */
+
+#include <gtest/gtest.h>
+
+#include "core/morrigan.hh"
+#include "sim/experiment.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.warmupInstructions = 150'000;
+    cfg.simInstructions = 500'000;
+    return cfg;
+}
+
+ServerWorkloadParams
+workload()
+{
+    return qmmWorkloadParams(0);
+}
+
+} // namespace
+
+TEST(Simulator, BaselineProducesSaneNumbers)
+{
+    SimResult r = runWorkload(quickConfig(), PrefetcherKind::None,
+                              workload());
+    EXPECT_GE(r.instructions, 500'000u);
+    EXPECT_LT(r.instructions, 500'020u);
+    EXPECT_GT(r.ipc, 0.1);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_GT(r.istlbMpki, 0.1);
+    EXPECT_GT(r.dstlbMpki, 0.5);
+    EXPECT_GT(r.demandWalkRefsInstr, 0u);
+    EXPECT_EQ(r.pbHits, 0u);       // no prefetcher
+    EXPECT_EQ(r.prefetchWalks, 0u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    SimResult a = runWorkload(quickConfig(), PrefetcherKind::Morrigan,
+                              workload());
+    SimResult b = runWorkload(quickConfig(), PrefetcherKind::Morrigan,
+                              workload());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.istlbMisses, b.istlbMisses);
+    EXPECT_EQ(a.pbHits, b.pbHits);
+}
+
+TEST(Simulator, MorriganCoversMissesAndSpeedsUp)
+{
+    SimResult base = runWorkload(quickConfig(), PrefetcherKind::None,
+                                 workload());
+    SimResult morr = runWorkload(quickConfig(),
+                                 PrefetcherKind::Morrigan, workload());
+    EXPECT_GT(morr.coverage, 0.15);
+    EXPECT_GT(morr.pbHits, 0u);
+    EXPECT_GT(speedupPct(base, morr), 0.0);
+    EXPECT_LT(morr.demandWalkRefsInstr, base.demandWalkRefsInstr);
+    EXPECT_GT(morr.prefetchWalkRefs, 0u);
+}
+
+TEST(Simulator, PerfectIstlbIsUpperBound)
+{
+    SimConfig cfg = quickConfig();
+    SimResult base = runWorkload(cfg, PrefetcherKind::None, workload());
+    cfg.perfectIstlb = true;
+    SimResult perfect = runWorkload(cfg, PrefetcherKind::None,
+                                    workload());
+    EXPECT_EQ(perfect.istlbMisses, 0u);
+    SimConfig mcfg = quickConfig();
+    SimResult morr = runWorkload(mcfg, PrefetcherKind::Morrigan,
+                                 workload());
+    EXPECT_GE(speedupPct(base, perfect) + 0.2,
+              speedupPct(base, morr));
+}
+
+TEST(Simulator, P2TlbPollutesStlb)
+{
+    SimConfig cfg = quickConfig();
+    SimResult pb_mode = runWorkload(cfg, PrefetcherKind::Morrigan,
+                                    workload());
+    cfg.prefetchIntoStlb = true;
+    SimResult p2tlb = runWorkload(cfg, PrefetcherKind::Morrigan,
+                                  workload());
+    // Prefetching directly into the STLB must not outperform the PB
+    // design (Figure 18 shows a large degradation).
+    EXPECT_LT(p2tlb.ipc, pb_mode.ipc * 1.01);
+    EXPECT_EQ(p2tlb.pbHits, 0u);
+}
+
+TEST(Simulator, AsapAcceleratesWalks)
+{
+    SimConfig cfg = quickConfig();
+    SimResult base = runWorkload(cfg, PrefetcherKind::None, workload());
+    cfg.walker.asap = true;
+    SimResult asap = runWorkload(cfg, PrefetcherKind::None, workload());
+    EXPECT_LT(asap.meanDemandWalkLatencyInstr,
+              base.meanDemandWalkLatencyInstr);
+    EXPECT_GE(speedupPct(base, asap), 0.0);
+}
+
+TEST(Simulator, FnlMmaIssuesCrossPagePrefetches)
+{
+    SimConfig cfg = quickConfig();
+    cfg.icachePref = ICachePrefKind::FnlMma;
+    SimResult r = runWorkload(cfg, PrefetcherKind::None, workload());
+    EXPECT_GT(r.icachePrefetches, 0u);
+    EXPECT_GT(r.icacheCrossPagePrefetches, 0u);
+    EXPECT_GT(r.prefetchWalks, 0u);  // translation cost modelled
+}
+
+TEST(Simulator, FnlMmaTranslationCostModes)
+{
+    SimConfig cfg = quickConfig();
+    cfg.icachePref = ICachePrefKind::FnlMma;
+    cfg.icacheTranslationCost = false;
+    SimResult free_xlat = runWorkload(cfg, PrefetcherKind::None,
+                                      workload());
+    // The IPC-1 idealisation performs no prefetch page walks and
+    // fills no PB entries.
+    EXPECT_EQ(free_xlat.prefetchWalks, 0u);
+    EXPECT_EQ(free_xlat.pbHits, 0u);
+
+    cfg.icacheTranslationCost = true;
+    SimResult paid_xlat = runWorkload(cfg, PrefetcherKind::None,
+                                      workload());
+    // With translation modelled, beyond-page prefetches consume
+    // walker bandwidth and stage PTEs in the PB (Section 3.5).
+    EXPECT_GT(paid_xlat.prefetchWalks, 0u);
+    EXPECT_GT(paid_xlat.pbHits, 0u);
+    // The PB covers only a minority of the demand misses
+    // (the paper measures ~29.6%).
+    EXPECT_LT(paid_xlat.coverage, 0.6);
+}
+
+TEST(Simulator, MorriganSynergyWithFnlMma)
+{
+    SimConfig cfg = quickConfig();
+    cfg.icachePref = ICachePrefKind::FnlMma;
+    SimResult alone = runWorkload(cfg, PrefetcherKind::None,
+                                  workload());
+    SimResult combo = runWorkload(cfg, PrefetcherKind::Morrigan,
+                                  workload());
+    // Some beyond-page-boundary prefetches find their translation in
+    // Morrigan's PB (Section 6.5's 51.7% effect).
+    EXPECT_GT(combo.icacheCrossPagePbHits, 0u);
+    EXPECT_GT(combo.ipc, alone.ipc);
+}
+
+TEST(Simulator, SmtRunsTwoWorkloads)
+{
+    SimConfig cfg = quickConfig();
+    ServerWorkloadParams a = qmmWorkloadParams(0);
+    ServerWorkloadParams b = qmmWorkloadParams(1);
+    SimResult r = runSmtPair(cfg, nullptr, a, b);
+    EXPECT_EQ(r.workload, "qmm_00+qmm_01");
+    EXPECT_GT(r.ipc, 0.05);
+    EXPECT_GT(r.istlbMisses, 0u);
+}
+
+TEST(Simulator, SmtColocationIncreasesPressure)
+{
+    SimConfig cfg = quickConfig();
+    SimResult solo = runWorkload(cfg, PrefetcherKind::None,
+                                 qmmWorkloadParams(0));
+    SimResult pair = runSmtPair(cfg, nullptr, qmmWorkloadParams(0),
+                                qmmWorkloadParams(1));
+    EXPECT_GT(pair.istlbMpki + pair.dstlbMpki,
+              solo.istlbMpki + solo.dstlbMpki);
+}
+
+TEST(Simulator, WalkRefAccountingConsistent)
+{
+    SimConfig cfg = quickConfig();
+    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+                              workload());
+    std::uint64_t by_level = 0;
+    for (auto v : r.prefetchWalkRefsByLevel)
+        by_level += v;
+    EXPECT_EQ(by_level, r.prefetchWalkRefs);
+}
+
+TEST(Simulator, StallFractionsAreFractions)
+{
+    SimResult r = runWorkload(quickConfig(), PrefetcherKind::None,
+                              workload());
+    EXPECT_GE(r.istlbCycleFraction, 0.0);
+    EXPECT_LE(r.istlbCycleFraction, 1.0);
+    EXPECT_LE(r.istlbCycleFraction + r.icacheCycleFraction +
+              r.dataCycleFraction, 1.0);
+}
+
+TEST(Simulator, SpecWorkloadsAreNotIstlbIntensive)
+{
+    SimResult spec = runWorkload(quickConfig(), PrefetcherKind::None,
+                                 specWorkloadParams(0));
+    EXPECT_LT(spec.istlbMpki, 0.5);  // below the paper's threshold
+}
+
+TEST(Simulator, MissStreamCollection)
+{
+    SimConfig cfg = quickConfig();
+    cfg.collectMissStream = true;
+    ServerWorkloadParams wl = workload();
+    ServerWorkload trace(wl);
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace, 0);
+    SimResult r = sim.run();
+    EXPECT_EQ(sim.missStream().totalMisses(), r.istlbMisses);
+}

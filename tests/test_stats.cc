@@ -1,0 +1,108 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace morrigan;
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup g("root");
+    Counter c(&g, "events", "test events");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HistogramBucketing)
+{
+    StatGroup g("root");
+    Histogram h(&g, "lat", "latency", {10, 100, 1000});
+    h.sample(5);        // bucket 0 (<=10)
+    h.sample(10);       // bucket 0
+    h.sample(11);       // bucket 1
+    h.sample(1000);     // bucket 2
+    h.sample(5000);     // overflow bucket 3
+    EXPECT_EQ(h.numBuckets(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+}
+
+TEST(Stats, HistogramWeightedSamples)
+{
+    StatGroup g("root");
+    Histogram h(&g, "w", "weighted", {1});
+    h.sample(0, 7);
+    h.sample(2, 3);
+    EXPECT_EQ(h.bucketCount(0), 7u);
+    EXPECT_EQ(h.bucketCount(1), 3u);
+    EXPECT_EQ(h.totalSamples(), 10u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatGroup g("root");
+    Distribution d(&g, "d", "dist");
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_NEAR(d.mean(), 5.0, 1e-12);
+    EXPECT_EQ(d.min(), 2.0);
+    EXPECT_EQ(d.max(), 9.0);
+}
+
+TEST(Stats, GroupHierarchyPaths)
+{
+    StatGroup root("sim");
+    StatGroup child("tlb", &root);
+    EXPECT_EQ(child.path(), "sim.tlb");
+}
+
+TEST(Stats, DumpContainsEntries)
+{
+    StatGroup root("sim");
+    Counter c(&root, "hits", "hit count");
+    c += 3;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sim.hits 3"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root("sim");
+    StatGroup child("sub", &root);
+    Counter a(&root, "a", "");
+    Counter b(&child, "b", "");
+    a += 5;
+    b += 7;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Stats, GeomeanKnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.1}), 1.1, 1e-12);
+}
+
+TEST(Stats, GeomeanOrderInvariant)
+{
+    double a = geomean({1.5, 0.5, 2.0, 3.0});
+    double b = geomean({3.0, 2.0, 0.5, 1.5});
+    EXPECT_NEAR(a, b, 1e-12);
+}

@@ -1,0 +1,93 @@
+/** @file Unit tests for the Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/zipf.hh"
+
+using namespace morrigan;
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfSampler z(100, 0.8);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 100; ++i)
+        sum += z.probability(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilitiesMonotonicallyDecrease)
+{
+    ZipfSampler z(64, 1.1);
+    for (std::size_t i = 1; i < 64; ++i)
+        EXPECT_LE(z.probability(i), z.probability(i - 1) + 1e-12);
+}
+
+TEST(Zipf, ZeroThetaIsUniform)
+{
+    ZipfSampler z(10, 0.0);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(z.probability(i), 0.1, 1e-9);
+}
+
+TEST(Zipf, OutOfRangeProbabilityIsZero)
+{
+    ZipfSampler z(10, 0.5);
+    EXPECT_EQ(z.probability(10), 0.0);
+    EXPECT_EQ(z.probability(1000), 0.0);
+}
+
+TEST(Zipf, SamplesWithinRange)
+{
+    ZipfSampler z(37, 0.9);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 37u);
+}
+
+TEST(Zipf, SampleFrequenciesMatchProbabilities)
+{
+    const std::size_t n = 20;
+    ZipfSampler z(n, 1.0);
+    Rng rng(6);
+    std::vector<int> counts(n, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[z.sample(rng)];
+    for (std::size_t i = 0; i < n; ++i) {
+        double expected = z.probability(i) * draws;
+        EXPECT_NEAR(counts[i], expected, 0.15 * expected + 60);
+    }
+}
+
+TEST(Zipf, SingleElementPopulation)
+{
+    ZipfSampler z(1, 2.0);
+    Rng rng(7);
+    EXPECT_EQ(z.sample(rng), 0u);
+    EXPECT_NEAR(z.probability(0), 1.0, 1e-12);
+}
+
+/** Skew property over a theta sweep: higher theta concentrates more
+ * mass on the head. */
+class ZipfThetaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfThetaSweep, HeadMassGrowsWithTheta)
+{
+    double theta = GetParam();
+    ZipfSampler lo(256, theta);
+    ZipfSampler hi(256, theta + 0.3);
+    double head_lo = 0.0, head_hi = 0.0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        head_lo += lo.probability(i);
+        head_hi += hi.probability(i);
+    }
+    EXPECT_GT(head_hi, head_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.9, 1.2));

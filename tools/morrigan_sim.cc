@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Command-line simulator driver.
+ *
+ * The ChampSim-style front end for the library: pick a workload, a
+ * prefetcher and any configuration overrides, run, and get the full
+ * result record (optionally with the component statistics tree and
+ * the miss-stream characterisation).
+ *
+ * Examples:
+ *   morrigan_sim --workload qmm_07 --prefetcher morrigan
+ *   morrigan_sim --workload java:cassandra --prefetcher mp \
+ *                --instructions 10000000
+ *   morrigan_sim --workload qmm_00 --smt-with qmm_01 \
+ *                --prefetcher morrigan --smt-scaled
+ *   morrigan_sim --workload qmm_03 --prefetcher morrigan \
+ *                --pt-depth 5 --stats --miss-stream
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/morrigan.hh"
+#include "core/prefetcher_factory.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "morrigan_sim -- instruction TLB prefetching simulator\n"
+        "\n"
+        "  --workload NAME       qmm_NN, spec_NN, or java:NAME\n"
+        "  --smt-with NAME       colocate a second workload (SMT)\n"
+        "  --prefetcher NAME     none|sp|asp|dp|mp|mp-iso|"
+        "mp-unbounded2|mp-unbounded|morrigan|morrigan-mono\n"
+        "  --smt-scaled          double Morrigan's tables (SMT)\n"
+        "  --warmup N            warmup instructions "
+        "(default 1000000)\n"
+        "  --instructions N      measured instructions "
+        "(default 4000000)\n"
+        "  --pt-depth N          page table depth 4|5\n"
+        "  --asap                enable ASAP walk acceleration\n"
+        "  --perfect-istlb       idealised instruction STLB\n"
+        "  --p2tlb               prefetch into the STLB (no PB)\n"
+        "  --icache NAME         none|next-line|fnl-mma\n"
+        "  --no-icache-xlat      free translations for I-cache "
+        "prefetches\n"
+        "  --prefetch-on-hits    engage prefetcher on STLB hits too\n"
+        "  --ctx-switch N        context switch every N "
+        "instructions\n"
+        "  --pb-entries N        prefetch buffer capacity\n"
+        "  --stats               dump the component statistics tree\n"
+        "  --miss-stream         print the miss-stream "
+        "characterisation\n"
+        "  --baseline            also run the no-prefetch baseline "
+        "and report speedup\n");
+}
+
+std::optional<ServerWorkloadParams>
+parseWorkload(const std::string &name)
+{
+    if (name.rfind("qmm_", 0) == 0) {
+        unsigned idx = std::atoi(name.c_str() + 4);
+        if (idx < numQmmWorkloads)
+            return qmmWorkloadParams(idx);
+        return std::nullopt;
+    }
+    if (name.rfind("spec_", 0) == 0) {
+        unsigned idx = std::atoi(name.c_str() + 5);
+        if (idx < numSpecWorkloads)
+            return specWorkloadParams(idx);
+        return std::nullopt;
+    }
+    if (name.rfind("java:", 0) == 0) {
+        const auto &names = javaWorkloadNames();
+        for (unsigned i = 0; i < names.size(); ++i)
+            if (names[i] == name.substr(5))
+                return javaWorkloadParams(i);
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+void
+printResult(const SimResult &r)
+{
+    std::printf("workload            %s\n", r.workload.c_str());
+    std::printf("prefetcher          %s\n", r.prefetcher.c_str());
+    std::printf("instructions        %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("cycles              %.0f\n", r.cycles);
+    std::printf("IPC                 %.4f\n", r.ipc);
+    std::printf("L1I MPKI            %.2f\n", r.l1iMpki);
+    std::printf("I-TLB MPKI          %.2f\n", r.itlbMpki);
+    std::printf("iSTLB MPKI          %.2f\n", r.istlbMpki);
+    std::printf("dSTLB MPKI          %.2f\n", r.dstlbMpki);
+    std::printf("iSTLB cycle share   %.1f%%\n",
+                r.istlbCycleFraction * 100.0);
+    std::printf("PB hits             %llu (IRIP %llu / SDP %llu / "
+                "I$ %llu)\n",
+                static_cast<unsigned long long>(r.pbHits),
+                static_cast<unsigned long long>(r.pbHitsIrip),
+                static_cast<unsigned long long>(r.pbHitsSdp),
+                static_cast<unsigned long long>(r.pbHitsICache));
+    std::printf("miss coverage       %.1f%%\n", r.coverage * 100.0);
+    std::printf("demand walks        %llu (instr %llu)\n",
+                static_cast<unsigned long long>(r.demandWalks),
+                static_cast<unsigned long long>(r.demandWalksInstr));
+    std::printf("demand walk refs    %llu (instr %llu)\n",
+                static_cast<unsigned long long>(r.demandWalkRefs),
+                static_cast<unsigned long long>(
+                    r.demandWalkRefsInstr));
+    std::printf("prefetch walks      %llu (refs %llu)\n",
+                static_cast<unsigned long long>(r.prefetchWalks),
+                static_cast<unsigned long long>(r.prefetchWalkRefs));
+    std::printf("walk latency        instr %.0f / data %.0f "
+                "cycles\n",
+                r.meanDemandWalkLatencyInstr,
+                r.meanDemandWalkLatencyData);
+    if (r.contextSwitches > 0)
+        std::printf("context switches    %llu\n",
+                    static_cast<unsigned long long>(
+                        r.contextSwitches));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = "qmm_00";
+    std::string smt_name;
+    std::string prefetcher_name = "morrigan";
+    std::string icache_name = "next-line";
+    SimConfig cfg;
+    cfg.warmupInstructions = 1'000'000;
+    cfg.simInstructions = 4'000'000;
+    bool smt_scaled = false;
+    bool dump_stats = false;
+    bool miss_stream = false;
+    bool with_baseline = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--smt-with") {
+            smt_name = next();
+        } else if (arg == "--prefetcher") {
+            prefetcher_name = next();
+        } else if (arg == "--smt-scaled") {
+            smt_scaled = true;
+        } else if (arg == "--warmup") {
+            cfg.warmupInstructions = std::strtoull(next(), nullptr,
+                                                   10);
+        } else if (arg == "--instructions") {
+            cfg.simInstructions = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--pt-depth") {
+            cfg.pageTableDepth =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--asap") {
+            cfg.walker.asap = true;
+        } else if (arg == "--perfect-istlb") {
+            cfg.perfectIstlb = true;
+        } else if (arg == "--p2tlb") {
+            cfg.prefetchIntoStlb = true;
+        } else if (arg == "--icache") {
+            icache_name = next();
+        } else if (arg == "--no-icache-xlat") {
+            cfg.icacheTranslationCost = false;
+        } else if (arg == "--prefetch-on-hits") {
+            cfg.prefetchOnStlbHits = true;
+        } else if (arg == "--ctx-switch") {
+            cfg.contextSwitchInterval =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--pb-entries") {
+            cfg.pbEntries =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--miss-stream") {
+            miss_stream = true;
+            cfg.collectMissStream = true;
+        } else if (arg == "--baseline") {
+            with_baseline = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (icache_name == "none")
+        cfg.icachePref = ICachePrefKind::None;
+    else if (icache_name == "next-line")
+        cfg.icachePref = ICachePrefKind::NextLine;
+    else if (icache_name == "fnl-mma")
+        cfg.icachePref = ICachePrefKind::FnlMma;
+    else {
+        std::fprintf(stderr, "unknown I-cache prefetcher %s\n",
+                     icache_name.c_str());
+        return 1;
+    }
+
+    auto wl = parseWorkload(workload_name);
+    if (!wl) {
+        std::fprintf(stderr, "unknown workload %s\n",
+                     workload_name.c_str());
+        return 1;
+    }
+
+    // Construct the prefetcher: Morrigan variants honour
+    // --smt-scaled; everything else comes from the factory.
+    std::unique_ptr<TlbPrefetcher> prefetcher;
+    PrefetcherKind kind = prefetcherKindFromName(prefetcher_name);
+    if (kind == PrefetcherKind::Morrigan && smt_scaled)
+        prefetcher = std::make_unique<MorriganPrefetcher>(
+            MorriganParams{}.smtScaled());
+    else
+        prefetcher = makePrefetcher(kind);
+
+    ServerWorkload trace(*wl);
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace, 0);
+
+    std::unique_ptr<ServerWorkload> smt_trace;
+    if (!smt_name.empty()) {
+        auto wl2 = parseWorkload(smt_name);
+        if (!wl2) {
+            std::fprintf(stderr, "unknown workload %s\n",
+                         smt_name.c_str());
+            return 1;
+        }
+        smt_trace = std::make_unique<ServerWorkload>(*wl2);
+        sim.attachWorkload(smt_trace.get(), 1);
+    }
+    if (prefetcher)
+        sim.attachPrefetcher(prefetcher.get());
+
+    SimResult r = sim.run();
+    printResult(r);
+
+    if (with_baseline) {
+        Simulator base_sim(cfg);
+        ServerWorkload base_trace(*wl);
+        base_sim.attachWorkload(&base_trace, 0);
+        std::unique_ptr<ServerWorkload> base_smt;
+        if (!smt_name.empty()) {
+            base_smt = std::make_unique<ServerWorkload>(
+                *parseWorkload(smt_name));
+            base_sim.attachWorkload(base_smt.get(), 1);
+        }
+        SimResult b = base_sim.run();
+        std::printf("baseline IPC        %.4f\n", b.ipc);
+        std::printf("speedup             %.2f%%\n",
+                    speedupPct(b, r));
+    }
+
+    if (miss_stream) {
+        const MissStreamStats &ms = sim.missStream();
+        std::printf("\n-- iSTLB miss stream --\n");
+        std::printf("misses              %llu (%zu distinct pages)\n",
+                    static_cast<unsigned long long>(
+                        ms.totalMisses()),
+                    ms.distinctPages());
+        std::printf("pages for 90%%       %zu\n",
+                    ms.pagesCoveringFraction(0.9));
+        std::printf("delta CDF @10       %.1f%%\n",
+                    100.0 * ms.deltaCdfAt(10));
+        std::printf("top successor prob  %.2f\n",
+                    ms.successorProbability(0));
+    }
+
+    if (dump_stats) {
+        std::printf("\n-- component statistics --\n");
+        sim.rootStats().dump(std::cout);
+    }
+    return 0;
+}
