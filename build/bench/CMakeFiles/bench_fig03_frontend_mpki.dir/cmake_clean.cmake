@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_frontend_mpki.dir/bench_fig03_frontend_mpki.cc.o"
+  "CMakeFiles/bench_fig03_frontend_mpki.dir/bench_fig03_frontend_mpki.cc.o.d"
+  "bench_fig03_frontend_mpki"
+  "bench_fig03_frontend_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_frontend_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_page_skew.dir/bench_fig06_page_skew.cc.o"
+  "CMakeFiles/bench_fig06_page_skew.dir/bench_fig06_page_skew.cc.o.d"
+  "bench_fig06_page_skew"
+  "bench_fig06_page_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_page_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

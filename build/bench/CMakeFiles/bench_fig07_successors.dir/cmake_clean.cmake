@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_successors.dir/bench_fig07_successors.cc.o"
+  "CMakeFiles/bench_fig07_successors.dir/bench_fig07_successors.cc.o.d"
+  "bench_fig07_successors"
+  "bench_fig07_successors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_successors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_successor_prob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fnl_mma.dir/bench_fig10_fnl_mma.cc.o"
+  "CMakeFiles/bench_fig10_fnl_mma.dir/bench_fig10_fnl_mma.cc.o.d"
+  "bench_fig10_fnl_mma"
+  "bench_fig10_fnl_mma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fnl_mma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

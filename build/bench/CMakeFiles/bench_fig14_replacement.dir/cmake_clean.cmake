@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_replacement.dir/bench_fig14_replacement.cc.o"
+  "CMakeFiles/bench_fig14_replacement.dir/bench_fig14_replacement.cc.o.d"
+  "bench_fig14_replacement"
+  "bench_fig14_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_walk_refs.dir/bench_fig16_walk_refs.cc.o"
+  "CMakeFiles/bench_fig16_walk_refs.dir/bench_fig16_walk_refs.cc.o.d"
+  "bench_fig16_walk_refs"
+  "bench_fig16_walk_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_walk_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mono.dir/bench_fig17_mono.cc.o"
+  "CMakeFiles/bench_fig17_mono.dir/bench_fig17_mono.cc.o.d"
+  "bench_fig17_mono"
+  "bench_fig17_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_icache_synergy.dir/bench_fig19_icache_synergy.cc.o"
+  "CMakeFiles/bench_fig19_icache_synergy.dir/bench_fig19_icache_synergy.cc.o.d"
+  "bench_fig19_icache_synergy"
+  "bench_fig19_icache_synergy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_icache_synergy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

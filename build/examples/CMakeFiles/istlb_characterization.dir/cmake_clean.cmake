@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/istlb_characterization.dir/istlb_characterization.cpp.o"
+  "CMakeFiles/istlb_characterization.dir/istlb_characterization.cpp.o.d"
+  "istlb_characterization"
+  "istlb_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/istlb_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_colocation.dir/smt_colocation.cpp.o"
+  "CMakeFiles/smt_colocation.dir/smt_colocation.cpp.o.d"
+  "smt_colocation"
+  "smt_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

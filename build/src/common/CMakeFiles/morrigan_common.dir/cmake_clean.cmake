@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_common.dir/logging.cc.o"
+  "CMakeFiles/morrigan_common.dir/logging.cc.o.d"
+  "CMakeFiles/morrigan_common.dir/stats.cc.o"
+  "CMakeFiles/morrigan_common.dir/stats.cc.o.d"
+  "CMakeFiles/morrigan_common.dir/zipf.cc.o"
+  "CMakeFiles/morrigan_common.dir/zipf.cc.o.d"
+  "libmorrigan_common.a"
+  "libmorrigan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

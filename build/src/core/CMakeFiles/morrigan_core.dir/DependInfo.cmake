@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_prefetchers.cc" "src/core/CMakeFiles/morrigan_core.dir/baseline_prefetchers.cc.o" "gcc" "src/core/CMakeFiles/morrigan_core.dir/baseline_prefetchers.cc.o.d"
+  "/root/repo/src/core/irip.cc" "src/core/CMakeFiles/morrigan_core.dir/irip.cc.o" "gcc" "src/core/CMakeFiles/morrigan_core.dir/irip.cc.o.d"
+  "/root/repo/src/core/morrigan.cc" "src/core/CMakeFiles/morrigan_core.dir/morrigan.cc.o" "gcc" "src/core/CMakeFiles/morrigan_core.dir/morrigan.cc.o.d"
+  "/root/repo/src/core/prediction_table.cc" "src/core/CMakeFiles/morrigan_core.dir/prediction_table.cc.o" "gcc" "src/core/CMakeFiles/morrigan_core.dir/prediction_table.cc.o.d"
+  "/root/repo/src/core/prefetcher_factory.cc" "src/core/CMakeFiles/morrigan_core.dir/prefetcher_factory.cc.o" "gcc" "src/core/CMakeFiles/morrigan_core.dir/prefetcher_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morrigan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/morrigan_tlb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_core.dir/baseline_prefetchers.cc.o"
+  "CMakeFiles/morrigan_core.dir/baseline_prefetchers.cc.o.d"
+  "CMakeFiles/morrigan_core.dir/irip.cc.o"
+  "CMakeFiles/morrigan_core.dir/irip.cc.o.d"
+  "CMakeFiles/morrigan_core.dir/morrigan.cc.o"
+  "CMakeFiles/morrigan_core.dir/morrigan.cc.o.d"
+  "CMakeFiles/morrigan_core.dir/prediction_table.cc.o"
+  "CMakeFiles/morrigan_core.dir/prediction_table.cc.o.d"
+  "CMakeFiles/morrigan_core.dir/prefetcher_factory.cc.o"
+  "CMakeFiles/morrigan_core.dir/prefetcher_factory.cc.o.d"
+  "libmorrigan_core.a"
+  "libmorrigan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmorrigan_core.a"
+)

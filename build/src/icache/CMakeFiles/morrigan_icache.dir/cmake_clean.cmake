@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_icache.dir/fnl_mma.cc.o"
+  "CMakeFiles/morrigan_icache.dir/fnl_mma.cc.o.d"
+  "libmorrigan_icache.a"
+  "libmorrigan_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_mem.dir/cache_model.cc.o"
+  "CMakeFiles/morrigan_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/morrigan_mem.dir/dram_model.cc.o"
+  "CMakeFiles/morrigan_mem.dir/dram_model.cc.o.d"
+  "CMakeFiles/morrigan_mem.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/morrigan_mem.dir/memory_hierarchy.cc.o.d"
+  "libmorrigan_mem.a"
+  "libmorrigan_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_sim.dir/experiment.cc.o"
+  "CMakeFiles/morrigan_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/morrigan_sim.dir/simulator.cc.o"
+  "CMakeFiles/morrigan_sim.dir/simulator.cc.o.d"
+  "libmorrigan_sim.a"
+  "libmorrigan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

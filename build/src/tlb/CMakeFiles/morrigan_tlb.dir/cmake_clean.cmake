@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_tlb.dir/prefetch_buffer.cc.o"
+  "CMakeFiles/morrigan_tlb.dir/prefetch_buffer.cc.o.d"
+  "CMakeFiles/morrigan_tlb.dir/tlb.cc.o"
+  "CMakeFiles/morrigan_tlb.dir/tlb.cc.o.d"
+  "CMakeFiles/morrigan_tlb.dir/tlb_hierarchy.cc.o"
+  "CMakeFiles/morrigan_tlb.dir/tlb_hierarchy.cc.o.d"
+  "libmorrigan_tlb.a"
+  "libmorrigan_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_vm.dir/page_table.cc.o"
+  "CMakeFiles/morrigan_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/morrigan_vm.dir/phys_mem.cc.o"
+  "CMakeFiles/morrigan_vm.dir/phys_mem.cc.o.d"
+  "CMakeFiles/morrigan_vm.dir/psc.cc.o"
+  "CMakeFiles/morrigan_vm.dir/psc.cc.o.d"
+  "CMakeFiles/morrigan_vm.dir/walker.cc.o"
+  "CMakeFiles/morrigan_vm.dir/walker.cc.o.d"
+  "libmorrigan_vm.a"
+  "libmorrigan_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

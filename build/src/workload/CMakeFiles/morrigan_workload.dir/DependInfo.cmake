@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/miss_stream_stats.cc" "src/workload/CMakeFiles/morrigan_workload.dir/miss_stream_stats.cc.o" "gcc" "src/workload/CMakeFiles/morrigan_workload.dir/miss_stream_stats.cc.o.d"
+  "/root/repo/src/workload/server_workload.cc" "src/workload/CMakeFiles/morrigan_workload.dir/server_workload.cc.o" "gcc" "src/workload/CMakeFiles/morrigan_workload.dir/server_workload.cc.o.d"
+  "/root/repo/src/workload/workload_factory.cc" "src/workload/CMakeFiles/morrigan_workload.dir/workload_factory.cc.o" "gcc" "src/workload/CMakeFiles/morrigan_workload.dir/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morrigan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_workload.dir/miss_stream_stats.cc.o"
+  "CMakeFiles/morrigan_workload.dir/miss_stream_stats.cc.o.d"
+  "CMakeFiles/morrigan_workload.dir/server_workload.cc.o"
+  "CMakeFiles/morrigan_workload.dir/server_workload.cc.o.d"
+  "CMakeFiles/morrigan_workload.dir/workload_factory.cc.o"
+  "CMakeFiles/morrigan_workload.dir/workload_factory.cc.o.d"
+  "libmorrigan_workload.a"
+  "libmorrigan_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

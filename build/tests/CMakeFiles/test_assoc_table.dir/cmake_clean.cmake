@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assoc_table.dir/test_assoc_table.cc.o"
+  "CMakeFiles/test_assoc_table.dir/test_assoc_table.cc.o.d"
+  "test_assoc_table"
+  "test_assoc_table.pdb"
+  "test_assoc_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assoc_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

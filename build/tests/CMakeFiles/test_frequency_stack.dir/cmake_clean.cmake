@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_stack.dir/test_frequency_stack.cc.o"
+  "CMakeFiles/test_frequency_stack.dir/test_frequency_stack.cc.o.d"
+  "test_frequency_stack"
+  "test_frequency_stack.pdb"
+  "test_frequency_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

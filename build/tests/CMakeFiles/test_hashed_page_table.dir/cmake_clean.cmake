@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashed_page_table.dir/test_hashed_page_table.cc.o"
+  "CMakeFiles/test_hashed_page_table.dir/test_hashed_page_table.cc.o.d"
+  "test_hashed_page_table"
+  "test_hashed_page_table.pdb"
+  "test_hashed_page_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashed_page_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irip.dir/test_irip.cc.o"
+  "CMakeFiles/test_irip.dir/test_irip.cc.o.d"
+  "test_irip"
+  "test_irip.pdb"
+  "test_irip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_large_pages.cc" "tests/CMakeFiles/test_large_pages.dir/test_large_pages.cc.o" "gcc" "tests/CMakeFiles/test_large_pages.dir/test_large_pages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/morrigan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/morrigan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/icache/CMakeFiles/morrigan_icache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/morrigan_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/morrigan_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/morrigan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/morrigan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/morrigan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_large_pages.dir/test_large_pages.cc.o"
+  "CMakeFiles/test_large_pages.dir/test_large_pages.cc.o.d"
+  "test_large_pages"
+  "test_large_pages.pdb"
+  "test_large_pages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_large_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

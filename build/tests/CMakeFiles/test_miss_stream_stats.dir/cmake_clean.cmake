@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miss_stream_stats.dir/test_miss_stream_stats.cc.o"
+  "CMakeFiles/test_miss_stream_stats.dir/test_miss_stream_stats.cc.o.d"
+  "test_miss_stream_stats"
+  "test_miss_stream_stats.pdb"
+  "test_miss_stream_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miss_stream_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

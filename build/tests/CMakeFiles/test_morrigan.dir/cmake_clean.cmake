@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morrigan.dir/test_morrigan.cc.o"
+  "CMakeFiles/test_morrigan.dir/test_morrigan.cc.o.d"
+  "test_morrigan"
+  "test_morrigan.pdb"
+  "test_morrigan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morrigan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

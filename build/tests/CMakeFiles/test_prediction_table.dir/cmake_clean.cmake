@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prediction_table.dir/test_prediction_table.cc.o"
+  "CMakeFiles/test_prediction_table.dir/test_prediction_table.cc.o.d"
+  "test_prediction_table"
+  "test_prediction_table.pdb"
+  "test_prediction_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prediction_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

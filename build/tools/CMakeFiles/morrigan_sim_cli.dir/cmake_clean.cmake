@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morrigan_sim_cli.dir/morrigan_sim.cc.o"
+  "CMakeFiles/morrigan_sim_cli.dir/morrigan_sim.cc.o.d"
+  "morrigan-sim"
+  "morrigan-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morrigan_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
