@@ -13,15 +13,137 @@
 #ifndef MORRIGAN_BENCH_BENCH_UTIL_HH
 #define MORRIGAN_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/experiment.hh"
 #include "workload/workload_factory.hh"
 
 namespace morrigan::bench
 {
+
+/**
+ * Machine-readable mirror of a bench binary's printed output.
+ *
+ * When MORRIGAN_BENCH_JSON names a directory, every header()/row()
+ * call is also recorded here and written as BENCH_<figure>.json on
+ * process exit, so figure data can be collected by scripts without
+ * scraping stdout. Disabled (and free) otherwise.
+ */
+class BenchArtifact
+{
+  public:
+    static BenchArtifact &
+    instance()
+    {
+        static BenchArtifact a;
+        return a;
+    }
+
+    void
+    beginSection(const char *figure, const char *description,
+                 const BenchScale &scale)
+    {
+        if (!enabled_)
+            return;
+        sections_.push_back({figure, description, scale, {}});
+    }
+
+    void
+    addRow(const std::string &label, double measured,
+           const char *unit, const char *paper_note)
+    {
+        if (!enabled_ || sections_.empty())
+            return;
+        sections_.back().rows.push_back(
+            {label, measured, unit, paper_note});
+    }
+
+    ~BenchArtifact()
+    {
+        if (!enabled_ || sections_.empty())
+            return;
+        std::string path = dir_ + "/BENCH_" +
+                           sanitize(sections_.front().figure) +
+                           ".json";
+        std::ofstream ofs(path);
+        if (!ofs)
+            return;
+        json::Writer w(ofs);
+        w.beginObject();
+        w.kv("schema", "morrigan-bench");
+        w.kv("version", json::benchSchemaVersion);
+        w.key("sections").beginArray();
+        for (const Section &s : sections_) {
+            w.beginObject();
+            w.kv("figure", s.figure);
+            w.kv("description", s.description);
+            w.kv("full_scale", s.scale.full);
+            w.kv("workloads", s.scale.numWorkloads);
+            w.kv("warmup_instructions", s.scale.warmupInstructions);
+            w.kv("sim_instructions", s.scale.simInstructions);
+            w.key("rows").beginArray();
+            for (const Row &r : s.rows) {
+                w.beginObject();
+                w.kv("label", r.label);
+                w.kv("measured", r.measured);
+                w.kv("unit", r.unit);
+                w.kv("paper_note", r.paperNote);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        ofs << '\n';
+    }
+
+  private:
+    struct Row
+    {
+        std::string label;
+        double measured;
+        std::string unit;
+        std::string paperNote;
+    };
+    struct Section
+    {
+        std::string figure;
+        std::string description;
+        BenchScale scale;
+        std::vector<Row> rows;
+    };
+
+    BenchArtifact()
+    {
+        if (const char *d = std::getenv("MORRIGAN_BENCH_JSON")) {
+            dir_ = d;
+            enabled_ = !dir_.empty();
+        }
+    }
+
+    static std::string
+    sanitize(const std::string &s)
+    {
+        std::string out;
+        for (char c : s)
+            out += (std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '-' || c == '_')
+                       ? c
+                       : '_';
+        return out;
+    }
+
+    bool enabled_ = false;
+    std::string dir_;
+    std::vector<Section> sections_;
+};
 
 /** Default simulation configuration scaled by MORRIGAN_FULL. */
 inline SimConfig
@@ -75,6 +197,8 @@ header(const char *figure, const char *description,
                 static_cast<unsigned long long>(
                     scale.simInstructions));
     std::printf("==========================================================\n");
+    BenchArtifact::instance().beginSection(figure, description,
+                                           scale);
 }
 
 /** Print one labelled measured-vs-paper row. */
@@ -84,6 +208,8 @@ row(const std::string &label, double measured, const char *unit,
 {
     std::printf("  %-28s %8.2f %-6s %s\n", label.c_str(), measured,
                 unit, paper_note);
+    BenchArtifact::instance().addRow(label, measured, unit,
+                                     paper_note);
 }
 
 } // namespace morrigan::bench

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Shared by every machine-readable artifact the observability layer
+ * emits: the `--stats-json` document, the prefetch lifecycle trace
+ * (JSONL), the interval time-series, and the `BENCH_*.json` bench
+ * artifacts. Header-only on purpose: the writer is a thin comma/
+ * escape manager over a std::ostream, with no allocation beyond a
+ * small nesting stack.
+ *
+ * Schema versions for the artifacts live here so the producers
+ * (tools/morrigan_sim.cc, bench/bench_util.hh) and the docs agree on
+ * a single constant.
+ */
+
+#ifndef MORRIGAN_COMMON_JSON_HH
+#define MORRIGAN_COMMON_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace morrigan::json
+{
+
+/** Version of the --stats-json document schema. */
+inline constexpr int statsSchemaVersion = 1;
+/** Version of the JSONL prefetch-trace event schema. */
+inline constexpr int traceSchemaVersion = 1;
+/** Version of the interval time-series record schema. */
+inline constexpr int intervalSchemaVersion = 1;
+/** Version of the BENCH_*.json artifact schema. */
+inline constexpr int benchSchemaVersion = 1;
+
+/** Write @p s as a quoted, escaped JSON string. */
+inline void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Streaming writer with automatic comma placement.
+ *
+ * Usage: beginObject()/endObject(), beginArray()/endArray(), key()
+ * before each member value inside an object, value() for leaves.
+ * kv() combines key()+value().
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os_(os) {}
+
+    Writer &beginObject() { open('{'); return *this; }
+    Writer &endObject() { close('}'); return *this; }
+    Writer &beginArray() { open('['); return *this; }
+    Writer &endArray() { close(']'); return *this; }
+
+    Writer &
+    key(std::string_view k)
+    {
+        comma();
+        writeEscaped(os_, k);
+        os_ << ':';
+        pendingValue_ = true;
+        return *this;
+    }
+
+    Writer &
+    value(std::string_view v)
+    {
+        comma();
+        writeEscaped(os_, v);
+        return *this;
+    }
+
+    Writer &value(const char *v) { return value(std::string_view(v)); }
+
+    Writer &
+    value(double v)
+    {
+        comma();
+        if (!std::isfinite(v)) {
+            os_ << "null";  // JSON has no NaN/Inf
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", v);
+            os_ << buf;
+        }
+        return *this;
+    }
+
+    Writer &
+    value(std::uint64_t v)
+    {
+        comma();
+        os_ << v;
+        return *this;
+    }
+
+    Writer &
+    value(std::int64_t v)
+    {
+        comma();
+        os_ << v;
+        return *this;
+    }
+
+    Writer &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    Writer &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    Writer &
+    value(bool v)
+    {
+        comma();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    template <typename T>
+    Writer &
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /**
+     * Emit a value produced by an external serializer: this handles
+     * comma placement only; @p fn must write exactly one complete
+     * JSON value to the stream.
+     */
+    template <typename Fn>
+    Writer &
+    rawValue(Fn &&fn)
+    {
+        comma();
+        fn(os_);
+        return *this;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (pendingValue_) {
+            // Value following a key: the key already emitted ':'.
+            pendingValue_ = false;
+            return;
+        }
+        if (!needComma_.empty()) {
+            if (needComma_.back())
+                os_ << ',';
+            needComma_.back() = true;
+        }
+    }
+
+    void
+    open(char c)
+    {
+        comma();
+        os_ << c;
+        needComma_.push_back(false);
+    }
+
+    void
+    close(char c)
+    {
+        needComma_.pop_back();
+        os_ << c;
+        if (!needComma_.empty())
+            needComma_.back() = true;
+        pendingValue_ = false;
+    }
+
+    std::ostream &os_;
+    std::vector<bool> needComma_;
+    bool pendingValue_ = false;
+};
+
+} // namespace morrigan::json
+
+#endif // MORRIGAN_COMMON_JSON_HH

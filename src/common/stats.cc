@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "json.hh"
 #include "logging.hh"
 
 namespace morrigan
@@ -124,6 +125,163 @@ StatGroup::dump(std::ostream &os) const
     }
     for (const StatGroup *child : children_)
         child->dump(os);
+}
+
+void
+StatGroup::visit(StatVisitor &v) const
+{
+    v.groupBegin(*this);
+    for (const Counter *c : counters_)
+        v.visit(*c);
+    for (const Distribution *d : distributions_)
+        v.visit(*d);
+    for (const Histogram *h : histograms_)
+        v.visit(*h);
+    for (const StatGroup *child : children_)
+        child->visit(v);
+    v.groupEnd(*this);
+}
+
+namespace
+{
+
+/** StatVisitor that renders the tree as nested JSON objects. */
+class JsonStatVisitor : public StatVisitor
+{
+  public:
+    explicit JsonStatVisitor(std::ostream &os) : w_(os) {}
+
+    void
+    groupBegin(const StatGroup &group) override
+    {
+        if (depth_ > 0) {
+            // All of the parent's own stats were visited before its
+            // first child; close any section still open.
+            closeSections();
+            if (!groupsOpen_.back()) {
+                w_.key("groups").beginObject();
+                groupsOpen_.back() = true;
+            }
+            w_.key(group.name());
+        }
+        w_.beginObject();
+        groupsOpen_.push_back(false);
+        ++depth_;
+    }
+
+    void
+    groupEnd(const StatGroup &) override
+    {
+        closeSections();
+        if (groupsOpen_.back())
+            w_.endObject();  // "groups"
+        groupsOpen_.pop_back();
+        w_.endObject();
+        --depth_;
+    }
+
+    void
+    visit(const Counter &c) override
+    {
+        if (!countersOpen_) {
+            w_.key("counters").beginObject();
+            countersOpen_ = true;
+        }
+        w_.key(c.name()).beginObject();
+        w_.kv("value", c.value());
+        w_.kv("desc", c.desc());
+        w_.endObject();
+    }
+
+    void
+    visit(const Distribution &d) override
+    {
+        closeCounters();
+        if (!distsOpen_) {
+            w_.key("distributions").beginObject();
+            distsOpen_ = true;
+        }
+        w_.key(d.name()).beginObject();
+        w_.kv("count", d.count());
+        w_.kv("mean", d.mean());
+        w_.kv("min", d.min());
+        w_.kv("max", d.max());
+        w_.kv("sum", d.sum());
+        w_.kv("desc", d.desc());
+        w_.endObject();
+    }
+
+    void
+    visit(const Histogram &h) override
+    {
+        closeCounters();
+        closeDists();
+        if (!histsOpen_) {
+            w_.key("histograms").beginObject();
+            histsOpen_ = true;
+        }
+        w_.key(h.name()).beginObject();
+        w_.kv("samples", h.totalSamples());
+        w_.key("bounds").beginArray();
+        for (std::size_t i = 0; i + 1 < h.numBuckets(); ++i)
+            w_.value(h.bucketBound(i));
+        w_.endArray();
+        w_.key("counts").beginArray();
+        for (std::size_t i = 0; i < h.numBuckets(); ++i)
+            w_.value(h.bucketCount(i));
+        w_.endArray();
+        w_.kv("desc", h.desc());
+        w_.endObject();
+    }
+
+  private:
+    // Stats of one kind are grouped under a shared key; a later kind
+    // closes the earlier kind's object. Visit order within a group is
+    // counters, then distributions, then histograms (see visit()).
+    void closeCounters()
+    {
+        if (countersOpen_) {
+            w_.endObject();
+            countersOpen_ = false;
+        }
+    }
+    void closeDists()
+    {
+        if (distsOpen_) {
+            w_.endObject();
+            distsOpen_ = false;
+        }
+    }
+    void closeHists()
+    {
+        if (histsOpen_) {
+            w_.endObject();
+            histsOpen_ = false;
+        }
+    }
+    void
+    closeSections()
+    {
+        closeCounters();
+        closeDists();
+        closeHists();
+    }
+
+    json::Writer w_;
+    std::vector<bool> groupsOpen_;
+    bool countersOpen_ = false;
+    bool distsOpen_ = false;
+    bool histsOpen_ = false;
+    unsigned depth_ = 0;
+};
+
+} // namespace
+
+void
+StatGroup::writeJson(std::ostream &os) const
+{
+    JsonStatVisitor v(os);
+    visit(v);
 }
 
 void

@@ -22,6 +22,29 @@ namespace morrigan
 {
 
 class StatGroup;
+class Counter;
+class Histogram;
+class Distribution;
+
+/**
+ * Visitor over a StatGroup subtree.
+ *
+ * visit(StatVisitor&) walks the tree depth-first, bracketing each
+ * group with groupBegin()/groupEnd() and presenting every registered
+ * stat in between. The JSON serializer is built on this; exporters
+ * with other formats (CSV, protobuf, ...) plug in the same way.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void groupBegin(const StatGroup &group) = 0;
+    virtual void groupEnd(const StatGroup &group) = 0;
+    virtual void visit(const Counter &c) = 0;
+    virtual void visit(const Histogram &h) = 0;
+    virtual void visit(const Distribution &d) = 0;
+};
 
 /** A monotonically increasing 64-bit event counter. */
 class Counter
@@ -118,6 +141,22 @@ class StatGroup
 
     /** Print every registered stat in this subtree. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Walk this subtree depth-first, presenting every registered
+     * stat to @p v between groupBegin()/groupEnd() brackets.
+     */
+    void visit(StatVisitor &v) const;
+
+    /**
+     * Serialize this subtree as one JSON object:
+     * {"counters":{name:{"value":..,"desc":..}},
+     *  "distributions":{name:{"count","mean","min","max","sum","desc"}},
+     *  "histograms":{name:{"samples","bounds":[..],"counts":[..],"desc"}},
+     *  "groups":{child-name:{...}}}
+     * The document-level schema version is json::statsSchemaVersion.
+     */
+    void writeJson(std::ostream &os) const;
 
     /** Zero every registered stat in this subtree. */
     void resetAll();

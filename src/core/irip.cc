@@ -155,6 +155,7 @@ Irip::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
                 static_cast<PageDelta>(vpn) + s.distance);
             req.spatial = params_.spatialAllSlots || (&s == best);
             req.tag.producer = PrefetchProducer::Irip;
+            req.tag.table = static_cast<std::uint8_t>(hit_table);
             req.tag.sourcePage = vpn;
             req.tag.distance = s.distance;
             out.push_back(req);

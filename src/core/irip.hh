@@ -89,6 +89,11 @@ class Irip : public TlbPrefetcher
 
     std::size_t storageBits() const override;
 
+    std::uint64_t frequencyStackResets() const override
+    {
+        return freq_.resets();
+    }
+
     const IripStats &iripStats() const { return stats_; }
     const FrequencyStack &frequencyStack() const { return freq_; }
     std::size_t numTables() const { return tables_.size(); }

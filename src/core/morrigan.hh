@@ -58,6 +58,11 @@ class MorriganPrefetcher : public TlbPrefetcher
 
     std::size_t storageBits() const override;
 
+    std::uint64_t frequencyStackResets() const override
+    {
+        return irip_.frequencyStackResets();
+    }
+
     Irip &irip() { return irip_; }
     const Irip &irip() const { return irip_; }
 

@@ -38,6 +38,9 @@ class Sdp : public TlbPrefetcher
             static_cast<PageDelta>(vpn) + delta_);
         req.spatial = true;  // all PTEs in the target cache line
         req.tag.producer = PrefetchProducer::Sdp;
+        // SDP has no PRT tables; the tracer attributes it wholly to
+        // the "sdp" component (spatial fills become "sdp_spatial").
+        req.tag.table = PrefetchTag::noTable;
         req.tag.sourcePage = vpn;
         req.tag.distance = delta_;
         out.push_back(req);

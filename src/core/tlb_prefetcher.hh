@@ -73,6 +73,14 @@ class TlbPrefetcher
 
     /** Hardware storage footprint in bits (ISO-storage studies). */
     virtual std::size_t storageBits() const { return 0; }
+
+    /**
+     * Cumulative RLFU frequency-stack resets, for prefetchers built
+     * on a frequency stack (IRIP/Morrigan). The interval sampler
+     * reports the per-epoch delta, making phase-change adaptation
+     * (Figure 14) visible over time; stateless engines return 0.
+     */
+    virtual std::uint64_t frequencyStackResets() const { return 0; }
 };
 
 } // namespace morrigan

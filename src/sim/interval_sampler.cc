@@ -1,0 +1,179 @@
+#include "interval_sampler.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+IntervalSampler::IntervalSampler(std::uint64_t interval,
+                                 std::size_t ring_capacity)
+    : interval_(interval), ringCapacity_(ring_capacity)
+{
+    fatal_if(interval_ == 0, "interval sampler needs a nonzero epoch");
+    fatal_if(ringCapacity_ == 0, "interval ring needs capacity");
+}
+
+void
+IntervalSampler::setSink(std::ostream *os, IntervalFormat format)
+{
+    sink_ = os;
+    format_ = format;
+    wroteCsvHeader_ = false;
+}
+
+void
+IntervalSampler::beginMeasurement()
+{
+    prev_ = IntervalInputs{};
+    epochs_ = 0;
+    ring_.clear();
+}
+
+const IntervalSample &
+IntervalSampler::record(const IntervalInputs &in)
+{
+    IntervalSample s;
+    s.epoch = epochs_++;
+    s.instructions = in.instructions;
+    s.instrDelta = in.instructions - prev_.instructions;
+    s.cycleDelta = in.cycles - prev_.cycles;
+    s.istlbMisses = in.istlbMisses - prev_.istlbMisses;
+    s.pbHits = in.pbHits - prev_.pbHits;
+    s.demandWalksInstr =
+        in.demandWalksInstr - prev_.demandWalksInstr;
+    s.prefetchWalks = in.prefetchWalks - prev_.prefetchWalks;
+    s.freqResets = in.freqResets - prev_.freqResets;
+    s.istlbMpki =
+        s.instrDelta
+            ? static_cast<double>(s.istlbMisses) /
+                  (static_cast<double>(s.instrDelta) / 1000.0)
+            : 0.0;
+    s.pbHitRate = s.istlbMisses
+                      ? static_cast<double>(s.pbHits) /
+                            static_cast<double>(s.istlbMisses)
+                      : 0.0;
+    std::uint64_t busy_delta =
+        in.walkerBusyPortCycles - prev_.walkerBusyPortCycles;
+    double port_capacity =
+        s.cycleDelta * static_cast<double>(in.walkerPorts);
+    s.walkerOccupancy =
+        port_capacity > 0.0
+            ? static_cast<double>(busy_delta) / port_capacity
+            : 0.0;
+    for (unsigned c = 0; c < PrefetchTracer::numComponents; ++c) {
+        s.issued[c] = in.issued[c] - prev_.issued[c];
+        s.hits[c] = in.hits[c] - prev_.hits[c];
+    }
+    prev_ = in;
+
+    if (ring_.size() == ringCapacity_)
+        ring_.pop_front();
+    ring_.push_back(s);
+    if (sink_)
+        emit(s);
+    return ring_.back();
+}
+
+namespace
+{
+
+void
+writeSampleJson(json::Writer &w, const IntervalSample &s)
+{
+    w.beginObject();
+    w.kv("epoch", s.epoch);
+    w.kv("instructions", s.instructions);
+    w.kv("instr_delta", s.instrDelta);
+    w.kv("cycle_delta", s.cycleDelta);
+    w.kv("istlb_misses", s.istlbMisses);
+    w.kv("istlb_mpki", s.istlbMpki);
+    w.kv("pb_hits", s.pbHits);
+    w.kv("pb_hit_rate", s.pbHitRate);
+    w.kv("demand_walks_instr", s.demandWalksInstr);
+    w.kv("prefetch_walks", s.prefetchWalks);
+    w.kv("freq_resets", s.freqResets);
+    w.kv("walker_occupancy", s.walkerOccupancy);
+    w.key("components").beginObject();
+    for (unsigned c = 0; c < PrefetchTracer::numComponents; ++c) {
+        if (s.issued[c] == 0 && s.hits[c] == 0)
+            continue;
+        w.key(PrefetchTracer::componentName(c)).beginObject();
+        w.kv("issued", s.issued[c]);
+        w.kv("hits", s.hits[c]);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+/** Sum issued/hits over the component range [lo, hi). */
+std::pair<std::uint64_t, std::uint64_t>
+sumRange(const IntervalSample &s, unsigned lo, unsigned hi)
+{
+    std::uint64_t issued = 0, hits = 0;
+    for (unsigned c = lo; c < hi; ++c) {
+        issued += s.issued[c];
+        hits += s.hits[c];
+    }
+    return {issued, hits};
+}
+
+} // namespace
+
+void
+IntervalSampler::emit(const IntervalSample &s)
+{
+    if (format_ == IntervalFormat::Jsonl) {
+        json::Writer w(*sink_);
+        writeSampleJson(w, s);
+        *sink_ << '\n';
+        return;
+    }
+    // CSV: aggregate the per-table components per engine so the
+    // column set stays fixed.
+    if (!wroteCsvHeader_) {
+        *sink_ << "epoch,instructions,instr_delta,cycle_delta,"
+                  "istlb_misses,istlb_mpki,pb_hits,pb_hit_rate,"
+                  "demand_walks_instr,prefetch_walks,freq_resets,"
+                  "walker_occupancy,irip_issued,irip_hits,"
+                  "sdp_issued,sdp_hits,icache_issued,icache_hits\n";
+        wroteCsvHeader_ = true;
+    }
+    auto [irip_issued, irip_hits] =
+        sumRange(s, 0, PrefetchTracer::kSdp);  // tables + spatial
+    auto [sdp_issued, sdp_hits] =
+        sumRange(s, PrefetchTracer::kSdp, PrefetchTracer::kICache);
+    auto [ic_issued, ic_hits] =
+        sumRange(s, PrefetchTracer::kICache,
+                 PrefetchTracer::kICache + 1);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", s.cycleDelta);
+    *sink_ << s.epoch << ',' << s.instructions << ','
+           << s.instrDelta << ',' << buf << ',' << s.istlbMisses
+           << ',';
+    std::snprintf(buf, sizeof(buf), "%.4f", s.istlbMpki);
+    *sink_ << buf << ',' << s.pbHits << ',';
+    std::snprintf(buf, sizeof(buf), "%.4f", s.pbHitRate);
+    *sink_ << buf << ',' << s.demandWalksInstr << ','
+           << s.prefetchWalks << ',' << s.freqResets << ',';
+    std::snprintf(buf, sizeof(buf), "%.4f", s.walkerOccupancy);
+    *sink_ << buf << ',' << irip_issued << ',' << irip_hits << ','
+           << sdp_issued << ',' << sdp_hits << ',' << ic_issued
+           << ',' << ic_hits << '\n';
+}
+
+void
+IntervalSampler::writeRingJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginArray();
+    for (const IntervalSample &s : ring_)
+        writeSampleJson(w, s);
+    w.endArray();
+}
+
+} // namespace morrigan

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Interval time-series sampler.
+ *
+ * Every N measured instructions the simulator snapshots its key
+ * metrics into an epoch record: iSTLB MPKI, PB hit rate, per-engine
+ * prefetch accuracy, RLFU frequency-stack resets and walker-port
+ * occupancy -- the quantities whose *evolution* the paper's
+ * phase-change discussion (Figure 14) is about but which an
+ * end-of-run report averages away.
+ *
+ * The simulator feeds the sampler cumulative counters; the sampler
+ * derives the per-interval deltas, keeps a bounded ring of epochs for
+ * programmatic access (tests, the --stats-json "intervals" array),
+ * and optionally streams each epoch to a sink as JSONL or CSV so no
+ * epoch is lost when the ring wraps.
+ */
+
+#ifndef MORRIGAN_SIM_INTERVAL_SAMPLER_HH
+#define MORRIGAN_SIM_INTERVAL_SAMPLER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+
+#include "common/types.hh"
+#include "sim/prefetch_tracer.hh"
+
+namespace morrigan
+{
+
+/** Cumulative counter snapshot handed to the sampler by the
+ * simulator at each epoch boundary. */
+struct IntervalInputs
+{
+    std::uint64_t instructions = 0;  //!< measured instructions so far
+    double cycles = 0.0;             //!< measured cycles so far
+    std::uint64_t istlbMisses = 0;
+    std::uint64_t pbHits = 0;
+    std::uint64_t demandWalksInstr = 0;
+    std::uint64_t prefetchWalks = 0;
+    std::uint64_t freqResets = 0;
+    std::uint64_t walkerBusyPortCycles = 0;
+    unsigned walkerPorts = 1;
+    /** Per-component issued/hit counts from the tracer (zero when no
+     * tracer is attached). */
+    std::array<std::uint64_t, PrefetchTracer::numComponents> issued{};
+    std::array<std::uint64_t, PrefetchTracer::numComponents> hits{};
+};
+
+/** One derived epoch record (all rates are interval-local). */
+struct IntervalSample
+{
+    std::uint64_t epoch = 0;         //!< index from measurement start
+    std::uint64_t instructions = 0;  //!< cumulative at sample point
+    std::uint64_t instrDelta = 0;
+    double cycleDelta = 0.0;
+    std::uint64_t istlbMisses = 0;
+    double istlbMpki = 0.0;
+    std::uint64_t pbHits = 0;
+    double pbHitRate = 0.0;          //!< pbHits / istlbMisses
+    std::uint64_t demandWalksInstr = 0;
+    std::uint64_t prefetchWalks = 0;
+    std::uint64_t freqResets = 0;
+    double walkerOccupancy = 0.0;    //!< busy port-cycles fraction
+    std::array<std::uint64_t, PrefetchTracer::numComponents> issued{};
+    std::array<std::uint64_t, PrefetchTracer::numComponents> hits{};
+};
+
+/** Output encoding for the streaming sink. */
+enum class IntervalFormat : std::uint8_t
+{
+    Jsonl,
+    Csv,
+};
+
+/** The epoch ring + encoder. */
+class IntervalSampler
+{
+  public:
+    /**
+     * @param interval Epoch length in measured instructions.
+     * @param ring_capacity Epochs retained for later export; older
+     * epochs fall off the ring (the streaming sink sees them all).
+     */
+    explicit IntervalSampler(std::uint64_t interval,
+                             std::size_t ring_capacity = 4096);
+
+    /** Attach a streaming sink (null detaches). */
+    void setSink(std::ostream *os, IntervalFormat format);
+
+    std::uint64_t interval() const { return interval_; }
+
+    /** Reset epoch numbering and the delta baseline. */
+    void beginMeasurement();
+
+    /** Record one epoch from cumulative counters. */
+    const IntervalSample &record(const IntervalInputs &in);
+
+    const std::deque<IntervalSample> &samples() const
+    {
+        return ring_;
+    }
+    std::uint64_t epochsRecorded() const { return epochs_; }
+
+    /** Write the retained ring as a JSON array. */
+    void writeRingJson(std::ostream &os) const;
+
+  private:
+    void emit(const IntervalSample &s);
+
+    std::uint64_t interval_;
+    std::size_t ringCapacity_;
+    std::ostream *sink_ = nullptr;
+    IntervalFormat format_ = IntervalFormat::Jsonl;
+    bool wroteCsvHeader_ = false;
+
+    IntervalInputs prev_{};
+    std::uint64_t epochs_ = 0;
+    std::deque<IntervalSample> ring_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_INTERVAL_SAMPLER_HH

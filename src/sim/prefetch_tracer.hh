@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Prefetch lifecycle tracer.
+ *
+ * Tags every prefetch Morrigan (or any other engine) issues with a
+ * monotonic id and follows it through its whole life:
+ *
+ *   issued -> (dropped duplicate | prefetch walk) ->
+ *   (dropped unmapped | PB install | direct STLB fill) ->
+ *   (timely PB hit | late-but-in-flight PB hit |
+ *    evicted unused | flushed | resident at end of run)
+ *
+ * Outcomes are attributed per *component* -- each IRIP PRT table
+ * separately, the free cache-line-locality installs, SDP's next-page
+ * prefetch, SDP's cache-line-locality installs, and the I-cache
+ * prefetcher's beyond-page-boundary walks -- so accuracy, coverage
+ * and timeliness can be quoted per engine (the quantities behind
+ * Figures 13-19). Counters register in the simulator's StatGroup
+ * tree under `prefetch_trace.<component>`, and an optional JSONL
+ * event sink records every transition (--trace FILE).
+ *
+ * Cost model: with no tracer attached every hook in the simulator and
+ * the PB is a single null-pointer test. With the tracer attached but
+ * no event sink, each hook is a handful of counter increments.
+ *
+ * Only prefetches issued inside the measurement window are
+ * classified, so the lifecycle identity
+ *
+ *   issued = hits + late hits + evicted(+flushed+residual) + dropped
+ *            (+ direct STLB fills in P2TLB mode)
+ *
+ * holds exactly at the end of a run (see reconciles()).
+ */
+
+#ifndef MORRIGAN_SIM_PREFETCH_TRACER_HH
+#define MORRIGAN_SIM_PREFETCH_TRACER_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "tlb/prefetch_buffer.hh"
+
+namespace morrigan
+{
+
+/** Why a prefetch was dropped before reaching the PB. */
+enum class PrefetchDropReason : std::uint8_t
+{
+    Duplicate,  //!< already buffered at issue (PB duplicate filter)
+    Unmapped,   //!< non-faulting walk found no translation
+};
+
+/** The lifecycle tracer; also the PB's event observer. */
+class PrefetchTracer : public PbObserver
+{
+  public:
+    /**
+     * Component index layout: one bucket per IRIP PRT table (up to
+     * kMaxIripTables), then the aggregated special producers.
+     */
+    static constexpr unsigned kMaxIripTables = 8;
+    static constexpr unsigned kIripSpatial = kMaxIripTables;
+    static constexpr unsigned kSdp = kMaxIripTables + 1;
+    static constexpr unsigned kSdpSpatial = kMaxIripTables + 2;
+    static constexpr unsigned kICache = kMaxIripTables + 3;
+    static constexpr unsigned kOther = kMaxIripTables + 4;
+    static constexpr unsigned numComponents = kMaxIripTables + 5;
+
+    /** Map a producer tag to its component index. */
+    static unsigned componentOf(const PrefetchTag &tag);
+    /** Stable short name, e.g. "irip_t0", "sdp_spatial". */
+    static const char *componentName(unsigned comp);
+
+    /** Cumulative lifecycle outcome counts (measurement window). */
+    struct Outcomes
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t installed = 0;
+        std::uint64_t hitsReady = 0;    //!< timely PB hits
+        std::uint64_t hitsLate = 0;     //!< in-flight (late) PB hits
+        std::uint64_t evictedUnused = 0;
+        std::uint64_t flushed = 0;
+        std::uint64_t residual = 0;     //!< still resident at run end
+        std::uint64_t dropped = 0;      //!< duplicate + unmapped
+        std::uint64_t stlbFills = 0;    //!< P2TLB direct fills
+
+        std::uint64_t hits() const { return hitsReady + hitsLate; }
+        std::uint64_t
+        unused() const
+        {
+            return evictedUnused + flushed + residual;
+        }
+        /** issued == hits + unused + dropped (+ direct STLB fills). */
+        bool
+        reconciles() const
+        {
+            return issued == hits() + unused() + dropped + stlbFills;
+        }
+        /** hits / issued (0 when nothing was issued). */
+        double accuracy() const;
+        /** timely hits / all hits (0 when nothing hit). */
+        double timeliness() const;
+
+        Outcomes &operator+=(const Outcomes &o);
+    };
+
+    /** @param parent Stats tree to register under (may be null). */
+    explicit PrefetchTracer(StatGroup *parent);
+    ~PrefetchTracer() override;
+
+    /** Attach (or detach with nullptr) the JSONL event sink. */
+    void setEventSink(std::ostream *os) { sink_ = os; }
+
+    /**
+     * Start the measurement window: zero all counters and begin
+     * classifying (and logging) prefetches issued from here on.
+     * Entries installed before this point keep flowing through the
+     * hooks but are excluded from the lifecycle accounts.
+     */
+    void beginMeasurement(Cycle now);
+
+    // --- simulator-side hooks ---
+
+    /** A prefetch request was handed to the walker path.
+     * @return the trace id to stamp into the PB entry. */
+    std::uint64_t onIssued(const PrefetchTag &tag, Vpn vpn, Cycle now);
+
+    /** The prefetch was discarded before installing anywhere. */
+    void onDropped(const PrefetchTag &tag, std::uint64_t id,
+                   PrefetchDropReason reason, Cycle now);
+
+    /** Its non-faulting page walk completed (pre-install). */
+    void onWalkComplete(const PrefetchTag &tag, std::uint64_t id,
+                        Cycle latency, unsigned memRefs,
+                        Cycle readyAt);
+
+    /** P2TLB mode: the translation went straight into the STLB. */
+    void onStlbFill(const PrefetchTag &tag, std::uint64_t id,
+                    Cycle now);
+
+    /** PB lifecycle events (install/hit/evict/flush). */
+    void pbEvent(PbObserver::Event ev, const PbEntry &entry,
+                 Cycle now) override;
+
+    /**
+     * End of run: classify every traced entry still resident in the
+     * PB as `residual`, completing the lifecycle identity.
+     */
+    void finalize(const PrefetchBuffer &pb, Cycle now);
+
+    // --- accessors ---
+
+    std::uint64_t nextId() const { return nextId_; }
+    Outcomes outcomes(unsigned comp) const;
+    Outcomes totals() const;
+    /** Whether every component's lifecycle identity holds. */
+    bool reconciles() const;
+
+    /** Append the per-component summary to a JSON writer stream as
+     * one object ({"components":{...},"totals":{...}}). */
+    void writeSummaryJson(std::ostream &os) const;
+
+  private:
+    struct ComponentStats;
+
+    bool measured(std::uint64_t id) const
+    {
+        return measuring_ && id >= firstMeasuredId_ && id != 0;
+    }
+    void emitIssue(const PrefetchTag &tag, std::uint64_t id, Vpn vpn,
+                   Cycle now);
+
+    std::ostream *sink_ = nullptr;
+    bool measuring_ = false;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t firstMeasuredId_ = 1;
+
+    StatGroup group_;
+    std::array<std::unique_ptr<ComponentStats>, numComponents> comps_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_PREFETCH_TRACER_HH

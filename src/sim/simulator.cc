@@ -48,6 +48,27 @@ Simulator::attachPrefetcher(TlbPrefetcher *prefetcher)
     prefetcher_ = prefetcher;
 }
 
+PrefetchTracer &
+Simulator::enableTracer(std::ostream *event_sink)
+{
+    if (!tracer_) {
+        tracer_ = std::make_unique<PrefetchTracer>(&rootStats_);
+        pb_.setObserver(tracer_.get());
+    }
+    if (event_sink)
+        tracer_->setEventSink(event_sink);
+    return *tracer_;
+}
+
+IntervalSampler &
+Simulator::enableIntervalSampler(std::uint64_t interval)
+{
+    enableTracer();  // per-component epoch metrics need the counters
+    if (!sampler_ || sampler_->interval() != interval)
+        sampler_ = std::make_unique<IntervalSampler>(interval);
+    return *sampler_;
+}
+
 bool
 Simulator::pbActive() const
 {
@@ -113,9 +134,17 @@ Simulator::issueSpatialFills(Vpn target, Cycle ready_at,
         entry.pfn = p.pfn;
         entry.readyAt = ready_at;
         entry.tag.producer = producer;
+        entry.tag.sourcePage = target;
+        entry.tag.distance = static_cast<PageDelta>(n) -
+                             static_cast<PageDelta>(target);
         entry.insertSeq = c_.istlbMisses;
+        if (tracer_)
+            entry.traceId =
+                tracer_->onIssued(entry.tag, n, now());
         if (cfg_.prefetchIntoStlb) {
             tlbs_.fillStlbOnly(n, p.pfn, AccessType::Instruction);
+            if (tracer_)
+                tracer_->onStlbFill(entry.tag, entry.traceId, now());
         } else {
             pbInsert(n, entry);
         }
@@ -143,10 +172,16 @@ Simulator::pbInsert(Vpn vpn, const PbEntry &entry)
 void
 Simulator::issueTlbPrefetch(const PrefetchRequest &req)
 {
+    std::uint64_t trace_id =
+        tracer_ ? tracer_->onIssued(req.tag, req.vpn, now()) : 0;
+
     // Duplicate filter against the PB only; probing the STLB would
     // contend with demand lookups (Section 2.1 note (iii)).
     if (!cfg_.prefetchIntoStlb && pb_.contains(req.vpn)) {
         ++c_.prefetchesDiscarded;
+        if (tracer_)
+            tracer_->onDropped(req.tag, trace_id,
+                               PrefetchDropReason::Duplicate, now());
         return;
     }
 
@@ -157,17 +192,29 @@ Simulator::issueTlbPrefetch(const PrefetchRequest &req)
     for (unsigned i = 0; i < 4; ++i)
         c_.prefetchWalkRefsByLevel[i] += wr.refsByLevel[i];
 
-    if (!wr.success)
-        return;  // non-faulting prefetch to an unmapped page
+    if (!wr.success) {
+        // Non-faulting prefetch to an unmapped page.
+        if (tracer_)
+            tracer_->onDropped(req.tag, trace_id,
+                               PrefetchDropReason::Unmapped, now());
+        return;
+    }
+
+    if (tracer_)
+        tracer_->onWalkComplete(req.tag, trace_id, wr.latency,
+                                wr.memRefs, wr.completeCycle);
 
     if (cfg_.prefetchIntoStlb) {
         tlbs_.fillStlbOnly(req.vpn, wr.pfn, AccessType::Instruction);
+        if (tracer_)
+            tracer_->onStlbFill(req.tag, trace_id, now());
     } else {
         PbEntry entry;
         entry.pfn = wr.pfn;
         entry.readyAt = wr.completeCycle;
         entry.tag = req.tag;
         entry.insertSeq = c_.istlbMisses;
+        entry.traceId = trace_id;
         pbInsert(req.vpn, entry);
     }
 
@@ -334,20 +381,38 @@ Simulator::handleICachePrefetches(Addr pc, bool l1i_miss, Pfn cur_pfn,
                 // page walk and stores the PTE in the PB
                 // (Section 3.5's extended IPC-1 configuration).
                 ++c_.icacheCrossPageNeedingWalk;
+                PbEntry entry;
+                entry.tag.producer = PrefetchProducer::ICache;
+                entry.tag.sourcePage = cur_vpn;
+                entry.tag.distance = static_cast<PageDelta>(tvpn) -
+                                     static_cast<PageDelta>(cur_vpn);
+                // In P2TLB mode the PTE is not installed anywhere;
+                // nothing to trace in that case.
+                bool traced = tracer_ && !cfg_.prefetchIntoStlb;
+                if (traced)
+                    entry.traceId =
+                        tracer_->onIssued(entry.tag, tvpn, now());
                 WalkResult wr = walker_.walk(tvpn, WalkKind::Prefetch,
                                              now(), false);
                 ++c_.prefetchWalks;
                 c_.prefetchWalkRefs += wr.memRefs;
                 for (unsigned i = 0; i < 4; ++i)
                     c_.prefetchWalkRefsByLevel[i] += wr.refsByLevel[i];
-                if (!wr.success)
+                if (!wr.success) {
+                    if (traced)
+                        tracer_->onDropped(
+                            entry.tag, entry.traceId,
+                            PrefetchDropReason::Unmapped, now());
                     continue;
+                }
+                if (traced)
+                    tracer_->onWalkComplete(entry.tag, entry.traceId,
+                                            wr.latency, wr.memRefs,
+                                            wr.completeCycle);
                 tpfn = wr.pfn;
                 translation_delay = wr.completeCycle - now();
-                PbEntry entry;
                 entry.pfn = wr.pfn;
                 entry.readyAt = wr.completeCycle;
-                entry.tag.producer = PrefetchProducer::ICache;
                 if (!cfg_.prefetchIntoStlb)
                     pbInsert(tvpn, entry);
             }
@@ -460,6 +525,36 @@ Simulator::simulateInstruction(const TraceRecord &rec, unsigned tid)
 
     if (rec.hasData)
         handleData(threadAddr(rec.dataAddr, tid), tid);
+
+    if (sampler_ && c_.instructions >= nextSampleAt_) {
+        takeIntervalSample();
+        nextSampleAt_ += sampler_->interval();
+    }
+}
+
+void
+Simulator::takeIntervalSample()
+{
+    IntervalInputs in;
+    in.instructions = c_.instructions;
+    in.cycles = cycles_ - measureStartCycles_;
+    in.istlbMisses = c_.istlbMisses;
+    in.pbHits = c_.pbHits;
+    in.demandWalksInstr = c_.demandWalksInstr;
+    in.prefetchWalks = c_.prefetchWalks;
+    in.freqResets =
+        prefetcher_ ? prefetcher_->frequencyStackResets() : 0;
+    in.walkerBusyPortCycles = walker_.busyPortCycles();
+    in.walkerPorts = walker_.ports();
+    if (tracer_) {
+        for (unsigned comp = 0;
+             comp < PrefetchTracer::numComponents; ++comp) {
+            PrefetchTracer::Outcomes o = tracer_->outcomes(comp);
+            in.issued[comp] = o.issued;
+            in.hits[comp] = o.hits();
+        }
+    }
+    sampler_->record(in);
 }
 
 SimResult
@@ -489,8 +584,22 @@ Simulator::run()
     rootStats_.resetAll();
     missStream_ = MissStreamStats{};
     measureStartCycles_ = cycles_;
+    if (tracer_)
+        tracer_->beginMeasurement(now());
+    if (sampler_) {
+        sampler_->beginMeasurement();
+        nextSampleAt_ = sampler_->interval();
+    }
 
     step(cfg_.simInstructions);
+
+    // Final partial epoch, then classify what is still in flight so
+    // the lifecycle outcome counts reconcile.
+    if (sampler_ && c_.instructions + sampler_->interval() !=
+                        nextSampleAt_)
+        takeIntervalSample();
+    if (tracer_)
+        tracer_->finalize(pb_, now());
     return buildResult();
 }
 

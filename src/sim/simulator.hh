@@ -37,6 +37,8 @@
 #include "core/tlb_prefetcher.hh"
 #include "icache/icache_prefetcher.hh"
 #include "mem/memory_hierarchy.hh"
+#include "sim/interval_sampler.hh"
+#include "sim/prefetch_tracer.hh"
 #include "sim/sim_config.hh"
 #include "tlb/prefetch_buffer.hh"
 #include "tlb/tlb_hierarchy.hh"
@@ -60,6 +62,26 @@ class Simulator
 
     /** Attach the (optional) STLB prefetcher. Not owned. */
     void attachPrefetcher(TlbPrefetcher *prefetcher);
+
+    /**
+     * Enable prefetch lifecycle tracing (see prefetch_tracer.hh).
+     * Counters register under rootStats().prefetch_trace; pass an
+     * @p event_sink to also emit the JSONL event log. Idempotent.
+     */
+    PrefetchTracer &enableTracer(std::ostream *event_sink = nullptr);
+
+    /**
+     * Enable the interval time-series sampler: one epoch every
+     * @p interval measured instructions (plus a final partial
+     * epoch). Implies enableTracer() so per-component accuracy is
+     * available per epoch. Idempotent per interval.
+     */
+    IntervalSampler &enableIntervalSampler(std::uint64_t interval);
+
+    /** The tracer, or nullptr when tracing is disabled. */
+    PrefetchTracer *tracer() { return tracer_.get(); }
+    /** The sampler, or nullptr when sampling is disabled. */
+    IntervalSampler *intervalSampler() { return sampler_.get(); }
 
     /** Run warmup + measurement; returns the measured results. */
     SimResult run();
@@ -133,6 +155,7 @@ class Simulator
     void handleData(Addr va, unsigned tid);
     void contextSwitch();
     void drainPendingLineFills();
+    void takeIntervalSample();
     SimResult buildResult() const;
 
     SimConfig cfg_;
@@ -146,6 +169,11 @@ class Simulator
 
     TlbPrefetcher *prefetcher_ = nullptr;
     std::unique_ptr<ICachePrefetcher> icachePref_;
+
+    // Observability (both null => hooks cost one branch each).
+    std::unique_ptr<PrefetchTracer> tracer_;
+    std::unique_ptr<IntervalSampler> sampler_;
+    std::uint64_t nextSampleAt_ = ~std::uint64_t{0};
 
     TraceSource *workloads_[2] = {nullptr, nullptr};
     unsigned numThreads_ = 0;

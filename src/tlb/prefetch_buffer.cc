@@ -39,6 +39,10 @@ PrefetchBuffer::lookupAndConsume(Vpn vpn, Cycle now)
         ++pendingHits_;
     ++hits_;
     ++hitsByProducer_[static_cast<unsigned>(entry->tag.producer)];
+    if (obs_)
+        obs_->pbEvent(res.pending ? PbObserver::Event::HitPending
+                                  : PbObserver::Event::HitReady,
+                      *entry, now);
     // The translation moves to the STLB; free the PB slot.
     table_.erase(vpn);
     return res;
@@ -62,14 +66,20 @@ PrefetchBuffer::insert(Vpn vpn, const PbEntry &entry,
 {
     if (table_.probe(vpn)) {
         ++duplicateInserts_;
+        if (obs_)
+            obs_->pbEvent(PbObserver::Event::DuplicateInsert, entry, 0);
         return false;
     }
     ++inserts_;
+    if (obs_)
+        obs_->pbEvent(PbObserver::Event::Installed, entry, 0);
     PbEntry victim;
     Vpn victim_vpn = 0;
     bool evicted = table_.insert(vpn, entry, &victim_vpn, &victim);
     if (evicted && !victim.usedOnce) {
         ++uselessEvictions_;
+        if (obs_)
+            obs_->pbEvent(PbObserver::Event::EvictedUnused, victim, 0);
         if (evicted_unused)
             *evicted_unused = victim_vpn;
         return true;
@@ -82,15 +92,27 @@ PrefetchBuffer::insertOpportunistic(Vpn vpn, const PbEntry &entry)
 {
     if (table_.probe(vpn)) {
         ++duplicateInserts_;
+        if (obs_)
+            obs_->pbEvent(PbObserver::Event::DuplicateInsert, entry, 0);
         return;
     }
-    if (table_.insertNoEvict(vpn, entry))
+    if (table_.insertNoEvict(vpn, entry)) {
         ++inserts_;
+        if (obs_)
+            obs_->pbEvent(PbObserver::Event::Installed, entry, 0);
+    } else if (obs_) {
+        obs_->pbEvent(PbObserver::Event::RejectedNoSlot, entry, 0);
+    }
 }
 
 void
 PrefetchBuffer::flush()
 {
+    if (obs_) {
+        table_.forEach([&](Vpn, const PbEntry &e) {
+            obs_->pbEvent(PbObserver::Event::Flushed, e, 0);
+        });
+    }
     table_.flush();
 }
 

@@ -42,7 +42,13 @@ enum class PrefetchProducer : std::uint8_t
 /** Identifies the prediction slot that generated a prefetch. */
 struct PrefetchTag
 {
+    /** Sentinel for @ref table when no PRT table is involved. */
+    static constexpr std::uint8_t noTable = 0xff;
+
     PrefetchProducer producer = PrefetchProducer::Other;
+    /** IRIP PRT table index that produced the prediction (per-table
+     * attribution for the lifecycle tracer); noTable otherwise. */
+    std::uint8_t table = noTable;
     /** Page whose PRT entry produced the prediction. */
     Vpn sourcePage = 0;
     /** Predicted distance stored in that slot. */
@@ -58,6 +64,33 @@ struct PbEntry
     bool usedOnce = false;
     /** Miss-sequence number at insert (use-distance accounting). */
     std::uint64_t insertSeq = 0;
+    /** Lifecycle-tracer id; 0 when the prefetch was not traced. */
+    std::uint64_t traceId = 0;
+};
+
+/**
+ * Observer of PB entry lifecycle events, implemented by the prefetch
+ * tracer. The buffer holds a single nullable observer pointer; with
+ * no observer attached every hook is one predictable branch.
+ */
+class PbObserver
+{
+  public:
+    enum class Event : std::uint8_t
+    {
+        Installed,       //!< prefetched PTE entered the buffer
+        HitReady,        //!< demand hit, walk already complete
+        HitPending,      //!< demand hit on an in-flight prefetch
+        EvictedUnused,   //!< capacity eviction before any hit
+        DuplicateInsert, //!< insert dropped, VPN already buffered
+        RejectedNoSlot,  //!< opportunistic insert found no free way
+        Flushed,         //!< discarded by a flush (context switch)
+    };
+
+    virtual ~PbObserver() = default;
+
+    /** @p now is meaningful for hit events; 0 otherwise. */
+    virtual void pbEvent(Event ev, const PbEntry &entry, Cycle now) = 0;
 };
 
 /** Result of a PB lookup. */
@@ -116,8 +149,20 @@ class PrefetchBuffer
     /** Remove everything (context switch). */
     void flush();
 
+    /** Attach (or detach with nullptr) the lifecycle observer. */
+    void setObserver(PbObserver *obs) { obs_ = obs; }
+
+    /** Apply @p fn to every resident entry (tracer finalisation). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        table_.forEach([&](Vpn vpn, const PbEntry &e) { fn(vpn, e); });
+    }
+
     Cycle latency() const { return latency_; }
     std::uint32_t capacity() const { return table_.capacity(); }
+    std::uint32_t population() const { return table_.population(); }
 
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
@@ -135,6 +180,7 @@ class PrefetchBuffer
   private:
     SetAssocTable<Vpn, PbEntry> table_;
     Cycle latency_;
+    PbObserver *obs_ = nullptr;
 
     StatGroup stats_;
     Counter lookups_;

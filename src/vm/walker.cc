@@ -21,6 +21,8 @@ PageTableWalker::PageTableWalker(const WalkerParams &params,
                        "memory references by prefetch walks"),
       droppedPrefetchWalks_(&stats_, "dropped_prefetch_walks",
                             "non-faulting prefetches to unmapped pages"),
+      busyPortCycles_(&stats_, "busy_port_cycles",
+                      "cumulative port-cycles occupied by walks"),
       demandLatency_(&stats_, "demand_latency",
                      "demand walk latency (cycles)"),
       prefetchLatency_(&stats_, "prefetch_latency",
@@ -104,6 +106,7 @@ PageTableWalker::walk(Vpn vpn, WalkKind kind, Cycle now, bool allocate)
     auto port = std::min_element(portBusyUntil_.begin(),
                                  portBusyUntil_.end());
     *port = res.completeCycle;
+    busyPortCycles_ += res.completeCycle - res.startCycle;
 
     if (path.mapped && !hashed)
         psc_.fill(vpn);

@@ -119,6 +119,19 @@ class PageTableWalker
         return demandLatency_.mean();
     }
 
+    /**
+     * Cumulative port-cycles spent walking (each walk contributes its
+     * start-to-complete duration on one port). Occupancy over an
+     * interval is delta(busyPortCycles) / (delta(cycles) * ports());
+     * the interval sampler reports exactly that.
+     */
+    std::uint64_t busyPortCycles() const
+    {
+        return busyPortCycles_.value();
+    }
+
+    unsigned ports() const { return params_.ports; }
+
   private:
     WalkerParams params_;
     PageTable &table_;
@@ -132,6 +145,7 @@ class PageTableWalker
     Counter demandMemRefs_;
     Counter prefetchMemRefs_;
     Counter droppedPrefetchWalks_;
+    Counter busyPortCycles_;
     Distribution demandLatency_;
     Distribution prefetchLatency_;
     std::array<std::uint64_t, 4> prefetchRefsByLevel_{};

@@ -63,6 +63,32 @@ TEST(Stats, DistributionMoments)
     EXPECT_EQ(d.max(), 9.0);
 }
 
+TEST(Stats, DistributionFirstSampleSetsMinAndMax)
+{
+    StatGroup g("root");
+    Distribution d(&g, "d", "dist");
+    // Before any sample both extremes report 0.
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    // The first sample must become both min and max even when it is
+    // larger than 0 (min) or negative (max) -- i.e. the extremes must
+    // be seeded from the sample, not compared against stale zeros.
+    d.sample(7.0);
+    EXPECT_EQ(d.min(), 7.0);
+    EXPECT_EQ(d.max(), 7.0);
+
+    Distribution neg(&g, "n", "negative first sample");
+    neg.sample(-3.0);
+    EXPECT_EQ(neg.min(), -3.0);
+    EXPECT_EQ(neg.max(), -3.0);
+
+    // Reset re-arms the first-sample seeding.
+    d.reset();
+    d.sample(-1.0);
+    EXPECT_EQ(d.min(), -1.0);
+    EXPECT_EQ(d.max(), -1.0);
+}
+
 TEST(Stats, GroupHierarchyPaths)
 {
     StatGroup root("sim");

@@ -17,13 +17,17 @@
  *                --pt-depth 5 --stats --miss-stream
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "core/morrigan.hh"
 #include "core/prefetcher_factory.hh"
 #include "sim/experiment.hh"
@@ -62,25 +66,71 @@ usage()
         "instructions\n"
         "  --pb-entries N        prefetch buffer capacity\n"
         "  --stats               dump the component statistics tree\n"
+        "  --stats-json FILE     write the versioned JSON stats "
+        "document\n"
+        "  --trace FILE          JSONL prefetch lifecycle event log\n"
+        "  --interval N          sample metrics every N measured "
+        "instructions\n"
+        "  --interval-out FILE   stream interval epochs to FILE\n"
+        "  --interval-csv        CSV instead of JSONL for "
+        "--interval-out\n"
         "  --miss-stream         print the miss-stream "
         "characterisation\n"
         "  --baseline            also run the no-prefetch baseline "
         "and report speedup\n");
 }
 
+/**
+ * Validated numeric option parsing: fatal()s on junk, trailing
+ * garbage, or out-of-range values instead of silently using 0 the
+ * way bare atoi would.
+ */
+std::uint64_t
+parseU64(const std::string &flag, const char *s,
+         std::uint64_t min_value, std::uint64_t max_value)
+{
+    if (!s || *s == '\0' || *s == '-')
+        fatal("%s: '%s' is not a non-negative integer",
+              flag.c_str(), s ? s : "");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (*end != '\0')
+        fatal("%s: trailing junk in '%s'", flag.c_str(), s);
+    if (errno == ERANGE || v < min_value || v > max_value)
+        fatal("%s: %s out of range [%llu, %llu]", flag.c_str(), s,
+              static_cast<unsigned long long>(min_value),
+              static_cast<unsigned long long>(max_value));
+    return v;
+}
+
+/** Parse a workload-suffix index; nullopt on junk. */
+std::optional<unsigned>
+parseIndex(const char *s)
+{
+    if (*s == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (*end != '\0' || errno == ERANGE || v > 1000000)
+        return std::nullopt;
+    return static_cast<unsigned>(v);
+}
+
 std::optional<ServerWorkloadParams>
 parseWorkload(const std::string &name)
 {
     if (name.rfind("qmm_", 0) == 0) {
-        unsigned idx = std::atoi(name.c_str() + 4);
-        if (idx < numQmmWorkloads)
-            return qmmWorkloadParams(idx);
+        auto idx = parseIndex(name.c_str() + 4);
+        if (idx && *idx < numQmmWorkloads)
+            return qmmWorkloadParams(*idx);
         return std::nullopt;
     }
     if (name.rfind("spec_", 0) == 0) {
-        unsigned idx = std::atoi(name.c_str() + 5);
-        if (idx < numSpecWorkloads)
-            return specWorkloadParams(idx);
+        auto idx = parseIndex(name.c_str() + 5);
+        if (idx && *idx < numSpecWorkloads)
+            return specWorkloadParams(*idx);
         return std::nullopt;
     }
     if (name.rfind("java:", 0) == 0) {
@@ -135,6 +185,68 @@ printResult(const SimResult &r)
                         r.contextSwitches));
 }
 
+/** Key run-level results as a JSON object. */
+void
+writeResultJson(std::ostream &os, const SimResult &r)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("instructions", r.instructions);
+    w.kv("cycles", r.cycles);
+    w.kv("ipc", r.ipc);
+    w.kv("l1i_mpki", r.l1iMpki);
+    w.kv("itlb_mpki", r.itlbMpki);
+    w.kv("istlb_mpki", r.istlbMpki);
+    w.kv("dstlb_mpki", r.dstlbMpki);
+    w.kv("istlb_misses", r.istlbMisses);
+    w.kv("pb_hits", r.pbHits);
+    w.kv("pb_hits_irip", r.pbHitsIrip);
+    w.kv("pb_hits_sdp", r.pbHitsSdp);
+    w.kv("pb_hits_icache", r.pbHitsICache);
+    w.kv("coverage", r.coverage);
+    w.kv("istlb_cycle_fraction", r.istlbCycleFraction);
+    w.kv("demand_walks", r.demandWalks);
+    w.kv("demand_walks_instr", r.demandWalksInstr);
+    w.kv("demand_walk_refs", r.demandWalkRefs);
+    w.kv("prefetch_walks", r.prefetchWalks);
+    w.kv("prefetch_walk_refs", r.prefetchWalkRefs);
+    w.kv("mean_demand_walk_latency_instr",
+         r.meanDemandWalkLatencyInstr);
+    w.kv("context_switches", r.contextSwitches);
+    w.endObject();
+}
+
+/**
+ * The full --stats-json document: schema header, run identity, key
+ * results, the whole StatGroup tree, and -- when enabled -- the
+ * prefetch lifecycle summary and the interval epoch ring.
+ */
+void
+writeStatsJsonDocument(std::ostream &os, Simulator &sim,
+                       const SimResult &r)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema", "morrigan-stats");
+    w.kv("version", json::statsSchemaVersion);
+    w.kv("workload", r.workload);
+    w.kv("prefetcher", r.prefetcher);
+    w.key("result").rawValue(
+        [&](std::ostream &o) { writeResultJson(o, r); });
+    w.key("stats").rawValue(
+        [&](std::ostream &o) { sim.rootStats().writeJson(o); });
+    if (sim.tracer())
+        w.key("trace_summary").rawValue([&](std::ostream &o) {
+            sim.tracer()->writeSummaryJson(o);
+        });
+    if (sim.intervalSampler())
+        w.key("intervals").rawValue([&](std::ostream &o) {
+            sim.intervalSampler()->writeRingJson(o);
+        });
+    w.endObject();
+    os << '\n';
+}
+
 } // namespace
 
 int
@@ -151,6 +263,11 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool miss_stream = false;
     bool with_baseline = false;
+    std::string stats_json_path;
+    std::string trace_path;
+    std::string interval_out_path;
+    std::uint64_t interval = 0;
+    bool interval_csv = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -174,13 +291,14 @@ main(int argc, char **argv)
         } else if (arg == "--smt-scaled") {
             smt_scaled = true;
         } else if (arg == "--warmup") {
-            cfg.warmupInstructions = std::strtoull(next(), nullptr,
-                                                   10);
+            cfg.warmupInstructions =
+                parseU64(arg, next(), 0, std::uint64_t{1} << 40);
         } else if (arg == "--instructions") {
-            cfg.simInstructions = std::strtoull(next(), nullptr, 10);
+            cfg.simInstructions =
+                parseU64(arg, next(), 1, std::uint64_t{1} << 40);
         } else if (arg == "--pt-depth") {
             cfg.pageTableDepth =
-                static_cast<unsigned>(std::atoi(next()));
+                static_cast<unsigned>(parseU64(arg, next(), 4, 5));
         } else if (arg == "--asap") {
             cfg.walker.asap = true;
         } else if (arg == "--perfect-istlb") {
@@ -195,12 +313,23 @@ main(int argc, char **argv)
             cfg.prefetchOnStlbHits = true;
         } else if (arg == "--ctx-switch") {
             cfg.contextSwitchInterval =
-                std::strtoull(next(), nullptr, 10);
+                parseU64(arg, next(), 0, std::uint64_t{1} << 40);
         } else if (arg == "--pb-entries") {
-            cfg.pbEntries =
-                static_cast<std::uint32_t>(std::atoi(next()));
+            cfg.pbEntries = static_cast<std::uint32_t>(
+                parseU64(arg, next(), 1, 1u << 20));
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--interval") {
+            interval =
+                parseU64(arg, next(), 1, std::uint64_t{1} << 40);
+        } else if (arg == "--interval-out") {
+            interval_out_path = next();
+        } else if (arg == "--interval-csv") {
+            interval_csv = true;
         } else if (arg == "--miss-stream") {
             miss_stream = true;
             cfg.collectMissStream = true;
@@ -260,8 +389,45 @@ main(int argc, char **argv)
     if (prefetcher)
         sim.attachPrefetcher(prefetcher.get());
 
+    // Observability wiring: lifecycle tracing, interval sampling and
+    // the JSON stats document are all opt-in and independent, except
+    // that --interval implies the tracer (for per-component counts).
+    std::ofstream trace_ofs;
+    if (!trace_path.empty()) {
+        trace_ofs.open(trace_path);
+        if (!trace_ofs)
+            fatal("cannot open --trace file '%s'",
+                  trace_path.c_str());
+        sim.enableTracer(&trace_ofs);
+    } else if (!stats_json_path.empty() || interval > 0) {
+        sim.enableTracer();
+    }
+    std::ofstream interval_ofs;
+    if (interval > 0) {
+        IntervalSampler &sampler = sim.enableIntervalSampler(interval);
+        if (!interval_out_path.empty()) {
+            interval_ofs.open(interval_out_path);
+            if (!interval_ofs)
+                fatal("cannot open --interval-out file '%s'",
+                      interval_out_path.c_str());
+            sampler.setSink(&interval_ofs,
+                            interval_csv ? IntervalFormat::Csv
+                                         : IntervalFormat::Jsonl);
+        }
+    } else if (!interval_out_path.empty() || interval_csv) {
+        fatal("--interval-out/--interval-csv require --interval N");
+    }
+
     SimResult r = sim.run();
     printResult(r);
+
+    if (!stats_json_path.empty()) {
+        std::ofstream ofs(stats_json_path);
+        if (!ofs)
+            fatal("cannot open --stats-json file '%s'",
+                  stats_json_path.c_str());
+        writeStatsJsonDocument(ofs, sim, r);
+    }
 
     if (with_baseline) {
         Simulator base_sim(cfg);
