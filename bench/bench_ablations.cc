@@ -28,15 +28,19 @@ evaluate(const SimConfig &cfg, const MorriganParams &mp,
          const std::vector<unsigned> &indices,
          const std::vector<SimResult> &base)
 {
-    std::vector<SimResult> runs;
+    std::vector<ExperimentJob> jobs;
+    for (unsigned i : indices)
+        jobs.push_back(ExperimentJob::with(
+            cfg,
+            [mp] { return std::make_unique<MorriganPrefetcher>(mp); },
+            qmmWorkloadParams(i)));
+    std::vector<SimResult> runs = runBatch(jobs);
+
     double cov = 0.0;
     std::uint64_t pf = 0, base_refs = 0;
     for (std::size_t k = 0; k < indices.size(); ++k) {
-        MorriganPrefetcher pref(mp);
-        runs.push_back(runWorkloadWith(cfg, &pref,
-                                       qmmWorkloadParams(indices[k])));
-        cov += runs.back().coverage;
-        pf += runs.back().prefetchWalkRefs;
+        cov += runs[k].coverage;
+        pf += runs[k].prefetchWalkRefs;
         base_refs += base[k].demandWalkRefsInstr;
     }
     return {geomeanSpeedupPct(base, runs),
@@ -57,10 +61,10 @@ main()
     if (indices.size() > 6)
         indices.resize(6);
 
-    std::vector<SimResult> base;
-    for (unsigned i : indices)
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(indices);
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, suite);
 
     auto print = [](const char *label, const Summary &s,
                     const char *note) {
@@ -114,10 +118,8 @@ main()
     for (std::uint32_t ports : {1u, 2u, 4u, 8u}) {
         SimConfig c = cfg;
         c.walker.ports = ports;
-        std::vector<SimResult> b2;
-        for (unsigned i : indices)
-            b2.push_back(runWorkload(c, PrefetcherKind::None,
-                                     qmmWorkloadParams(i)));
+        std::vector<SimResult> b2 =
+            runWorkloads(c, PrefetcherKind::None, suite);
         char label[32];
         std::snprintf(label, sizeof(label), "%u ports", ports);
         print(label, evaluate(c, MorriganParams{}, indices, b2),
@@ -128,10 +130,8 @@ main()
     for (unsigned depth : {4u, 5u}) {
         SimConfig c = cfg;
         c.pageTableDepth = depth;
-        std::vector<SimResult> b2;
-        for (unsigned i : indices)
-            b2.push_back(runWorkload(c, PrefetcherKind::None,
-                                     qmmWorkloadParams(i)));
+        std::vector<SimResult> b2 =
+            runWorkloads(c, PrefetcherKind::None, suite);
         char label[32];
         std::snprintf(label, sizeof(label), "%u-level radix", depth);
         print(label, evaluate(c, MorriganParams{}, indices, b2),
@@ -143,10 +143,8 @@ main()
                                    250'000ull}) {
         SimConfig c = cfg;
         c.contextSwitchInterval = interval;
-        std::vector<SimResult> b2;
-        for (unsigned i : indices)
-            b2.push_back(runWorkload(c, PrefetcherKind::None,
-                                     qmmWorkloadParams(i)));
+        std::vector<SimResult> b2 =
+            runWorkloads(c, PrefetcherKind::None, suite);
         char label[48];
         if (interval == 0)
             std::snprintf(label, sizeof(label), "no switches");

@@ -20,12 +20,22 @@ main()
     SimConfig cfg = scaledConfig(scale);
     std::printf("  %-12s %12s %12s\n", "workload", "iSTLB MPKI",
                 "iSTLB (THP data)");
-    double lo = 1e9, hi = 0.0;
+    // One batch: every workload twice (4KB data, then THP data).
+    std::vector<ExperimentJob> jobs;
     for (unsigned i = 0; i < javaWorkloadNames().size(); ++i) {
         ServerWorkloadParams wl = javaWorkloadParams(i);
-        SimResult small = runWorkload(cfg, PrefetcherKind::None, wl);
+        jobs.push_back(
+            ExperimentJob::of(cfg, PrefetcherKind::None, wl));
         wl.dataHugePages = true;
-        SimResult thp = runWorkload(cfg, PrefetcherKind::None, wl);
+        jobs.push_back(
+            ExperimentJob::of(cfg, PrefetcherKind::None, wl));
+    }
+    std::vector<SimResult> results = runBatch(jobs);
+
+    double lo = 1e9, hi = 0.0;
+    for (std::size_t j = 0; j + 1 < results.size(); j += 2) {
+        const SimResult &small = results[j];
+        const SimResult &thp = results[j + 1];
         std::printf("  %-12s %12.2f %12.2f\n",
                     small.workload.c_str(), small.istlbMpki,
                     thp.istlbMpki);

@@ -50,12 +50,16 @@ main()
     Avg spec, qmm;
     unsigned spec_n = std::min(numSpecWorkloads,
                                scale.full ? numSpecWorkloads : 4u);
+    std::vector<ServerWorkloadParams> spec_suite;
     for (unsigned i = 0; i < spec_n; ++i)
-        spec.add(runWorkload(cfg, PrefetcherKind::None,
-                             specWorkloadParams(i)));
-    for (unsigned i : workloadIndices(scale))
-        qmm.add(runWorkload(cfg, PrefetcherKind::None,
-                            qmmWorkloadParams(i)));
+        spec_suite.push_back(specWorkloadParams(i));
+    for (const SimResult &r :
+         runWorkloads(cfg, PrefetcherKind::None, spec_suite))
+        spec.add(r);
+    for (const SimResult &r :
+         runWorkloads(cfg, PrefetcherKind::None,
+                      qmmParams(workloadIndices(scale))))
+        qmm.add(r);
 
     std::printf("  %-6s %10s %10s %10s\n", "suite", "L1I", "I-TLB",
                 "iSTLB");

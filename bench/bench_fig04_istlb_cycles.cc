@@ -20,9 +20,9 @@ main()
     std::printf("  %-10s %12s\n", "workload", "iSTLB cycles");
     double lo = 1e9, hi = 0.0, sum = 0.0;
     unsigned n = 0;
-    for (unsigned i : workloadIndices(scale)) {
-        SimResult r = runWorkload(cfg, PrefetcherKind::None,
-                                  qmmWorkloadParams(i));
+    for (const SimResult &r :
+         runWorkloads(cfg, PrefetcherKind::None,
+                      qmmParams(workloadIndices(scale)))) {
         double pct = r.istlbCycleFraction * 100.0;
         std::printf("  %-10s %11.1f%%\n", r.workload.c_str(), pct);
         lo = std::min(lo, pct);

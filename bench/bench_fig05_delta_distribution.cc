@@ -24,9 +24,8 @@ main()
                                     100, 500, 1000, 10000, 100000};
     double acc[10] = {};
     unsigned n = 0;
-    for (unsigned i : workloadIndices(scale)) {
-        MissStreamStats ms =
-            collectMissStream(cfg, qmmWorkloadParams(i));
+    for (const MissStreamStats &ms : collectMissStreams(
+             cfg, qmmParams(workloadIndices(scale)))) {
         for (unsigned b = 0; b < 10; ++b)
             acc[b] += ms.deltaCdfAt(bounds[b]);
         ++n;

@@ -22,9 +22,13 @@ main()
                 "pages@50%", "pages@75%", "pages@90%", "distinct",
                 "misses");
     std::size_t lo90 = SIZE_MAX, hi90 = 0;
-    for (unsigned i : workloadIndices(scale)) {
-        ServerWorkloadParams wl = qmmWorkloadParams(i);
-        MissStreamStats ms = collectMissStream(cfg, wl);
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(workloadIndices(scale));
+    const std::vector<MissStreamStats> streams =
+        collectMissStreams(cfg, suite);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        const ServerWorkloadParams &wl = suite[w];
+        const MissStreamStats &ms = streams[w];
         std::size_t p90 = ms.pagesCoveringFraction(0.9);
         std::printf("  %-10s %9zu %9zu %9zu %9zu %10llu\n",
                     wl.name.c_str(), ms.pagesCoveringFraction(0.5),

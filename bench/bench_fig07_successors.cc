@@ -23,9 +23,8 @@ main()
 
     double b12 = 0, b34 = 0, b58 = 0, b9p = 0;
     unsigned n = 0;
-    for (unsigned i : workloadIndices(scale)) {
-        MissStreamStats ms =
-            collectMissStream(cfg, qmmWorkloadParams(i));
+    for (const MissStreamStats &ms : collectMissStreams(
+             cfg, qmmParams(workloadIndices(scale)))) {
         b12 += ms.successorCountFraction(1, 2);
         b34 += ms.successorCountFraction(3, 4);
         b58 += ms.successorCountFraction(5, 8);

@@ -22,9 +22,8 @@ main()
 
     double r0 = 0, r1 = 0, r2 = 0, tail = 0;
     unsigned n = 0;
-    for (unsigned i : workloadIndices(scale)) {
-        MissStreamStats ms =
-            collectMissStream(cfg, qmmWorkloadParams(i));
+    for (const MissStreamStats &ms : collectMissStreams(
+             cfg, qmmParams(workloadIndices(scale)))) {
         r0 += ms.successorProbability(0);
         r1 += ms.successorProbability(1);
         r2 += ms.successorProbability(2);

@@ -21,11 +21,10 @@ main()
            "iSTLB", scale);
     SimConfig cfg = scaledConfig(scale);
 
-    auto indices = workloadIndices(scale);
-    std::vector<SimResult> base;
-    for (unsigned i : indices)
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(workloadIndices(scale));
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, suite);
 
     struct Series
     {
@@ -42,21 +41,16 @@ main()
     };
 
     for (const Series &s : series) {
-        std::vector<SimResult> runs;
-        for (unsigned i : indices)
-            runs.push_back(runWorkload(cfg, s.kind,
-                                       qmmWorkloadParams(i)));
+        std::vector<SimResult> runs =
+            runWorkloads(cfg, s.kind, suite);
         row(prefetcherKindName(s.kind),
             geomeanSpeedupPct(base, runs), "%", s.paper);
     }
 
     SimConfig perfect_cfg = cfg;
     perfect_cfg.perfectIstlb = true;
-    std::vector<SimResult> perfect;
-    for (unsigned i : indices)
-        perfect.push_back(runWorkload(perfect_cfg,
-                                      PrefetcherKind::None,
-                                      qmmWorkloadParams(i)));
+    std::vector<SimResult> perfect =
+        runWorkloads(perfect_cfg, PrefetcherKind::None, suite);
     row("Perfect iSTLB", geomeanSpeedupPct(base, perfect), "%",
         "paper: 11.1%");
     return 0;

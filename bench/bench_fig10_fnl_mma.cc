@@ -24,11 +24,12 @@ main()
     SimConfig cfg = scaledConfig(scale);
     auto indices = workloadIndices(scale);
 
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(indices);
+
     // Baseline: next-line I-cache prefetcher, real translation.
-    std::vector<SimResult> base;
-    for (unsigned i : indices)
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, suite);
 
     // FNL+MMA under the IPC-1 idealisation: the instruction side
     // pays no translation cost at all (perfect iSTLB), so the
@@ -39,14 +40,10 @@ main()
     ideal.perfectIstlb = true;
     SimConfig ideal_base = cfg;
     ideal_base.perfectIstlb = true;
-    std::vector<SimResult> ideal_runs, ideal_bases;
-    for (unsigned i : indices) {
-        ideal_runs.push_back(runWorkload(ideal, PrefetcherKind::None,
-                                         qmmWorkloadParams(i)));
-        ideal_bases.push_back(runWorkload(ideal_base,
-                                          PrefetcherKind::None,
-                                          qmmWorkloadParams(i)));
-    }
+    std::vector<SimResult> ideal_runs =
+        runWorkloads(ideal, PrefetcherKind::None, suite);
+    std::vector<SimResult> ideal_bases =
+        runWorkloads(ideal_base, PrefetcherKind::None, suite);
     row("FNL+MMA (no xlat cost)",
         geomeanSpeedupPct(ideal_bases, ideal_runs), "%",
         "paper: IPC-1 headline numbers (higher)");
@@ -55,17 +52,16 @@ main()
     SimConfig real = cfg;
     real.icachePref = ICachePrefKind::FnlMma;
     real.icacheTranslationCost = true;
-    std::vector<SimResult> real_runs;
+    std::vector<SimResult> real_runs =
+        runWorkloads(real, PrefetcherKind::None, suite);
     double miss_red = 0.0;
     for (std::size_t k = 0; k < indices.size(); ++k) {
-        SimResult r = runWorkload(real, PrefetcherKind::None,
-                                  qmmWorkloadParams(indices[k]));
         if (base[k].demandWalksInstr > 0) {
-            miss_red += 1.0 -
-                        static_cast<double>(r.demandWalksInstr) /
-                        static_cast<double>(base[k].demandWalksInstr);
+            miss_red +=
+                1.0 -
+                static_cast<double>(real_runs[k].demandWalksInstr) /
+                static_cast<double>(base[k].demandWalksInstr);
         }
-        real_runs.push_back(std::move(r));
     }
     row("FNL+MMA+TLB", geomeanSpeedupPct(base, real_runs), "%",
         "paper: significantly lower than the no-cost line");

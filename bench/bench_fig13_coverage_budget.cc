@@ -22,13 +22,15 @@ double
 meanCoverage(const SimConfig &cfg, const MorriganParams &mp,
              const std::vector<unsigned> &indices)
 {
+    std::vector<ExperimentJob> jobs;
+    for (unsigned i : indices)
+        jobs.push_back(ExperimentJob::with(
+            cfg,
+            [mp] { return std::make_unique<MorriganPrefetcher>(mp); },
+            qmmWorkloadParams(i)));
     double acc = 0.0;
-    for (unsigned i : indices) {
-        MorriganPrefetcher pref(mp);
-        SimResult r =
-            runWorkloadWith(cfg, &pref, qmmWorkloadParams(i));
+    for (const SimResult &r : runBatch(jobs))
         acc += r.coverage;
-    }
     return 100.0 * acc / indices.size();
 }
 

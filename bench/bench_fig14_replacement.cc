@@ -43,13 +43,18 @@ main()
         for (auto pol : policies) {
             MorriganParams mp = base;
             mp.irip.policy = pol;
+            std::vector<ExperimentJob> jobs;
+            for (unsigned i : indices)
+                jobs.push_back(ExperimentJob::with(
+                    cfg,
+                    [mp] {
+                        return std::make_unique<MorriganPrefetcher>(
+                            mp);
+                    },
+                    qmmWorkloadParams(i)));
             double acc = 0.0;
-            for (unsigned i : indices) {
-                MorriganPrefetcher pref(mp);
-                SimResult r = runWorkloadWith(cfg, &pref,
-                                              qmmWorkloadParams(i));
+            for (const SimResult &r : runBatch(jobs))
                 acc += r.coverage;
-            }
             std::printf(" %7.1f%%", 100.0 * acc / indices.size());
         }
         std::printf("\n");

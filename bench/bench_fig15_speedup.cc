@@ -20,10 +20,10 @@ main()
     SimConfig cfg = scaledConfig(scale);
     auto indices = workloadIndices(scale);
 
-    std::vector<SimResult> base;
-    for (unsigned i : indices)
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(indices);
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, suite);
 
     struct Series
     {
@@ -40,13 +40,12 @@ main()
 
     std::uint64_t irip_hits = 0, sdp_hits = 0;
     for (const Series &s : series) {
-        std::vector<SimResult> runs;
-        for (unsigned i : indices) {
-            runs.push_back(runWorkload(cfg, s.kind,
-                                       qmmWorkloadParams(i)));
-            if (s.kind == PrefetcherKind::Morrigan) {
-                irip_hits += runs.back().pbHitsIrip;
-                sdp_hits += runs.back().pbHitsSdp;
+        std::vector<SimResult> runs =
+            runWorkloads(cfg, s.kind, suite);
+        if (s.kind == PrefetcherKind::Morrigan) {
+            for (const SimResult &r : runs) {
+                irip_hits += r.pbHitsIrip;
+                sdp_hits += r.pbHitsSdp;
             }
         }
         row(prefetcherKindName(s.kind),

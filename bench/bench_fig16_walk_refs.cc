@@ -22,11 +22,12 @@ main()
     SimConfig cfg = scaledConfig(scale);
     auto indices = workloadIndices(scale);
 
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(indices);
     std::uint64_t base_refs = 0;
-    for (unsigned i : indices)
-        base_refs += runWorkload(cfg, PrefetcherKind::None,
-                                 qmmWorkloadParams(i))
-                         .demandWalkRefsInstr;
+    for (const SimResult &r :
+         runWorkloads(cfg, PrefetcherKind::None, suite))
+        base_refs += r.demandWalkRefsInstr;
 
     struct Series
     {
@@ -46,9 +47,8 @@ main()
     for (const Series &s : series) {
         std::uint64_t demand = 0, prefetch = 0;
         std::array<std::uint64_t, 4> by_level{};
-        for (unsigned i : indices) {
-            SimResult r = runWorkload(cfg, s.kind,
-                                      qmmWorkloadParams(i));
+        for (const SimResult &r :
+             runWorkloads(cfg, s.kind, suite)) {
             demand += r.demandWalkRefsInstr;
             prefetch += r.prefetchWalkRefs;
             for (unsigned l = 0; l < 4; ++l)

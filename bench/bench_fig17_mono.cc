@@ -23,15 +23,14 @@ main()
     SimConfig cfg = scaledConfig(scale);
     auto indices = workloadIndices(scale);
 
-    std::vector<SimResult> base, ensemble, mono;
-    for (unsigned i : indices) {
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
-        ensemble.push_back(runWorkload(cfg, PrefetcherKind::Morrigan,
-                                       qmmWorkloadParams(i)));
-        mono.push_back(runWorkload(cfg, PrefetcherKind::MorriganMono,
-                                   qmmWorkloadParams(i)));
-    }
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(indices);
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, suite);
+    std::vector<SimResult> ensemble =
+        runWorkloads(cfg, PrefetcherKind::Morrigan, suite);
+    std::vector<SimResult> mono =
+        runWorkloads(cfg, PrefetcherKind::MorriganMono, suite);
 
     double s_ens = geomeanSpeedupPct(base, ensemble);
     double s_mono = geomeanSpeedupPct(base, mono);

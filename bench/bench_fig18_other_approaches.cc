@@ -21,10 +21,8 @@ geoSpeedup(const SimConfig &cfg, PrefetcherKind kind,
            const std::vector<unsigned> &indices,
            const std::vector<SimResult> &base)
 {
-    std::vector<SimResult> runs;
-    for (unsigned i : indices)
-        runs.push_back(runWorkload(cfg, kind, qmmWorkloadParams(i)));
-    return geomeanSpeedupPct(base, runs);
+    return geomeanSpeedupPct(
+        base, runWorkloads(cfg, kind, qmmParams(indices)));
 }
 
 } // namespace
@@ -38,10 +36,8 @@ main()
     SimConfig cfg = scaledConfig(scale);
     auto indices = workloadIndices(scale);
 
-    std::vector<SimResult> base;
-    for (unsigned i : indices)
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, qmmParams(indices));
 
     // ISO-storage enlarged STLB: +384 entries (1920, 15-way) matches
     // Morrigan's ~3.8KB budget (the paper adds 388 entries).

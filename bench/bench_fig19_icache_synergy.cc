@@ -21,26 +21,24 @@ main()
     SimConfig cfg = scaledConfig(scale);
     auto indices = workloadIndices(scale);
 
-    std::vector<SimResult> base;
-    for (unsigned i : indices)
-        base.push_back(runWorkload(cfg, PrefetcherKind::None,
-                                   qmmWorkloadParams(i)));
+    const std::vector<ServerWorkloadParams> suite =
+        qmmParams(indices);
+    std::vector<SimResult> base =
+        runWorkloads(cfg, PrefetcherKind::None, suite);
 
     SimConfig fnl = cfg;
     fnl.icachePref = ICachePrefKind::FnlMma;
 
-    std::vector<SimResult> fnl_runs, morr_runs, combo_runs;
+    std::vector<SimResult> fnl_runs =
+        runWorkloads(fnl, PrefetcherKind::None, suite);
+    std::vector<SimResult> morr_runs =
+        runWorkloads(cfg, PrefetcherKind::Morrigan, suite);
+    std::vector<SimResult> combo_runs =
+        runWorkloads(fnl, PrefetcherKind::Morrigan, suite);
     std::uint64_t cross_hits = 0, cross_walks = 0;
-    for (unsigned i : indices) {
-        fnl_runs.push_back(runWorkload(fnl, PrefetcherKind::None,
-                                       qmmWorkloadParams(i)));
-        morr_runs.push_back(runWorkload(cfg, PrefetcherKind::Morrigan,
-                                        qmmWorkloadParams(i)));
-        SimResult combo = runWorkload(fnl, PrefetcherKind::Morrigan,
-                                      qmmWorkloadParams(i));
+    for (const SimResult &combo : combo_runs) {
         cross_hits += combo.icacheCrossPagePbHits;
         cross_walks += combo.icacheCrossPageNeedingWalk;
-        combo_runs.push_back(std::move(combo));
     }
 
     double s_fnl = geomeanSpeedupPct(base, fnl_runs);

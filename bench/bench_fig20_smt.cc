@@ -39,16 +39,24 @@ geoSpeedupPairs(
 {
     SimConfig c = cfg;
     c.icachePref = icache;
-    std::vector<SimResult> runs;
+    std::vector<ExperimentJob> jobs;
     for (auto [a, b] : pairs) {
-        std::unique_ptr<MorriganPrefetcher> pref;
-        if (mp)
-            pref = std::make_unique<MorriganPrefetcher>(*mp);
-        runs.push_back(runSmtPair(c, pref.get(),
-                                  qmmWorkloadParams(a),
-                                  qmmWorkloadParams(b)));
+        if (mp) {
+            MorriganParams params = *mp;
+            jobs.push_back(ExperimentJob::smtPairWith(
+                c,
+                [params] {
+                    return std::make_unique<MorriganPrefetcher>(
+                        params);
+                },
+                qmmWorkloadParams(a), qmmWorkloadParams(b)));
+        } else {
+            jobs.push_back(ExperimentJob::smtPair(
+                c, PrefetcherKind::None, qmmWorkloadParams(a),
+                qmmWorkloadParams(b)));
+        }
     }
-    return geomeanSpeedupPct(base, runs);
+    return geomeanSpeedupPct(base, runBatch(jobs));
 }
 
 } // namespace
@@ -65,10 +73,12 @@ main()
     auto pairs = randomPairs(pair_count);
     std::printf("  %u random QMM pairs\n", pair_count);
 
-    std::vector<SimResult> base;
+    std::vector<ExperimentJob> base_jobs;
     for (auto [a, b] : pairs)
-        base.push_back(runSmtPair(cfg, nullptr, qmmWorkloadParams(a),
-                                  qmmWorkloadParams(b)));
+        base_jobs.push_back(ExperimentJob::smtPair(
+            cfg, PrefetcherKind::None, qmmWorkloadParams(a),
+            qmmWorkloadParams(b)));
+    std::vector<SimResult> base = runBatch(base_jobs);
 
     MorriganParams doubled = MorriganParams{}.smtScaled();
     MorriganParams plain;

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,7 @@ class BenchArtifact
     {
         if (!enabled_)
             return;
+        std::lock_guard<std::mutex> lock(mutex_);
         sections_.push_back({figure, description, scale, {}});
     }
 
@@ -58,7 +60,10 @@ class BenchArtifact
     addRow(const std::string &label, double measured,
            const char *unit, const char *paper_note)
     {
-        if (!enabled_ || sections_.empty())
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sections_.empty())
             return;
         sections_.back().rows.push_back(
             {label, measured, unit, paper_note});
@@ -140,6 +145,8 @@ class BenchArtifact
         return out;
     }
 
+    /** Guards sections_: rows can arrive from RunPool workers. */
+    std::mutex mutex_;
     bool enabled_ = false;
     std::string dir_;
     std::vector<Section> sections_;
@@ -166,18 +173,15 @@ workloadIndices(const BenchScale &scale)
     return idx;
 }
 
-/** Run a baseline simulation collecting the iSTLB miss stream. */
-inline MissStreamStats
-collectMissStream(const SimConfig &cfg,
-                  const ServerWorkloadParams &wl)
+/** QMM workload parameters for a set of suite indices. */
+inline std::vector<ServerWorkloadParams>
+qmmParams(const std::vector<unsigned> &indices)
 {
-    SimConfig c = cfg;
-    c.collectMissStream = true;
-    ServerWorkload trace(wl);
-    Simulator sim(c);
-    sim.attachWorkload(&trace, 0);
-    sim.run();
-    return sim.missStream();
+    std::vector<ServerWorkloadParams> params;
+    params.reserve(indices.size());
+    for (unsigned i : indices)
+        params.push_back(qmmWorkloadParams(i));
+    return params;
 }
 
 /** Print the standard bench header. */

@@ -89,28 +89,53 @@ main(int argc, char **argv)
     cfg.simInstructions = 3'000'000;
     ServerWorkloadParams wl = qmmWorkloadParams(index);
 
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
+    // Custom prefetchers ride the batch API through factory jobs:
+    // each run constructs its own fresh instance on the worker
+    // thread, so the whole comparison executes in parallel.
+    MorriganParams sdp_only;
+    sdp_only.irip = sdp_only.irip.scaled(0.03);  // degenerate IRIP
+
+    std::vector<ExperimentJob> jobs = {
+        ExperimentJob::of(cfg, PrefetcherKind::None, wl),
+        ExperimentJob::with(
+            cfg,
+            [] {
+                return std::make_unique<HistoryWindowPrefetcher>(16);
+            },
+            wl),
+        ExperimentJob::with(
+            cfg,
+            [sdp_only] {
+                return std::make_unique<MorriganPrefetcher>(
+                    sdp_only);
+            },
+            wl),
+        ExperimentJob::with(
+            cfg,
+            [] {
+                return std::make_unique<MorriganPrefetcher>(
+                    MorriganParams{});
+            },
+            wl),
+    };
+    std::vector<SimResult> results = runBatch(jobs);
+    const SimResult &base = results[0];
     std::printf("workload %s: baseline IPC %.3f\n\n",
                 wl.name.c_str(), base.ipc);
     std::printf("%-18s %9s %10s %10s\n", "prefetcher", "speedup",
                 "coverage", "budget");
 
-    auto report = [&](TlbPrefetcher &p) {
-        SimResult r = runWorkloadWith(cfg, &p, wl);
-        std::printf("%-18s %8.2f%% %9.1f%% %7.2f KB\n", p.name(),
-                    speedupPct(base, r), r.coverage * 100.0,
-                    p.storageBits() / 8.0 / 1024.0);
-    };
-
+    // Probe instances just for the name/budget columns.
     HistoryWindowPrefetcher custom(16);
-    report(custom);
-
-    MorriganParams sdp_only;
-    sdp_only.irip = sdp_only.irip.scaled(0.03);  // degenerate IRIP
     MorriganPrefetcher small(sdp_only);
-    report(small);
-
     MorriganPrefetcher full{MorriganParams{}};
-    report(full);
+    const TlbPrefetcher *probes[] = {&custom, &small, &full};
+    for (std::size_t k = 0; k < std::size(probes); ++k) {
+        const SimResult &r = results[k + 1];
+        std::printf("%-18s %8.2f%% %9.1f%% %7.2f KB\n",
+                    probes[k]->name(), speedupPct(base, r),
+                    r.coverage * 100.0,
+                    probes[k]->storageBits() / 8.0 / 1024.0);
+    }
     return 0;
 }

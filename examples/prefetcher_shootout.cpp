@@ -31,12 +31,6 @@ main(int argc, char **argv)
     cfg.simInstructions = 4'000'000;
     ServerWorkloadParams wl = qmmWorkloadParams(index);
 
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
-    std::printf("workload %s: baseline IPC %.3f, iSTLB MPKI %.2f\n\n",
-                wl.name.c_str(), base.ipc, base.istlbMpki);
-    std::printf("%-22s %9s %10s %12s %12s\n", "prefetcher", "speedup",
-                "coverage", "demand refs", "prefetch refs");
-
     const PrefetcherKind kinds[] = {
         PrefetcherKind::Sequential,    PrefetcherKind::Stride,
         PrefetcherKind::Distance,      PrefetcherKind::Markov,
@@ -45,11 +39,30 @@ main(int argc, char **argv)
         PrefetcherKind::MarkovUnbounded2,
         PrefetcherKind::MarkovUnboundedInf,
     };
-    for (PrefetcherKind kind : kinds) {
-        SimResult r = runWorkload(cfg, kind, wl);
+
+    // One batch for the whole shootout: the baseline, all nine
+    // prefetchers and the perfect-iSTLB bound run in parallel.
+    std::vector<ExperimentJob> jobs;
+    jobs.push_back(ExperimentJob::of(cfg, PrefetcherKind::None, wl));
+    for (PrefetcherKind kind : kinds)
+        jobs.push_back(ExperimentJob::of(cfg, kind, wl));
+    SimConfig perfect = cfg;
+    perfect.perfectIstlb = true;
+    jobs.push_back(
+        ExperimentJob::of(perfect, PrefetcherKind::None, wl));
+
+    std::vector<SimResult> results = runBatch(jobs);
+    const SimResult &base = results[0];
+    std::printf("workload %s: baseline IPC %.3f, iSTLB MPKI %.2f\n\n",
+                wl.name.c_str(), base.ipc, base.istlbMpki);
+    std::printf("%-22s %9s %10s %12s %12s\n", "prefetcher", "speedup",
+                "coverage", "demand refs", "prefetch refs");
+
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+        const SimResult &r = results[k + 1];
         std::printf("%-22s %8.2f%% %9.1f%% %11.0f%% %12.0f%%\n",
-                    prefetcherKindName(kind), speedupPct(base, r),
-                    r.coverage * 100.0,
+                    prefetcherKindName(kinds[k]),
+                    speedupPct(base, r), r.coverage * 100.0,
                     100.0 * r.demandWalkRefsInstr /
                         std::max<std::uint64_t>(
                             1, base.demandWalkRefsInstr),
@@ -58,10 +71,7 @@ main(int argc, char **argv)
                             1, base.demandWalkRefsInstr));
     }
 
-    SimConfig perfect = cfg;
-    perfect.perfectIstlb = true;
-    SimResult p = runWorkload(perfect, PrefetcherKind::None, wl);
     std::printf("%-22s %8.2f%%  (upper bound)\n", "Perfect iSTLB",
-                speedupPct(base, p));
+                speedupPct(base, results.back()));
     return 0;
 }

@@ -39,7 +39,12 @@ main(int argc, char **argv)
                 wl.name.c_str(), wl.codePages, wl.dataHotPages,
                 wl.dataColdPages);
 
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
+    // Both runs go out as one parallel batch; results come back in
+    // submission order, identical to running them serially.
+    std::vector<SimResult> results = runBatch(
+        {ExperimentJob::of(cfg, PrefetcherKind::None, wl),
+         ExperimentJob::of(cfg, PrefetcherKind::Morrigan, wl)});
+    const SimResult &base = results[0];
     std::printf("baseline    : IPC %.3f  iSTLB MPKI %.2f  "
                 "dSTLB MPKI %.2f  iSTLB cycles %.1f%%\n",
                 base.ipc, base.istlbMpki, base.dstlbMpki,
@@ -49,7 +54,7 @@ main(int argc, char **argv)
                 base.meanDemandWalkLatencyInstr,
                 base.meanDemandWalkLatencyData);
 
-    SimResult morr = runWorkload(cfg, PrefetcherKind::Morrigan, wl);
+    const SimResult &morr = results[1];
     std::printf("morrigan    : IPC %.3f  coverage %.1f%%  "
                 "PB hits %llu (IRIP %.0f%% / SDP %.0f%%)\n",
                 morr.ipc, morr.coverage * 100.0,

@@ -39,32 +39,51 @@ main(int argc, char **argv)
     ServerWorkloadParams wa = qmmWorkloadParams(a);
     ServerWorkloadParams wb = qmmWorkloadParams(b);
 
-    // Solo runs for comparison.
-    SimResult solo_a = runWorkload(cfg, PrefetcherKind::None, wa);
-    SimResult solo_b = runWorkload(cfg, PrefetcherKind::None, wb);
+    // Everything in one parallel batch: the two solo runs, the
+    // colocated baseline, and the two Morrigan variants (doubled
+    // tables per Section 6.6, and un-doubled for contrast).
+    MorriganParams doubled = MorriganParams{}.smtScaled();
+    std::vector<ExperimentJob> jobs = {
+        ExperimentJob::of(cfg, PrefetcherKind::None, wa),
+        ExperimentJob::of(cfg, PrefetcherKind::None, wb),
+        ExperimentJob::smtPair(cfg, PrefetcherKind::None, wa, wb),
+        ExperimentJob::smtPairWith(
+            cfg,
+            [doubled] {
+                return std::make_unique<MorriganPrefetcher>(doubled);
+            },
+            wa, wb),
+        ExperimentJob::smtPairWith(
+            cfg,
+            [] {
+                return std::make_unique<MorriganPrefetcher>(
+                    MorriganParams{});
+            },
+            wa, wb),
+    };
+    std::vector<SimResult> results = runBatch(jobs);
+
+    const SimResult &solo_a = results[0];
+    const SimResult &solo_b = results[1];
     std::printf("solo %s: IPC %.3f, iSTLB MPKI %.2f\n",
                 wa.name.c_str(), solo_a.ipc, solo_a.istlbMpki);
     std::printf("solo %s: IPC %.3f, iSTLB MPKI %.2f\n",
                 wb.name.c_str(), solo_b.ipc, solo_b.istlbMpki);
 
-    // Colocated baseline.
-    SimResult pair = runSmtPair(cfg, nullptr, wa, wb);
+    const SimResult &pair = results[2];
     std::printf("\ncolocated %s: aggregate IPC %.3f, iSTLB MPKI "
                 "%.2f (contention raises the miss rates)\n",
                 pair.workload.c_str(), pair.ipc, pair.istlbMpki);
 
-    // Colocated with Morrigan, tables doubled per Section 6.6.
-    MorriganParams doubled = MorriganParams{}.smtScaled();
-    MorriganPrefetcher pref(doubled);
-    SimResult morr = runSmtPair(cfg, &pref, wa, wb);
+    MorriganPrefetcher pref(doubled);  // probe for the budget line
+    const SimResult &morr = results[3];
     std::printf("with Morrigan (2x tables, %.1fKB): IPC %.3f, "
                 "coverage %.1f%%, speedup %.2f%%\n",
                 pref.storageBits() / 8.0 / 1024.0, morr.ipc,
                 morr.coverage * 100.0, speedupPct(pair, morr));
 
-    // And with the un-doubled tables for contrast.
     MorriganPrefetcher plain{MorriganParams{}};
-    SimResult morr1 = runSmtPair(cfg, &plain, wa, wb);
+    const SimResult &morr1 = results[4];
     std::printf("with Morrigan (1x tables, %.1fKB): IPC %.3f, "
                 "coverage %.1f%%, speedup %.2f%%\n",
                 plain.storageBits() / 8.0 / 1024.0, morr1.ipc,

@@ -35,6 +35,9 @@ inline constexpr int traceSchemaVersion = 1;
 inline constexpr int intervalSchemaVersion = 1;
 /** Version of the BENCH_*.json artifact schema. */
 inline constexpr int benchSchemaVersion = 1;
+/** Version of the on-disk result-cache file schema (also baked into
+ * experiment cache keys, so bumping it invalidates old caches). */
+inline constexpr int resultCacheSchemaVersion = 1;
 
 /** Write @p s as a quoted, escaped JSON string. */
 inline void

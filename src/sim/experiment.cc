@@ -43,6 +43,43 @@ runSmtPair(const SimConfig &cfg, TlbPrefetcher *prefetcher,
     return sim.run();
 }
 
+std::vector<SimResult>
+runBatch(const std::vector<ExperimentJob> &jobs)
+{
+    return RunPool::global().run(jobs);
+}
+
+std::vector<SimResult>
+runWorkloads(const SimConfig &cfg, PrefetcherKind kind,
+             const std::vector<ServerWorkloadParams> &workloads)
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(workloads.size());
+    for (const ServerWorkloadParams &wl : workloads)
+        jobs.push_back(ExperimentJob::of(cfg, kind, wl));
+    return RunPool::global().run(jobs);
+}
+
+std::vector<MissStreamStats>
+collectMissStreams(const SimConfig &cfg,
+                   const std::vector<ServerWorkloadParams> &workloads)
+{
+    SimConfig c = cfg;
+    c.collectMissStream = true;
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(workloads.size());
+    for (const ServerWorkloadParams &wl : workloads)
+        jobs.push_back(
+            ExperimentJob::of(c, PrefetcherKind::None, wl));
+    std::vector<ExperimentOutput> outputs =
+        RunPool::global().runAll(jobs);
+    std::vector<MissStreamStats> streams;
+    streams.reserve(outputs.size());
+    for (ExperimentOutput &o : outputs)
+        streams.push_back(std::move(o.missStream));
+    return streams;
+}
+
 double
 speedupPct(const SimResult &base, const SimResult &opt)
 {

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "core/prefetcher_factory.hh"
+#include "sim/run_pool.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
+#include "workload/miss_stream_stats.hh"
 #include "workload/server_workload.hh"
 
 namespace morrigan
@@ -35,6 +37,26 @@ SimResult runWorkloadWith(const SimConfig &cfg,
 SimResult runSmtPair(const SimConfig &cfg, TlbPrefetcher *prefetcher,
                      const ServerWorkloadParams &a,
                      const ServerWorkloadParams &b);
+
+// --- batch API (parallel, cached; see sim/run_pool.hh) ---
+
+/**
+ * Run a heterogeneous batch through the shared RunPool + result
+ * cache. Results come back in submission order, bit-identical to
+ * running each job serially.
+ */
+std::vector<SimResult> runBatch(const std::vector<ExperimentJob> &jobs);
+
+/** One (cfg, kind) across many workloads, in parallel. */
+std::vector<SimResult>
+runWorkloads(const SimConfig &cfg, PrefetcherKind kind,
+             const std::vector<ServerWorkloadParams> &workloads);
+
+/** Baseline miss-stream collection across many workloads, in
+ * parallel (Figures 5-8 analyses). */
+std::vector<MissStreamStats>
+collectMissStreams(const SimConfig &cfg,
+                   const std::vector<ServerWorkloadParams> &workloads);
 
 /** Percentage speedup of @p opt over @p base. */
 double speedupPct(const SimResult &base, const SimResult &opt);

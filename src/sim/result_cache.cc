@@ -1,0 +1,781 @@
+#include "result_cache.hh"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace morrigan
+{
+
+namespace
+{
+
+/**
+ * Canonical `name=value;` serialiser for cache keys. Doubles use
+ * %.17g so any two distinguishable configurations get distinct keys.
+ */
+class KeyBuilder
+{
+  public:
+    KeyBuilder &
+    add(const char *k, std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        return raw(k, buf);
+    }
+
+    KeyBuilder &
+    add(const char *k, double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return raw(k, buf);
+    }
+
+    KeyBuilder &
+    add(const char *k, const std::string &v)
+    {
+        return raw(k, v.c_str());
+    }
+
+    KeyBuilder &
+    add(const char *k, bool v)
+    {
+        return raw(k, v ? "1" : "0");
+    }
+
+    std::string str() const { return s_; }
+
+  private:
+    KeyBuilder &
+    raw(const char *k, const char *v)
+    {
+        s_ += k;
+        s_ += '=';
+        s_ += v;
+        s_ += ';';
+        return *this;
+    }
+
+    std::string s_;
+};
+
+void
+addCacheParams(KeyBuilder &kb, const std::string &p,
+               const CacheParams &c)
+{
+    kb.add((p + ".size").c_str(), std::uint64_t{c.sizeBytes});
+    kb.add((p + ".ways").c_str(), std::uint64_t{c.ways});
+    kb.add((p + ".lat").c_str(), std::uint64_t{c.latency});
+    kb.add((p + ".mshrs").c_str(), std::uint64_t{c.mshrs});
+}
+
+void
+addTlbParams(KeyBuilder &kb, const std::string &p, const TlbParams &t)
+{
+    kb.add((p + ".entries").c_str(), std::uint64_t{t.entries});
+    kb.add((p + ".ways").c_str(), std::uint64_t{t.ways});
+    kb.add((p + ".lat").c_str(), std::uint64_t{t.latency});
+    kb.add((p + ".mshrs").c_str(), std::uint64_t{t.mshrs});
+}
+
+void
+addWorkloadParams(KeyBuilder &kb, const std::string &p,
+                  const ServerWorkloadParams &w)
+{
+    kb.add((p + ".name").c_str(), w.name);
+    kb.add((p + ".seed").c_str(), w.seed);
+    kb.add((p + ".codePages").c_str(), std::uint64_t{w.codePages});
+    kb.add((p + ".codeSegments").c_str(),
+           std::uint64_t{w.codeSegments});
+    kb.add((p + ".segmentGapPages").c_str(), w.segmentGapPages);
+    kb.add((p + ".hotCodePages").c_str(),
+           std::uint64_t{w.hotCodePages});
+    kb.add((p + ".zipfTheta").c_str(), w.zipfTheta);
+    kb.add((p + ".hotShare").c_str(), w.hotShare);
+    kb.add((p + ".warmCodePages").c_str(),
+           std::uint64_t{w.warmCodePages});
+    kb.add((p + ".warmShare").c_str(), w.warmShare);
+    kb.add((p + ".numRequestTypes").c_str(),
+           std::uint64_t{w.numRequestTypes});
+    kb.add((p + ".typeZipfTheta").c_str(), w.typeZipfTheta);
+    kb.add((p + ".meanPathLength").c_str(),
+           std::uint64_t{w.meanPathLength});
+    kb.add((p + ".meanRunLength").c_str(), w.meanRunLength);
+    kb.add((p + ".pNearSuccessor").c_str(), w.pNearSuccessor);
+    kb.add((p + ".pDeviate").c_str(), w.pDeviate);
+    kb.add((p + ".dataAccessProb").c_str(), w.dataAccessProb);
+    kb.add((p + ".dataHotPages").c_str(),
+           std::uint64_t{w.dataHotPages});
+    kb.add((p + ".dataHotZipf").c_str(), w.dataHotZipf);
+    kb.add((p + ".dataColdPages").c_str(),
+           std::uint64_t{w.dataColdPages});
+    kb.add((p + ".dataColdProb").c_str(), w.dataColdProb);
+    kb.add((p + ".dataStreamFraction").c_str(), w.dataStreamFraction);
+    kb.add((p + ".dataHugePages").c_str(), w.dataHugePages);
+    kb.add((p + ".phaseInterval").c_str(), w.phaseInterval);
+    kb.add((p + ".phaseShuffleFraction").c_str(),
+           w.phaseShuffleFraction);
+}
+
+/** FNV-1a 64-bit digest, used only to derive disk file names. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------
+// Minimal JSON reader, just enough for the flat result documents
+// the disk cache writes. Numbers keep their raw token so 64-bit
+// counters and %.17g doubles both round-trip exactly.
+// ---------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    std::string token;  //!< raw text for Number, decoded for String
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        return parseValue(out) && (skipWs(), pos_ == s_.size());
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.token);
+        }
+        if (c == 't' || c == 'f') {
+            const char *word = c == 't' ? "true" : "false";
+            if (s_.compare(pos_, std::strlen(word), word) != 0)
+                return false;
+            pos_ += std::strlen(word);
+            out.type = JsonValue::Type::Bool;
+            out.boolean = c == 't';
+            return true;
+        }
+        if (c == 'n') {
+            if (s_.compare(pos_, 4, "null") != 0)
+                return false;
+            pos_ += 4;
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                char e = s_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= h - 'A' + 10;
+                        else
+                            return false;
+                    }
+                    // Control characters only; good enough for the
+                    // strings the cache writes.
+                    out += static_cast<char>(cp & 0xff);
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '-' ||
+                s_[pos_] == '+')) {
+            ++pos_;
+            any = true;
+        }
+        if (!any)
+            return false;
+        out.type = JsonValue::Type::Number;
+        out.token = s_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        if (!consume('['))
+            return false;
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        if (!consume('{'))
+            return false;
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            skipWs();
+            if (!parseString(key) || !consume(':'))
+                return false;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+bool
+getU64(const JsonValue &obj, const char *key, std::uint64_t &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::Number)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed =
+        std::strtoull(v->token.c_str(), &end, 10);
+    if (errno == ERANGE || *end != '\0')
+        return false;
+    out = parsed;
+    return true;
+}
+
+bool
+getDouble(const JsonValue &obj, const char *key, double &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::Number)
+        return false;
+    char *end = nullptr;
+    double parsed = std::strtod(v->token.c_str(), &end);
+    if (*end != '\0')
+        return false;
+    out = parsed;
+    return true;
+}
+
+bool
+getString(const JsonValue &obj, const char *key, std::string &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::String)
+        return false;
+    out = v->token;
+    return true;
+}
+
+template <std::size_t N>
+bool
+getU64Array(const JsonValue &obj, const char *key,
+            std::array<std::uint64_t, N> &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::Array ||
+        v->array.size() != N)
+        return false;
+    for (std::size_t i = 0; i < N; ++i) {
+        const JsonValue &e = v->array[i];
+        if (e.type != JsonValue::Type::Number)
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(e.token.c_str(), &end, 10);
+        if (errno == ERANGE || *end != '\0')
+            return false;
+        out[i] = parsed;
+    }
+    return true;
+}
+
+/** %.17g doubles survive a decimal round-trip bit-exactly. */
+void
+kvFullDouble(json::Writer &w, const char *key, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    w.key(key).rawValue([&](std::ostream &o) { o << buf; });
+}
+
+template <std::size_t N>
+void
+kvU64Array(json::Writer &w, const char *key,
+           const std::array<std::uint64_t, N> &a)
+{
+    w.key(key).beginArray();
+    for (std::uint64_t v : a)
+        w.value(v);
+    w.endArray();
+}
+
+/** Populate a SimResult from a parsed JSON object; strict about
+ * every field being present and well-formed. */
+bool
+simResultFromJson(const JsonValue &doc, SimResult &out)
+{
+    if (doc.type != JsonValue::Type::Object)
+        return false;
+
+    SimResult r;
+    bool ok = getString(doc, "workload", r.workload) &&
+              getString(doc, "prefetcher", r.prefetcher) &&
+              getU64(doc, "instructions", r.instructions) &&
+              getDouble(doc, "cycles", r.cycles) &&
+              getDouble(doc, "ipc", r.ipc) &&
+              getDouble(doc, "l1i_mpki", r.l1iMpki) &&
+              getDouble(doc, "itlb_mpki", r.itlbMpki) &&
+              getDouble(doc, "istlb_mpki", r.istlbMpki) &&
+              getDouble(doc, "dstlb_mpki", r.dstlbMpki) &&
+              getU64(doc, "istlb_misses", r.istlbMisses) &&
+              getU64(doc, "dstlb_misses", r.dstlbMisses) &&
+              getU64(doc, "pb_hits", r.pbHits) &&
+              getU64(doc, "pb_hits_irip", r.pbHitsIrip) &&
+              getU64(doc, "pb_hits_sdp", r.pbHitsSdp) &&
+              getU64(doc, "pb_hits_icache", r.pbHitsICache) &&
+              getDouble(doc, "istlb_cycle_fraction",
+                        r.istlbCycleFraction) &&
+              getDouble(doc, "icache_cycle_fraction",
+                        r.icacheCycleFraction) &&
+              getDouble(doc, "data_cycle_fraction",
+                        r.dataCycleFraction) &&
+              getDouble(doc, "coverage", r.coverage) &&
+              getU64(doc, "demand_walks", r.demandWalks) &&
+              getU64(doc, "demand_walks_instr",
+                     r.demandWalksInstr) &&
+              getU64(doc, "demand_walk_refs", r.demandWalkRefs) &&
+              getU64(doc, "demand_walk_refs_instr",
+                     r.demandWalkRefsInstr) &&
+              getU64(doc, "prefetch_walks", r.prefetchWalks) &&
+              getU64(doc, "prefetch_walk_refs",
+                     r.prefetchWalkRefs) &&
+              getU64Array(doc, "prefetch_walk_refs_by_level",
+                          r.prefetchWalkRefsByLevel) &&
+              getDouble(doc, "mean_demand_walk_latency_instr",
+                        r.meanDemandWalkLatencyInstr) &&
+              getDouble(doc, "mean_demand_walk_latency_data",
+                        r.meanDemandWalkLatencyData) &&
+              getU64(doc, "icache_prefetches", r.icachePrefetches) &&
+              getU64(doc, "icache_cross_page_prefetches",
+                     r.icacheCrossPagePrefetches) &&
+              getU64(doc, "icache_cross_page_needing_walk",
+                     r.icacheCrossPageNeedingWalk) &&
+              getU64(doc, "icache_cross_page_pb_hits",
+                     r.icacheCrossPagePbHits) &&
+              getU64Array(doc, "pb_hit_distance", r.pbHitDistance) &&
+              getU64(doc, "context_switches", r.contextSwitches) &&
+              getU64(doc, "correcting_walks", r.correctingWalks);
+    if (!ok)
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+} // namespace
+
+std::string
+experimentKey(const SimConfig &cfg, PrefetcherKind kind,
+              const ServerWorkloadParams &workload,
+              const ServerWorkloadParams *smt)
+{
+    KeyBuilder kb;
+    kb.add("schema", std::string("morrigan-experiment"));
+    kb.add("version",
+           std::uint64_t{json::resultCacheSchemaVersion});
+    kb.add("prefetcher", std::string(prefetcherKindName(kind)));
+
+    addCacheParams(kb, "mem.l1i", cfg.mem.l1i);
+    addCacheParams(kb, "mem.l1d", cfg.mem.l1d);
+    addCacheParams(kb, "mem.l2", cfg.mem.l2);
+    addCacheParams(kb, "mem.llc", cfg.mem.llc);
+    kb.add("mem.dram.banks", std::uint64_t{cfg.mem.dram.banks});
+    kb.add("mem.dram.rowBytes", std::uint64_t{cfg.mem.dram.rowBytes});
+    kb.add("mem.dram.tParam", std::uint64_t{cfg.mem.dram.tParam});
+    kb.add("mem.l2Prefetcher", cfg.mem.l2Prefetcher);
+    kb.add("mem.l2PrefetchDepth",
+           std::uint64_t{cfg.mem.l2PrefetchDepth});
+
+    addTlbParams(kb, "tlb.itlb", cfg.tlb.itlb);
+    addTlbParams(kb, "tlb.dtlb", cfg.tlb.dtlb);
+    addTlbParams(kb, "tlb.stlb", cfg.tlb.stlb);
+
+    kb.add("walker.ports", std::uint64_t{cfg.walker.ports});
+    kb.add("walker.asap", cfg.walker.asap);
+    kb.add("walker.psc.pml4",
+           std::uint64_t{cfg.walker.psc.pml4Entries});
+    kb.add("walker.psc.pdp", std::uint64_t{cfg.walker.psc.pdpEntries});
+    kb.add("walker.psc.pd", std::uint64_t{cfg.walker.psc.pdEntries});
+    kb.add("walker.psc.pdWays", std::uint64_t{cfg.walker.psc.pdWays});
+    kb.add("walker.psc.lat", std::uint64_t{cfg.walker.psc.latency});
+
+    kb.add("pbEntries", std::uint64_t{cfg.pbEntries});
+    kb.add("pbLatency", std::uint64_t{cfg.pbLatency});
+    kb.add("width", std::uint64_t{cfg.width});
+    kb.add("dataMlpFactor", cfg.dataMlpFactor);
+    kb.add("fetchOverlapFactor", cfg.fetchOverlapFactor);
+    kb.add("frontendRedirectPenalty",
+           std::uint64_t{cfg.frontendRedirectPenalty});
+    kb.add("pageTableDepth", std::uint64_t{cfg.pageTableDepth});
+    kb.add("pageTableFormat",
+           std::uint64_t(static_cast<unsigned>(cfg.pageTableFormat)));
+    kb.add("contextSwitchInterval", cfg.contextSwitchInterval);
+    kb.add("prefetchOnStlbHits", cfg.prefetchOnStlbHits);
+    kb.add("correctingWalks", cfg.correctingWalks);
+    kb.add("perfectIstlb", cfg.perfectIstlb);
+    kb.add("prefetchIntoStlb", cfg.prefetchIntoStlb);
+    kb.add("icachePref",
+           std::uint64_t(static_cast<unsigned>(cfg.icachePref)));
+    kb.add("icacheTranslationCost", cfg.icacheTranslationCost);
+    kb.add("warmupInstructions", cfg.warmupInstructions);
+    kb.add("simInstructions", cfg.simInstructions);
+    kb.add("collectMissStream", cfg.collectMissStream);
+    kb.add("smtThread1VpnOffset", cfg.smtThread1VpnOffset);
+
+    addWorkloadParams(kb, "wl", workload);
+    kb.add("smt", smt != nullptr);
+    if (smt)
+        addWorkloadParams(kb, "smt", *smt);
+    return kb.str();
+}
+
+void
+writeSimResultJson(std::ostream &os, const SimResult &r)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("workload", r.workload);
+    w.kv("prefetcher", r.prefetcher);
+    w.kv("instructions", r.instructions);
+    kvFullDouble(w, "cycles", r.cycles);
+    kvFullDouble(w, "ipc", r.ipc);
+    kvFullDouble(w, "l1i_mpki", r.l1iMpki);
+    kvFullDouble(w, "itlb_mpki", r.itlbMpki);
+    kvFullDouble(w, "istlb_mpki", r.istlbMpki);
+    kvFullDouble(w, "dstlb_mpki", r.dstlbMpki);
+    w.kv("istlb_misses", r.istlbMisses);
+    w.kv("dstlb_misses", r.dstlbMisses);
+    w.kv("pb_hits", r.pbHits);
+    w.kv("pb_hits_irip", r.pbHitsIrip);
+    w.kv("pb_hits_sdp", r.pbHitsSdp);
+    w.kv("pb_hits_icache", r.pbHitsICache);
+    kvFullDouble(w, "istlb_cycle_fraction", r.istlbCycleFraction);
+    kvFullDouble(w, "icache_cycle_fraction", r.icacheCycleFraction);
+    kvFullDouble(w, "data_cycle_fraction", r.dataCycleFraction);
+    kvFullDouble(w, "coverage", r.coverage);
+    w.kv("demand_walks", r.demandWalks);
+    w.kv("demand_walks_instr", r.demandWalksInstr);
+    w.kv("demand_walk_refs", r.demandWalkRefs);
+    w.kv("demand_walk_refs_instr", r.demandWalkRefsInstr);
+    w.kv("prefetch_walks", r.prefetchWalks);
+    w.kv("prefetch_walk_refs", r.prefetchWalkRefs);
+    kvU64Array(w, "prefetch_walk_refs_by_level",
+               r.prefetchWalkRefsByLevel);
+    kvFullDouble(w, "mean_demand_walk_latency_instr",
+                 r.meanDemandWalkLatencyInstr);
+    kvFullDouble(w, "mean_demand_walk_latency_data",
+                 r.meanDemandWalkLatencyData);
+    w.kv("icache_prefetches", r.icachePrefetches);
+    w.kv("icache_cross_page_prefetches",
+         r.icacheCrossPagePrefetches);
+    w.kv("icache_cross_page_needing_walk",
+         r.icacheCrossPageNeedingWalk);
+    w.kv("icache_cross_page_pb_hits", r.icacheCrossPagePbHits);
+    kvU64Array(w, "pb_hit_distance", r.pbHitDistance);
+    w.kv("context_switches", r.contextSwitches);
+    w.kv("correcting_walks", r.correctingWalks);
+    w.endObject();
+}
+
+bool
+parseSimResultJson(const std::string &text, SimResult &out)
+{
+    JsonValue doc;
+    if (!JsonParser(text).parse(doc))
+        return false;
+    return simResultFromJson(doc, out);
+}
+
+ResultCache::ResultCache()
+{
+    if (const char *d = std::getenv("MORRIGAN_RESULT_CACHE"))
+        diskDir_ = d;
+}
+
+ResultCache &
+ResultCache::global()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+bool
+ResultCache::lookup(const std::string &key, SimResult &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++counts_.hits;
+        out = it->second;
+        return true;
+    }
+    if (!diskDir_.empty() && diskLookup(key, out)) {
+        ++counts_.hits;
+        ++counts_.diskHits;
+        entries_.emplace(key, out);
+        return true;
+    }
+    ++counts_.misses;
+    return false;
+}
+
+void
+ResultCache::insert(const std::string &key, const SimResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, fresh] = entries_.try_emplace(key, result);
+    if (!fresh)
+        return;
+    ++counts_.inserts;
+    if (!diskDir_.empty())
+        diskInsert(key, result);
+}
+
+ResultCache::Counts
+ResultCache::counts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    counts_ = Counts{};
+}
+
+void
+ResultCache::setDiskDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    diskDir_ = std::move(dir);
+}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return diskDir_ + "/morrigan-cache-" + buf + ".json";
+}
+
+bool
+ResultCache::diskLookup(const std::string &key, SimResult &out)
+{
+    std::ifstream ifs(diskPath(key));
+    if (!ifs)
+        return false;
+    std::stringstream ss;
+    ss << ifs.rdbuf();
+    const std::string text = ss.str();
+
+    JsonValue doc;
+    if (!JsonParser(text).parse(doc) ||
+        doc.type != JsonValue::Type::Object) {
+        ++counts_.diskRejects;
+        return false;
+    }
+    std::string schema, stored_key;
+    std::uint64_t version = 0;
+    if (!getString(doc, "schema", schema) ||
+        schema != "morrigan-result-cache" ||
+        !getU64(doc, "version", version) ||
+        version != json::resultCacheSchemaVersion ||
+        !getString(doc, "key", stored_key) || stored_key != key) {
+        ++counts_.diskRejects;
+        return false;
+    }
+    const JsonValue *res = doc.find("result");
+    if (!res || !simResultFromJson(*res, out)) {
+        ++counts_.diskRejects;
+        return false;
+    }
+    return true;
+}
+
+void
+ResultCache::diskInsert(const std::string &key,
+                        const SimResult &result)
+{
+    const std::string path = diskPath(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream ofs(tmp);
+        if (!ofs) {
+            warn("result cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        json::Writer w(ofs);
+        w.beginObject();
+        w.kv("schema", "morrigan-result-cache");
+        w.kv("version", json::resultCacheSchemaVersion);
+        w.kv("key", key);
+        w.key("result").rawValue(
+            [&](std::ostream &o) { writeSimResultJson(o, result); });
+        w.endObject();
+        ofs << '\n';
+        if (!ofs) {
+            warn("result cache: short write to '%s'", tmp.c_str());
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    // Atomic publish so concurrent readers never see partial files.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("result cache: cannot publish '%s'", path.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+} // namespace morrigan

@@ -1,0 +1,229 @@
+#include "run_pool.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/result_cache.hh"
+#include "sim/simulator.hh"
+
+namespace morrigan
+{
+
+namespace
+{
+
+/** Process-wide --jobs override; 0 means "not set". */
+std::atomic<unsigned> defaultJobsOverride{0};
+
+} // namespace
+
+ExperimentJob
+ExperimentJob::of(const SimConfig &cfg, PrefetcherKind kind,
+                  const ServerWorkloadParams &workload)
+{
+    ExperimentJob job;
+    job.cfg = cfg;
+    job.kind = kind;
+    job.workload = workload;
+    return job;
+}
+
+ExperimentJob
+ExperimentJob::with(
+    const SimConfig &cfg,
+    std::function<std::unique_ptr<TlbPrefetcher>()> factory,
+    const ServerWorkloadParams &workload)
+{
+    ExperimentJob job;
+    job.cfg = cfg;
+    job.workload = workload;
+    job.prefetcherFactory = std::move(factory);
+    return job;
+}
+
+ExperimentJob
+ExperimentJob::smtPair(const SimConfig &cfg, PrefetcherKind kind,
+                       const ServerWorkloadParams &a,
+                       const ServerWorkloadParams &b)
+{
+    ExperimentJob job = of(cfg, kind, a);
+    job.smt = true;
+    job.smtWorkload = b;
+    return job;
+}
+
+ExperimentJob
+ExperimentJob::smtPairWith(
+    const SimConfig &cfg,
+    std::function<std::unique_ptr<TlbPrefetcher>()> factory,
+    const ServerWorkloadParams &a, const ServerWorkloadParams &b)
+{
+    ExperimentJob job = with(cfg, std::move(factory), a);
+    job.smt = true;
+    job.smtWorkload = b;
+    return job;
+}
+
+ExperimentOutput
+executeJob(const ExperimentJob &job)
+{
+    std::unique_ptr<TlbPrefetcher> prefetcher =
+        job.prefetcherFactory ? job.prefetcherFactory()
+                              : makePrefetcher(job.kind);
+
+    ServerWorkload trace(job.workload);
+    std::unique_ptr<ServerWorkload> smt_trace;
+    Simulator sim(job.cfg);
+    sim.attachWorkload(&trace, 0);
+    if (job.smt) {
+        smt_trace = std::make_unique<ServerWorkload>(job.smtWorkload);
+        sim.attachWorkload(smt_trace.get(), 1);
+    }
+    if (prefetcher)
+        sim.attachPrefetcher(prefetcher.get());
+
+    ExperimentOutput out;
+    out.result = sim.run();
+    if (job.cfg.collectMissStream)
+        out.missStream = sim.missStream();
+    return out;
+}
+
+unsigned
+parseJobsValue(const char *what, const char *s)
+{
+    if (!s || *s == '\0' ||
+        !std::isdigit(static_cast<unsigned char>(*s)))
+        fatal("%s: '%s' is not a positive integer", what,
+              s ? s : "");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (*end != '\0')
+        fatal("%s: trailing junk in '%s'", what, s);
+    if (errno == ERANGE || v == 0 || v > 1024)
+        fatal("%s: %s out of range [1, 1024]", what, s);
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+defaultJobs()
+{
+    unsigned override = defaultJobsOverride.load();
+    if (override > 0)
+        return override;
+    if (const char *env = std::getenv("MORRIGAN_JOBS"))
+        return parseJobsValue("MORRIGAN_JOBS", env);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+RunPool::RunPool(unsigned jobs, bool use_cache)
+    : requestedJobs_(jobs), useCache_(use_cache)
+{
+}
+
+unsigned
+RunPool::jobs() const
+{
+    return requestedJobs_ > 0 ? requestedJobs_ : defaultJobs();
+}
+
+RunPool &
+RunPool::global()
+{
+    static RunPool pool;
+    return pool;
+}
+
+void
+RunPool::setDefaultJobs(unsigned jobs)
+{
+    defaultJobsOverride.store(jobs);
+}
+
+std::vector<ExperimentOutput>
+RunPool::runAll(const std::vector<ExperimentJob> &batch)
+{
+    std::vector<ExperimentOutput> out(batch.size());
+    std::vector<std::string> keys(batch.size());
+
+    // Plan the batch: serve cache hits immediately, run one
+    // representative per distinct key, and remember which jobs can
+    // copy a representative's result afterwards.
+    ResultCache &cache = ResultCache::global();
+    std::unordered_map<std::string, std::size_t> representative;
+    std::vector<std::size_t> work;
+    std::vector<std::pair<std::size_t, std::size_t>> copies;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const ExperimentJob &job = batch[i];
+        if (useCache_ && job.cacheable()) {
+            keys[i] = experimentKey(job.cfg, job.kind, job.workload,
+                                    job.smt ? &job.smtWorkload
+                                            : nullptr);
+            if (cache.lookup(keys[i], out[i].result))
+                continue;
+            auto [it, fresh] =
+                representative.try_emplace(keys[i], i);
+            if (!fresh) {
+                copies.emplace_back(i, it->second);
+                continue;
+            }
+        }
+        work.push_back(i);
+    }
+
+    // Execute. Each job is self-contained, so any assignment of
+    // jobs to workers produces identical results; the shared atomic
+    // cursor only affects scheduling.
+    const unsigned nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(jobs(), work.size()));
+    if (nthreads <= 1) {
+        for (std::size_t w : work)
+            out[w] = executeJob(batch[w]);
+    } else {
+        std::atomic<std::size_t> cursor{0};
+        auto worker = [&]() {
+            for (;;) {
+                std::size_t k = cursor.fetch_add(1);
+                if (k >= work.size())
+                    return;
+                std::size_t w = work[k];
+                out[w] = executeJob(batch[w]);
+            }
+        };
+        std::vector<std::thread> threads;
+        threads.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    // Publish fresh results and satisfy in-batch duplicates.
+    for (std::size_t w : work)
+        if (!keys[w].empty())
+            cache.insert(keys[w], out[w].result);
+    for (const auto &[dst, src] : copies)
+        out[dst] = out[src];
+    return out;
+}
+
+std::vector<SimResult>
+RunPool::run(const std::vector<ExperimentJob> &batch)
+{
+    std::vector<ExperimentOutput> outputs = runAll(batch);
+    std::vector<SimResult> results;
+    results.reserve(outputs.size());
+    for (ExperimentOutput &o : outputs)
+        results.push_back(std::move(o.result));
+    return results;
+}
+
+} // namespace morrigan

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * Simulation campaigns are embarrassingly parallel: every run is a
+ * deterministic function of (SimConfig, PrefetcherKind,
+ * ServerWorkloadParams), with no shared mutable state between runs
+ * (each job constructs its own Simulator, workload generator, RNG
+ * streams and prefetcher). RunPool fans a batch of ExperimentJobs
+ * out across std::thread workers and returns the SimResults in
+ * submission order, bit-identical to serial execution regardless of
+ * the worker count.
+ *
+ * Worker count: the `--jobs` flag / RunPool::setDefaultJobs() when
+ * given, else the MORRIGAN_JOBS environment variable (validated:
+ * junk or zero is fatal), else std::thread::hardware_concurrency().
+ *
+ * Batches flow through the process-wide ResultCache: cacheable jobs
+ * (plain PrefetcherKind, no miss-stream collection) that repeat a
+ * key — within a batch or across batches — are simulated once per
+ * process, which is what keeps every bench figure from re-running
+ * the shared no-prefetching baseline suite.
+ */
+
+#ifndef MORRIGAN_SIM_RUN_POOL_HH
+#define MORRIGAN_SIM_RUN_POOL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/prefetcher_factory.hh"
+#include "sim/sim_config.hh"
+#include "workload/miss_stream_stats.hh"
+#include "workload/server_workload.hh"
+
+namespace morrigan
+{
+
+/** One simulation to run: configuration + prefetcher + workload(s). */
+struct ExperimentJob
+{
+    SimConfig cfg;
+    PrefetcherKind kind = PrefetcherKind::None;
+    ServerWorkloadParams workload;
+
+    /** Second hardware thread's workload (SMT colocation). */
+    bool smt = false;
+    ServerWorkloadParams smtWorkload{};
+
+    /**
+     * Custom prefetcher constructor (ablation studies, user-defined
+     * prefetchers). When set it overrides @p kind and disables
+     * result caching; it is invoked once per job, on the worker
+     * thread, so every run gets a fresh instance and jobs stay
+     * independent. Must be callable concurrently.
+     */
+    std::function<std::unique_ptr<TlbPrefetcher>()>
+        prefetcherFactory;
+
+    /** Canonical constructors. */
+    static ExperimentJob of(const SimConfig &cfg, PrefetcherKind kind,
+                            const ServerWorkloadParams &workload);
+    static ExperimentJob
+    with(const SimConfig &cfg,
+         std::function<std::unique_ptr<TlbPrefetcher>()> factory,
+         const ServerWorkloadParams &workload);
+    static ExperimentJob smtPair(const SimConfig &cfg,
+                                 PrefetcherKind kind,
+                                 const ServerWorkloadParams &a,
+                                 const ServerWorkloadParams &b);
+    static ExperimentJob
+    smtPairWith(const SimConfig &cfg,
+                std::function<std::unique_ptr<TlbPrefetcher>()> factory,
+                const ServerWorkloadParams &a,
+                const ServerWorkloadParams &b);
+
+    /** Whether the job's result can be memoised by key. */
+    bool cacheable() const
+    {
+        return !prefetcherFactory && !cfg.collectMissStream;
+    }
+};
+
+/** Everything one job produces. */
+struct ExperimentOutput
+{
+    SimResult result;
+    /** Populated when cfg.collectMissStream is set. */
+    MissStreamStats missStream;
+};
+
+/** Execute one job on the calling thread (no pool, no cache). */
+ExperimentOutput executeJob(const ExperimentJob &job);
+
+/**
+ * Validated parse of a worker-count value (MORRIGAN_JOBS / --jobs):
+ * fatal() on junk, trailing garbage, zero, or counts above 1024.
+ */
+unsigned parseJobsValue(const char *what, const char *s);
+
+/** Resolved default worker count (override > env > hardware). */
+unsigned defaultJobs();
+
+/** The worker pool. */
+class RunPool
+{
+  public:
+    /**
+     * @param jobs Worker count; 0 defers to defaultJobs(), resolved
+     * per batch so a later setDefaultJobs() takes effect.
+     * @param use_cache Route cacheable jobs through
+     * ResultCache::global(). Tests disable this to force execution.
+     */
+    explicit RunPool(unsigned jobs = 0, bool use_cache = true);
+
+    /** Worker count the next batch would use. */
+    unsigned jobs() const;
+
+    /** Run a batch; SimResults in submission order. */
+    std::vector<SimResult>
+    run(const std::vector<ExperimentJob> &batch);
+
+    /** Run a batch keeping the full outputs (miss streams). */
+    std::vector<ExperimentOutput>
+    runAll(const std::vector<ExperimentJob> &batch);
+
+    /** The process-wide pool the batch helpers use. */
+    static RunPool &global();
+
+    /** Override the process default worker count (the --jobs flag);
+     * 0 restores env/hardware resolution. */
+    static void setDefaultJobs(unsigned jobs);
+
+  private:
+    unsigned requestedJobs_;
+    bool useCache_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_RUN_POOL_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * RunPool regression tests: the determinism guarantee (results are
+ * bit-identical across worker counts and to direct serial
+ * execution), submission-order preservation, factory jobs, SMT
+ * jobs, and the hardened MORRIGAN_JOBS parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/morrigan.hh"
+#include "sim/experiment.hh"
+#include "sim/run_pool.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.warmupInstructions = 100'000;
+    cfg.simInstructions = 300'000;
+    return cfg;
+}
+
+/** Every field of SimResult, compared exactly (doubles included:
+ * determinism means bit-identical, not merely close). */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.prefetcher, b.prefetcher);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1iMpki, b.l1iMpki);
+    EXPECT_EQ(a.itlbMpki, b.itlbMpki);
+    EXPECT_EQ(a.istlbMpki, b.istlbMpki);
+    EXPECT_EQ(a.dstlbMpki, b.dstlbMpki);
+    EXPECT_EQ(a.istlbMisses, b.istlbMisses);
+    EXPECT_EQ(a.dstlbMisses, b.dstlbMisses);
+    EXPECT_EQ(a.pbHits, b.pbHits);
+    EXPECT_EQ(a.pbHitsIrip, b.pbHitsIrip);
+    EXPECT_EQ(a.pbHitsSdp, b.pbHitsSdp);
+    EXPECT_EQ(a.pbHitsICache, b.pbHitsICache);
+    EXPECT_EQ(a.istlbCycleFraction, b.istlbCycleFraction);
+    EXPECT_EQ(a.icacheCycleFraction, b.icacheCycleFraction);
+    EXPECT_EQ(a.dataCycleFraction, b.dataCycleFraction);
+    EXPECT_EQ(a.coverage, b.coverage);
+    EXPECT_EQ(a.demandWalks, b.demandWalks);
+    EXPECT_EQ(a.demandWalksInstr, b.demandWalksInstr);
+    EXPECT_EQ(a.demandWalkRefs, b.demandWalkRefs);
+    EXPECT_EQ(a.demandWalkRefsInstr, b.demandWalkRefsInstr);
+    EXPECT_EQ(a.prefetchWalks, b.prefetchWalks);
+    EXPECT_EQ(a.prefetchWalkRefs, b.prefetchWalkRefs);
+    EXPECT_EQ(a.prefetchWalkRefsByLevel, b.prefetchWalkRefsByLevel);
+    EXPECT_EQ(a.meanDemandWalkLatencyInstr,
+              b.meanDemandWalkLatencyInstr);
+    EXPECT_EQ(a.meanDemandWalkLatencyData,
+              b.meanDemandWalkLatencyData);
+    EXPECT_EQ(a.icachePrefetches, b.icachePrefetches);
+    EXPECT_EQ(a.icacheCrossPagePrefetches,
+              b.icacheCrossPagePrefetches);
+    EXPECT_EQ(a.icacheCrossPageNeedingWalk,
+              b.icacheCrossPageNeedingWalk);
+    EXPECT_EQ(a.icacheCrossPagePbHits, b.icacheCrossPagePbHits);
+    EXPECT_EQ(a.pbHitDistance, b.pbHitDistance);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.correctingWalks, b.correctingWalks);
+}
+
+} // namespace
+
+TEST(RunPool, DeterministicAcrossWorkerCounts)
+{
+    // A small workload x prefetcher matrix; every result must be
+    // bit-identical to the direct serial runWorkload() path at both
+    // jobs=1 and jobs=4. Caching is off so every run truly executes.
+    const SimConfig cfg = quickConfig();
+    const PrefetcherKind kinds[] = {PrefetcherKind::None,
+                                    PrefetcherKind::Morrigan};
+    std::vector<ExperimentJob> jobs;
+    std::vector<SimResult> serial;
+    for (unsigned i : {0u, 7u, 19u}) {
+        for (PrefetcherKind kind : kinds) {
+            jobs.push_back(
+                ExperimentJob::of(cfg, kind, qmmWorkloadParams(i)));
+            serial.push_back(
+                runWorkload(cfg, kind, qmmWorkloadParams(i)));
+        }
+    }
+
+    RunPool pool1(1, /*use_cache=*/false);
+    RunPool pool4(4, /*use_cache=*/false);
+    std::vector<SimResult> r1 = pool1.run(jobs);
+    std::vector<SimResult> r4 = pool4.run(jobs);
+
+    ASSERT_EQ(r1.size(), jobs.size());
+    ASSERT_EQ(r4.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(serial[i].workload + "/" +
+                     serial[i].prefetcher);
+        expectIdentical(serial[i], r1[i]);
+        expectIdentical(serial[i], r4[i]);
+    }
+}
+
+TEST(RunPool, PreservesSubmissionOrder)
+{
+    SimConfig cfg = quickConfig();
+    cfg.simInstructions = 150'000;
+    std::vector<ExperimentJob> jobs;
+    for (unsigned i : {4u, 1u, 9u, 2u})
+        jobs.push_back(ExperimentJob::of(cfg, PrefetcherKind::None,
+                                         qmmWorkloadParams(i)));
+    RunPool pool(4, /*use_cache=*/false);
+    std::vector<SimResult> results = pool.run(jobs);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].workload, "qmm_04");
+    EXPECT_EQ(results[1].workload, "qmm_01");
+    EXPECT_EQ(results[2].workload, "qmm_09");
+    EXPECT_EQ(results[3].workload, "qmm_02");
+}
+
+TEST(RunPool, FactoryJobsMatchSerialRunWith)
+{
+    const SimConfig cfg = quickConfig();
+    const ServerWorkloadParams wl = qmmWorkloadParams(3);
+
+    MorriganPrefetcher serial_pref{MorriganParams{}};
+    SimResult serial = runWorkloadWith(cfg, &serial_pref, wl);
+
+    RunPool pool(2, /*use_cache=*/false);
+    std::vector<SimResult> results = pool.run(
+        {ExperimentJob::with(cfg,
+                             [] {
+                                 return std::make_unique<
+                                     MorriganPrefetcher>(
+                                     MorriganParams{});
+                             },
+                             wl)});
+    ASSERT_EQ(results.size(), 1u);
+    expectIdentical(serial, results[0]);
+}
+
+TEST(RunPool, SmtJobsMatchSerialRunSmtPair)
+{
+    const SimConfig cfg = quickConfig();
+    const ServerWorkloadParams a = qmmWorkloadParams(0);
+    const ServerWorkloadParams b = qmmWorkloadParams(5);
+    SimResult serial = runSmtPair(cfg, nullptr, a, b);
+
+    RunPool pool(2, /*use_cache=*/false);
+    std::vector<SimResult> results =
+        pool.run({ExperimentJob::smtPair(cfg, PrefetcherKind::None,
+                                         a, b)});
+    ASSERT_EQ(results.size(), 1u);
+    expectIdentical(serial, results[0]);
+}
+
+TEST(RunPool, MissStreamBatchMatchesSerial)
+{
+    SimConfig cfg = quickConfig();
+    cfg.collectMissStream = true;
+
+    ServerWorkload trace(qmmWorkloadParams(2));
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace, 0);
+    sim.run();
+    const MissStreamStats &serial = sim.missStream();
+
+    RunPool pool(2, /*use_cache=*/false);
+    std::vector<ExperimentOutput> outputs = pool.runAll(
+        {ExperimentJob::of(cfg, PrefetcherKind::None,
+                           qmmWorkloadParams(2))});
+    ASSERT_EQ(outputs.size(), 1u);
+    const MissStreamStats &pooled = outputs[0].missStream;
+    EXPECT_EQ(serial.totalMisses(), pooled.totalMisses());
+    EXPECT_EQ(serial.distinctPages(), pooled.distinctPages());
+    EXPECT_EQ(serial.pagesCoveringFraction(0.9),
+              pooled.pagesCoveringFraction(0.9));
+    EXPECT_EQ(serial.deltaCdfAt(10), pooled.deltaCdfAt(10));
+}
+
+TEST(RunPoolJobs, EnvOverridesHardware)
+{
+    setenv("MORRIGAN_JOBS", "3", 1);
+    RunPool::setDefaultJobs(0);
+    EXPECT_EQ(defaultJobs(), 3u);
+    unsetenv("MORRIGAN_JOBS");
+}
+
+TEST(RunPoolJobs, ExplicitOverrideWinsOverEnv)
+{
+    setenv("MORRIGAN_JOBS", "3", 1);
+    RunPool::setDefaultJobs(7);
+    EXPECT_EQ(defaultJobs(), 7u);
+    EXPECT_EQ(RunPool().jobs(), 7u);
+    EXPECT_EQ(RunPool(2).jobs(), 2u);
+    RunPool::setDefaultJobs(0);
+    unsetenv("MORRIGAN_JOBS");
+}
+
+TEST(RunPoolJobsDeathTest, JunkIsFatal)
+{
+    EXPECT_EXIT(parseJobsValue("--jobs", "abc"),
+                ::testing::ExitedWithCode(1),
+                "not a positive integer");
+    EXPECT_EXIT(parseJobsValue("--jobs", ""),
+                ::testing::ExitedWithCode(1),
+                "not a positive integer");
+    EXPECT_EXIT(parseJobsValue("--jobs", "-4"),
+                ::testing::ExitedWithCode(1),
+                "not a positive integer");
+    EXPECT_EXIT(parseJobsValue("--jobs", "4x"),
+                ::testing::ExitedWithCode(1), "trailing junk");
+    EXPECT_EXIT(parseJobsValue("MORRIGAN_JOBS", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(parseJobsValue("MORRIGAN_JOBS", "4096"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(RunPoolJobsDeathTest, JunkEnvIsFatalAtResolution)
+{
+    setenv("MORRIGAN_JOBS", "lots", 1);
+    RunPool::setDefaultJobs(0);
+    EXPECT_EXIT(defaultJobs(), ::testing::ExitedWithCode(1),
+                "MORRIGAN_JOBS");
+    unsetenv("MORRIGAN_JOBS");
+}

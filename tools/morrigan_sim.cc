@@ -31,6 +31,7 @@
 #include "core/morrigan.hh"
 #include "core/prefetcher_factory.hh"
 #include "sim/experiment.hh"
+#include "sim/run_pool.hh"
 #include "sim/simulator.hh"
 #include "workload/workload_factory.hh"
 
@@ -77,7 +78,11 @@ usage()
         "  --miss-stream         print the miss-stream "
         "characterisation\n"
         "  --baseline            also run the no-prefetch baseline "
-        "and report speedup\n");
+        "and report speedup\n"
+        "  --jobs N              parallel worker count (default: "
+        "MORRIGAN_JOBS, then hardware)\n"
+        "  --sweep               run the whole QMM suite (baseline "
+        "+ prefetcher) and report speedups\n");
 }
 
 /**
@@ -263,6 +268,7 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool miss_stream = false;
     bool with_baseline = false;
+    bool sweep = false;
     std::string stats_json_path;
     std::string trace_path;
     std::string interval_out_path;
@@ -335,6 +341,10 @@ main(int argc, char **argv)
             cfg.collectMissStream = true;
         } else if (arg == "--baseline") {
             with_baseline = true;
+        } else if (arg == "--jobs") {
+            RunPool::setDefaultJobs(parseJobsValue("--jobs", next()));
+        } else if (arg == "--sweep") {
+            sweep = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -352,6 +362,54 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown I-cache prefetcher %s\n",
                      icache_name.c_str());
         return 1;
+    }
+
+    // --sweep: the whole QMM suite, baseline + chosen prefetcher,
+    // as one parallel batch through the shared pool and result
+    // cache. Per-run observability flags don't apply here.
+    if (sweep) {
+        PrefetcherKind kind =
+            prefetcherKindFromName(prefetcher_name);
+        SimConfig sweep_cfg = cfg;
+        sweep_cfg.collectMissStream = false;
+
+        std::vector<ExperimentJob> jobs;
+        for (unsigned i = 0; i < numQmmWorkloads; ++i)
+            jobs.push_back(ExperimentJob::of(
+                sweep_cfg, PrefetcherKind::None,
+                qmmWorkloadParams(i)));
+        for (unsigned i = 0; i < numQmmWorkloads; ++i) {
+            if (kind == PrefetcherKind::Morrigan && smt_scaled)
+                jobs.push_back(ExperimentJob::with(
+                    sweep_cfg,
+                    [] {
+                        return std::make_unique<MorriganPrefetcher>(
+                            MorriganParams{}.smtScaled());
+                    },
+                    qmmWorkloadParams(i)));
+            else
+                jobs.push_back(ExperimentJob::of(
+                    sweep_cfg, kind, qmmWorkloadParams(i)));
+        }
+        std::vector<SimResult> all = runBatch(jobs);
+        std::vector<SimResult> base(
+            all.begin(), all.begin() + numQmmWorkloads);
+        std::vector<SimResult> opt(
+            all.begin() + numQmmWorkloads, all.end());
+
+        std::printf("-- QMM suite sweep: %s vs baseline "
+                    "(%u workloads, %u jobs) --\n",
+                    prefetcher_name.c_str(), numQmmWorkloads,
+                    RunPool::global().jobs());
+        std::printf("%-10s %10s %10s %9s\n", "workload", "base IPC",
+                    "opt IPC", "speedup");
+        for (unsigned i = 0; i < numQmmWorkloads; ++i)
+            std::printf("%-10s %10.4f %10.4f %8.2f%%\n",
+                        base[i].workload.c_str(), base[i].ipc,
+                        opt[i].ipc, speedupPct(base[i], opt[i]));
+        std::printf("geomean speedup     %.2f%%\n",
+                    geomeanSpeedupPct(base, opt));
+        return 0;
     }
 
     auto wl = parseWorkload(workload_name);
@@ -430,16 +488,19 @@ main(int argc, char **argv)
     }
 
     if (with_baseline) {
-        Simulator base_sim(cfg);
-        ServerWorkload base_trace(*wl);
-        base_sim.attachWorkload(&base_trace, 0);
-        std::unique_ptr<ServerWorkload> base_smt;
-        if (!smt_name.empty()) {
-            base_smt = std::make_unique<ServerWorkload>(
-                *parseWorkload(smt_name));
-            base_sim.attachWorkload(base_smt.get(), 1);
-        }
-        SimResult b = base_sim.run();
+        // The baseline is a cacheable job: route it through the
+        // pool so repeated invocations (and MORRIGAN_RESULT_CACHE
+        // campaigns) reuse it rather than re-simulating.
+        SimConfig base_cfg = cfg;
+        base_cfg.collectMissStream = false;
+        ExperimentJob job =
+            smt_name.empty()
+                ? ExperimentJob::of(base_cfg, PrefetcherKind::None,
+                                    *wl)
+                : ExperimentJob::smtPair(base_cfg,
+                                         PrefetcherKind::None, *wl,
+                                         *parseWorkload(smt_name));
+        SimResult b = runBatch({job}).front();
         std::printf("baseline IPC        %.4f\n", b.ipc);
         std::printf("speedup             %.2f%%\n",
                     speedupPct(b, r));
