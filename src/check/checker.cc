@@ -1,0 +1,140 @@
+#include "checker.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace morrigan::check
+{
+
+const char *
+translationSourceName(TranslationSource src)
+{
+    switch (src) {
+      case TranslationSource::DemandWalk:
+        return "demand-walk";
+      case TranslationSource::PbHit:
+        return "pb-hit";
+      case TranslationSource::StlbPrefetch:
+        return "stlb-prefetch";
+      case TranslationSource::PerfectIstlb:
+        return "perfect-istlb";
+      case TranslationSource::DataWalk:
+        return "data-walk";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+const char *
+producerName(PrefetchProducer p)
+{
+    switch (p) {
+      case PrefetchProducer::Irip:
+        return "irip";
+      case PrefetchProducer::IripSpatial:
+        return "irip-spatial";
+      case PrefetchProducer::Sdp:
+        return "sdp";
+      case PrefetchProducer::SdpSpatial:
+        return "sdp-spatial";
+      case PrefetchProducer::ICache:
+        return "icache";
+      case PrefetchProducer::Other:
+        break;
+    }
+    return "other";
+}
+
+const char *
+sizeName(RefPageSize s)
+{
+    switch (s) {
+      case RefPageSize::Size4K:
+        return "4K";
+      case RefPageSize::Size2M:
+        return "2M";
+      case RefPageSize::Size1G:
+        return "1G";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+DiffChecker::onTranslation(Vpn vpn, Pfn pfn, TranslationSource src,
+                           Cycle cycle, unsigned tid,
+                           const PrefetchTag *tag)
+{
+    ++checked_;
+    RefResult r = ref_.translate(vpn, RefPermRead);
+    if (r.ok && r.t.pfn == pfn)
+        return true;
+
+    ++mismatches_;
+    if (records_.size() < maxReports_) {
+        CheckMismatch m;
+        m.vpn = vpn;
+        m.tid = tid;
+        m.actual = pfn;
+        m.expected = r.fault == RefFault::NotMapped ? Pfn{0} : r.t.pfn;
+        m.refMapped = r.fault != RefFault::NotMapped;
+        m.refSize = r.t.size;
+        m.source = src;
+        m.cycle = cycle;
+        if (tag) {
+            m.hasTag = true;
+            m.tag = *tag;
+        }
+        records_.push_back(m);
+    }
+    return false;
+}
+
+std::string
+DiffChecker::report() const
+{
+    if (mismatches_ == 0)
+        return {};
+    std::ostringstream os;
+    os << "differential check FAILED: " << mismatches_
+       << " mismatched translation(s) out of " << checked_
+       << " checked\n";
+    for (const CheckMismatch &m : records_) {
+        os << csprintf("  vpn %#llx tid %u cycle %llu via %s: "
+                       "simulator pfn %#llx, ",
+                       static_cast<unsigned long long>(m.vpn), m.tid,
+                       static_cast<unsigned long long>(m.cycle),
+                       translationSourceName(m.source),
+                       static_cast<unsigned long long>(m.actual));
+        if (m.refMapped) {
+            os << csprintf("reference pfn %#llx (%s mapping)",
+                           static_cast<unsigned long long>(m.expected),
+                           sizeName(m.refSize));
+        } else {
+            os << "reference has no mapping";
+        }
+        if (m.hasTag) {
+            os << csprintf("; planted by %s",
+                           producerName(m.tag.producer));
+            if (m.tag.table != PrefetchTag::noTable)
+                os << csprintf(" table %u",
+                               static_cast<unsigned>(m.tag.table));
+            os << csprintf(" source-page %#llx distance %lld",
+                           static_cast<unsigned long long>(
+                               m.tag.sourcePage),
+                           static_cast<long long>(m.tag.distance));
+        }
+        os << "\n";
+    }
+    if (mismatches_ > records_.size()) {
+        os << "  ... " << (mismatches_ - records_.size())
+           << " further mismatch(es) not recorded\n";
+    }
+    return os.str();
+}
+
+} // namespace morrigan::check

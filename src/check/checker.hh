@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Differential checker: fast simulator vs golden reference model.
+ *
+ * The checker sits between the OS model and the timing simulator. It
+ * implements PageTableObserver, so every mapping the page table
+ * creates (premap, demand fault, large-page THP premap) is mirrored
+ * into the RefTranslator the instant it exists. The simulator then
+ * reports every *completed demand translation* -- the (vpn, pfn)
+ * pair it is about to hand to the front end, whether it came from a
+ * demand walk, a prefetch-buffer hit, an iSTLB-resident prefetch, or
+ * the perfect-iSTLB oracle -- and the checker replays the VPN through
+ * the reference model. A frame disagreement, or a translation for a
+ * page the reference says is unmapped, is recorded as a structured
+ * mismatch with full provenance: where the frame came from, which
+ * producer/table planted the PB entry, and on which cycle.
+ *
+ * Mismatches never abort the simulation; the driver reads
+ * mismatches() at the end and fails the run, so a fuzz campaign can
+ * report the seed of a failing run instead of dying inside it.
+ */
+
+#ifndef MORRIGAN_CHECK_CHECKER_HH
+#define MORRIGAN_CHECK_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/ref_translator.hh"
+#include "common/types.hh"
+#include "tlb/prefetch_buffer.hh"
+#include "vm/page_table.hh"
+
+namespace morrigan::check
+{
+
+/** Where the checked translation's frame came from. */
+enum class TranslationSource : std::uint8_t
+{
+    DemandWalk,       //!< instruction-side demand page walk
+    PbHit,            //!< prefetch buffer hit on an iSTLB miss
+    StlbPrefetch,     //!< prefetch installed directly into the iSTLB
+    PerfectIstlb,     //!< perfect-iSTLB oracle fill
+    DataWalk,         //!< data-side demand page walk
+};
+
+/** Printable name of a translation source. */
+const char *translationSourceName(TranslationSource src);
+
+/** One recorded divergence between simulator and reference. */
+struct CheckMismatch
+{
+    Vpn vpn = 0;
+    unsigned tid = 0;
+    /** Frame the fast simulator produced. */
+    Pfn actual = 0;
+    /** Frame the reference model expects (valid iff refMapped). */
+    Pfn expected = 0;
+    /** Whether the reference model has any mapping for the VPN. */
+    bool refMapped = false;
+    /** Reach of the reference mapping when refMapped. */
+    RefPageSize refSize = RefPageSize::Size4K;
+    TranslationSource source = TranslationSource::DemandWalk;
+    /** PB provenance (source == PbHit): who planted the entry. */
+    bool hasTag = false;
+    PrefetchTag tag{};
+    Cycle cycle = 0;
+};
+
+/**
+ * The differential checker. One instance per simulated address
+ * space / simulator; attach with PageTable::setObserver *before* the
+ * workload premaps, then feed it translations via onTranslation().
+ */
+class DiffChecker : public PageTableObserver
+{
+  public:
+    /** @param max_reports Mismatches kept with full detail; the
+     * count keeps rising past this, the records stop. */
+    explicit DiffChecker(unsigned max_reports = 16)
+        : maxReports_(max_reports)
+    {}
+
+    // PageTableObserver: mirror mappings into the reference model.
+    void onMap4K(Vpn vpn, Pfn pfn) override { ref_.map4K(vpn, pfn); }
+
+    void
+    onMap2M(Vpn base_vpn, Pfn base_pfn) override
+    {
+        ref_.map2M(base_vpn, base_pfn);
+    }
+
+    /**
+     * Cross-check one completed demand translation.
+     *
+     * @param vpn Translated page.
+     * @param pfn Frame the simulator resolved it to.
+     * @param src Structure that produced the frame.
+     * @param cycle Simulated completion cycle.
+     * @param tid SMT thread.
+     * @param tag PB provenance when src == PbHit, else nullptr.
+     * @return true if the translation matches the reference.
+     */
+    bool onTranslation(Vpn vpn, Pfn pfn, TranslationSource src,
+                       Cycle cycle, unsigned tid,
+                       const PrefetchTag *tag = nullptr);
+
+    /** Translations cross-checked so far. */
+    std::uint64_t checked() const { return checked_; }
+
+    /** Divergences found so far. */
+    std::uint64_t mismatches() const { return mismatches_; }
+
+    /** Detailed records of the first maxReports mismatches. */
+    const std::vector<CheckMismatch> &records() const
+    {
+        return records_;
+    }
+
+    /**
+     * Human-readable mismatch report: one block per recorded
+     * divergence naming the faulting VPN, both frames, the source
+     * structure and -- for PB hits -- the producer, PRT table,
+     * source page and distance that planted the bad entry. Empty
+     * string when the run was clean.
+     */
+    std::string report() const;
+
+    /** The underlying golden model (tests inspect it directly). */
+    const RefTranslator &ref() const { return ref_; }
+    RefTranslator &ref() { return ref_; }
+
+  private:
+    RefTranslator ref_;
+    std::vector<CheckMismatch> records_;
+    unsigned maxReports_;
+    std::uint64_t checked_ = 0;
+    std::uint64_t mismatches_ = 0;
+};
+
+} // namespace morrigan::check
+
+#endif // MORRIGAN_CHECK_CHECKER_HH

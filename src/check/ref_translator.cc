@@ -1,0 +1,167 @@
+#include "ref_translator.hh"
+
+#include "common/logging.hh"
+
+namespace morrigan::check
+{
+
+void
+RefTranslator::map4K(Vpn vpn, Pfn pfn, std::uint8_t perms)
+{
+    if (large_.count(vpn >> radixBits) ||
+        huge_.count(vpn >> hugePageShiftPages)) {
+        ++mapConflicts_;
+        warn("ref translator: 4K map of vpn %#llx overlaps a large "
+             "mapping",
+             static_cast<unsigned long long>(vpn));
+        return;
+    }
+    auto [it, fresh] = small_.emplace(vpn, Mapping{pfn, perms});
+    if (!fresh) {
+        if (it->second.basePfn != pfn) {
+            ++mapConflicts_;
+            warn("ref translator: vpn %#llx remapped %#llx -> %#llx",
+                 static_cast<unsigned long long>(vpn),
+                 static_cast<unsigned long long>(it->second.basePfn),
+                 static_cast<unsigned long long>(pfn));
+        }
+        return;
+    }
+    ++mappedPages_;
+}
+
+void
+RefTranslator::map2M(Vpn vpn, Pfn base_pfn, std::uint8_t perms)
+{
+    if ((vpn & (pagesPerLargePage - 1)) != 0) {
+        ++mapConflicts_;
+        warn("ref translator: 2M map of unaligned vpn %#llx",
+             static_cast<unsigned long long>(vpn));
+        return;
+    }
+    // A 2M region must not already contain 4K mappings (mirrors the
+    // radix table's constraint: a PD entry is a leaf or a pointer,
+    // never both).
+    for (Vpn v = vpn; v < vpn + pagesPerLargePage; ++v) {
+        if (small_.count(v)) {
+            ++mapConflicts_;
+            warn("ref translator: 2M map of vpn %#llx overlaps 4K "
+                 "mappings",
+                 static_cast<unsigned long long>(vpn));
+            return;
+        }
+    }
+    if (huge_.count(vpn >> hugePageShiftPages)) {
+        ++mapConflicts_;
+        return;
+    }
+    auto [it, fresh] =
+        large_.emplace(vpn >> radixBits, Mapping{base_pfn, perms});
+    if (!fresh) {
+        if (it->second.basePfn != base_pfn)
+            ++mapConflicts_;
+        return;
+    }
+    mappedPages_ += pagesPerLargePage;
+}
+
+void
+RefTranslator::map1G(Vpn vpn, Pfn base_pfn, std::uint8_t perms)
+{
+    constexpr Vpn pagesPerHuge = Vpn{1} << hugePageShiftPages;
+    if ((vpn & (pagesPerHuge - 1)) != 0) {
+        ++mapConflicts_;
+        warn("ref translator: 1G map of unaligned vpn %#llx",
+             static_cast<unsigned long long>(vpn));
+        return;
+    }
+    // Reject overlap with any finer-grained mapping in the region.
+    for (const auto &[v, m] : small_) {
+        (void)m;
+        if ((v >> hugePageShiftPages) == (vpn >> hugePageShiftPages)) {
+            ++mapConflicts_;
+            return;
+        }
+    }
+    for (const auto &[g, m] : large_) {
+        (void)m;
+        if ((g >> radixBits) == (vpn >> hugePageShiftPages)) {
+            ++mapConflicts_;
+            return;
+        }
+    }
+    auto [it, fresh] = huge_.emplace(vpn >> hugePageShiftPages,
+                                     Mapping{base_pfn, perms});
+    if (!fresh) {
+        if (it->second.basePfn != base_pfn)
+            ++mapConflicts_;
+        return;
+    }
+    mappedPages_ += pagesPerHuge;
+}
+
+RefResult
+RefTranslator::translate(Vpn vpn, std::uint8_t required) const
+{
+    RefResult res;
+    const Mapping *m = nullptr;
+    if (auto it = huge_.find(vpn >> hugePageShiftPages);
+        it != huge_.end()) {
+        m = &it->second;
+        res.t.size = RefPageSize::Size1G;
+        res.t.basePfn = m->basePfn;
+        res.t.pfn = m->basePfn +
+                    (vpn & ((Vpn{1} << hugePageShiftPages) - 1));
+    } else if (auto lit = large_.find(vpn >> radixBits);
+               lit != large_.end()) {
+        m = &lit->second;
+        res.t.size = RefPageSize::Size2M;
+        res.t.basePfn = m->basePfn;
+        res.t.pfn = m->basePfn + (vpn & (pagesPerLargePage - 1));
+    } else if (auto sit = small_.find(vpn); sit != small_.end()) {
+        m = &sit->second;
+        res.t.size = RefPageSize::Size4K;
+        res.t.basePfn = m->basePfn;
+        res.t.pfn = m->basePfn;
+    }
+    if (!m) {
+        res.fault = RefFault::NotMapped;
+        return res;
+    }
+    res.t.perms = m->perms;
+    if ((m->perms & required) != required) {
+        res.fault = RefFault::Permission;
+        return res;
+    }
+    res.ok = true;
+    res.fault = RefFault::None;
+    return res;
+}
+
+Addr
+RefTranslator::translateAddr(Addr va, std::uint8_t required) const
+{
+    RefResult r = translate(pageOf(va), required);
+    if (!r.ok)
+        return 0;
+    return (r.t.pfn << pageShift) + pageOffset(va);
+}
+
+bool
+RefTranslator::isMapped(Vpn vpn) const
+{
+    return small_.count(vpn) || large_.count(vpn >> radixBits) ||
+           huge_.count(vpn >> hugePageShiftPages);
+}
+
+void
+RefTranslator::clear()
+{
+    small_.clear();
+    large_.clear();
+    huge_.clear();
+    mappedPages_ = 0;
+    mapConflicts_ = 0;
+}
+
+} // namespace morrigan::check

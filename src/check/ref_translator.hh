@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Golden functional reference model of VA→PA translation.
+ *
+ * The fast simulator models the x86 radix walk *structurally* (real
+ * entry addresses, PSC short-circuits, prefetch buffers, timing); the
+ * reference model keeps only the architectural essence: which virtual
+ * page maps to which frame, at which reach (4KB / 2MB / 1GB), with
+ * which permissions. It has no caches, no timing, no prefetching and
+ * no shared state with the structures it checks, so a divergence
+ * between the two is a correctness bug in the fast path, not in the
+ * reference.
+ *
+ * Two ways to use it:
+ *
+ *  - standalone, as an architecturally-correct translator for unit
+ *    tests (known layouts → exact physical addresses, permission
+ *    faults, large-page reach);
+ *  - as the ground truth of the differential checker (check/
+ *    checker.hh): the checker observes every mapping the OS model
+ *    creates and replays every demand translation the simulator
+ *    completes against this model.
+ */
+
+#ifndef MORRIGAN_CHECK_REF_TRANSLATOR_HH
+#define MORRIGAN_CHECK_REF_TRANSLATOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace morrigan::check
+{
+
+/** Access permissions of a reference mapping (bit mask). */
+enum RefPerm : std::uint8_t
+{
+    RefPermRead = 1,
+    RefPermWrite = 2,
+    RefPermExec = 4,
+    RefPermAll = RefPermRead | RefPermWrite | RefPermExec,
+};
+
+/** Mapping reach. */
+enum class RefPageSize : std::uint8_t
+{
+    Size4K,
+    Size2M,
+    Size1G,
+};
+
+/** Why a reference translation failed. */
+enum class RefFault : std::uint8_t
+{
+    None,
+    NotMapped,   //!< no mapping at any reach covers the page
+    Permission,  //!< mapped, but the access kind is not permitted
+};
+
+/** A successful reference translation. */
+struct RefTranslation
+{
+    /** Frame of the referenced 4KB granule. */
+    Pfn pfn = 0;
+    /** Reach of the mapping that served it. */
+    RefPageSize size = RefPageSize::Size4K;
+    /** First frame of the large-page group (== pfn for 4KB). */
+    Pfn basePfn = 0;
+    std::uint8_t perms = RefPermAll;
+};
+
+/** Outcome of RefTranslator::translate. */
+struct RefResult
+{
+    bool ok = false;
+    RefFault fault = RefFault::NotMapped;
+    RefTranslation t{};
+};
+
+/**
+ * The reference model. Mappings are registered at creation time (by
+ * the test, or by the page-table observer) and never mutated behind
+ * its back.
+ */
+class RefTranslator
+{
+  public:
+    /**
+     * Register a 4KB mapping. Re-registering the same (vpn, pfn)
+     * pair is idempotent; conflicting registrations (same VPN,
+     * different frame, or overlap with a large page) are themselves
+     * model violations and are counted, since the OS model must
+     * never double-map.
+     */
+    void map4K(Vpn vpn, Pfn pfn, std::uint8_t perms = RefPermAll);
+
+    /** Register a 2MB mapping; @p vpn is 512-page aligned and the
+     * group occupies frames [basePfn, basePfn + 512). */
+    void map2M(Vpn vpn, Pfn basePfn, std::uint8_t perms = RefPermAll);
+
+    /** Register a 1GB mapping; @p vpn is 2^18-page aligned. */
+    void map1G(Vpn vpn, Pfn basePfn, std::uint8_t perms = RefPermAll);
+
+    /**
+     * Architecturally-correct translation of @p vpn for an access
+     * needing @p required permissions: the deepest mapping wins the
+     * way a real walk finds the leaf (a 1GB leaf shadows nothing --
+     * overlaps are rejected at map time).
+     */
+    RefResult translate(Vpn vpn,
+                        std::uint8_t required = RefPermRead) const;
+
+    /** Full-address convenience: translate @p va and rebuild the
+     * physical byte address; 0 on fault (frame 0 is the root table
+     * frame, never a data page). */
+    Addr translateAddr(Addr va,
+                       std::uint8_t required = RefPermRead) const;
+
+    /** Whether any mapping covers @p vpn. */
+    bool isMapped(Vpn vpn) const;
+
+    /** Total 4KB granules mapped (large pages count their reach). */
+    std::uint64_t mappedPages() const { return mappedPages_; }
+
+    /** Conflicting registrations observed (double maps, overlaps). */
+    std::uint64_t mapConflicts() const { return mapConflicts_; }
+
+    /** Drop everything (fresh address space). */
+    void clear();
+
+  private:
+    struct Mapping
+    {
+        Pfn basePfn = 0;
+        std::uint8_t perms = RefPermAll;
+    };
+
+    /** log2(pages) covered by a 1GB mapping. */
+    static constexpr unsigned hugePageShiftPages = 2 * radixBits;
+
+    std::unordered_map<Vpn, Mapping> small_;  //!< keyed by vpn
+    std::unordered_map<Vpn, Mapping> large_;  //!< keyed by vpn >> 9
+    std::unordered_map<Vpn, Mapping> huge_;   //!< keyed by vpn >> 18
+    std::uint64_t mappedPages_ = 0;
+    std::uint64_t mapConflicts_ = 0;
+};
+
+} // namespace morrigan::check
+
+#endif // MORRIGAN_CHECK_REF_TRANSLATOR_HH

@@ -36,8 +36,11 @@ inline constexpr int intervalSchemaVersion = 1;
 /** Version of the BENCH_*.json artifact schema. */
 inline constexpr int benchSchemaVersion = 1;
 /** Version of the on-disk result-cache file schema (also baked into
- * experiment cache keys, so bumping it invalidates old caches). */
-inline constexpr int resultCacheSchemaVersion = 1;
+ * experiment cache keys, so bumping it invalidates old caches).
+ * v2: differential-check fields (checked_translations,
+ * check_mismatches, check_mapped_pages) and the checkLevel /
+ * injectWalkerBugPeriod key components. */
+inline constexpr int resultCacheSchemaVersion = 2;
 
 /** Write @p s as a quoted, escaped JSON string. */
 inline void

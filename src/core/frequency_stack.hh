@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "check/invariants.hh"
 #include "common/types.hh"
 
 namespace morrigan
@@ -39,11 +40,26 @@ class FrequencyStack
     void
     recordMiss(Vpn vpn)
     {
-        ++freq_[vpn];
-        if (resetInterval_ != 0 && ++sinceReset_ >= resetInterval_) {
+        std::uint32_t f = ++freq_[vpn];
+        ++sinceReset_;
+        // Monotone-within-interval: no single page can have been
+        // counted more often than misses were recorded since the
+        // last reset (including this one).
+        MORRIGAN_CHECK_INVARIANT(
+            2, f <= sinceReset_,
+            "frequency stack: vpn %#llx frequency %u exceeds %llu "
+            "misses recorded since reset",
+            static_cast<unsigned long long>(vpn), f,
+            static_cast<unsigned long long>(sinceReset_));
+        if (resetInterval_ != 0 && sinceReset_ >= resetInterval_) {
             freq_.clear();
             sinceReset_ = 0;
             ++resets_;
+            MORRIGAN_CHECK_INVARIANT(
+                1, freq_.empty() && sinceReset_ == 0,
+                "frequency stack: %zu pages still tracked after a "
+                "phase reset",
+                freq_.size());
         }
     }
 

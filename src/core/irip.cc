@@ -3,10 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 
 namespace morrigan
 {
+
+namespace
+{
+
+/**
+ * A PRT promotion must carry the whole successor set: every valid
+ * distance the source entry held must be present in the destination
+ * entry after install.
+ */
+bool
+promotionPreservedSuccessors(PredictionTable &dst, Vpn vpn,
+                             const std::vector<PrtSlot> &expect)
+{
+    PrtEntry *e = dst.probe(vpn);
+    if (!e || e->vpn != vpn)
+        return false;
+    for (const PrtSlot &s : expect) {
+        if (!s.valid)
+            continue;
+        bool found = false;
+        for (const PrtSlot &d : e->slots) {
+            if (d.valid && d.distance == s.distance) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 IripParams
 IripParams::scaled(double factor) const
@@ -111,8 +145,18 @@ Irip::updatePreviousEntry(Vpn prev_vpn, int prev_table, PageDelta dist)
     fresh.confidence = 0;
     slots.push_back(fresh);
 
+    std::vector<PrtSlot> expect;
+    if (check::invariantCheckLevel() >= 2)
+        expect = slots;
     table.erase(prev_vpn);
     tables_[prev_table + 1]->install(prev_vpn, std::move(slots));
+    MORRIGAN_CHECK_INVARIANT(
+        2,
+        promotionPreservedSuccessors(*tables_[prev_table + 1],
+                                     prev_vpn, expect),
+        "IRIP promotion of vpn %#llx from table %d dropped part of "
+        "its successor set",
+        static_cast<unsigned long long>(prev_vpn), prev_table);
     ++stats_.transfers;
 }
 

@@ -495,7 +495,11 @@ simResultFromJson(const JsonValue &doc, SimResult &out)
                      r.icacheCrossPagePbHits) &&
               getU64Array(doc, "pb_hit_distance", r.pbHitDistance) &&
               getU64(doc, "context_switches", r.contextSwitches) &&
-              getU64(doc, "correcting_walks", r.correctingWalks);
+              getU64(doc, "correcting_walks", r.correctingWalks) &&
+              getU64(doc, "checked_translations",
+                     r.checkedTranslations) &&
+              getU64(doc, "check_mismatches", r.checkMismatches) &&
+              getU64(doc, "check_mapped_pages", r.checkMappedPages);
     if (!ok)
         return false;
     out = std::move(r);
@@ -561,6 +565,8 @@ experimentKey(const SimConfig &cfg, PrefetcherKind kind,
     kb.add("simInstructions", cfg.simInstructions);
     kb.add("collectMissStream", cfg.collectMissStream);
     kb.add("smtThread1VpnOffset", cfg.smtThread1VpnOffset);
+    kb.add("checkLevel", std::uint64_t(cfg.checkLevel));
+    kb.add("injectWalkerBugPeriod", cfg.injectWalkerBugPeriod);
 
     addWorkloadParams(kb, "wl", workload);
     kb.add("smt", smt != nullptr);
@@ -614,6 +620,12 @@ writeSimResultJson(std::ostream &os, const SimResult &r)
     kvU64Array(w, "pb_hit_distance", r.pbHitDistance);
     w.kv("context_switches", r.contextSwitches);
     w.kv("correcting_walks", r.correctingWalks);
+    // checkReport is deliberately not serialized: checked runs are
+    // never cached (ExperimentJob::cacheable()), so a cached result
+    // always has an empty report.
+    w.kv("checked_translations", r.checkedTranslations);
+    w.kv("check_mismatches", r.checkMismatches);
+    w.kv("check_mapped_pages", r.checkMappedPages);
     w.endObject();
 }
 

@@ -75,10 +75,14 @@ struct ExperimentJob
                 const ServerWorkloadParams &a,
                 const ServerWorkloadParams &b);
 
-    /** Whether the job's result can be memoised by key. */
+    /** Whether the job's result can be memoised by key. Checked and
+     * fault-injected runs are excluded: their value is in the check
+     * being re-executed (and their mismatch report is not part of
+     * the serialized result). */
     bool cacheable() const
     {
-        return !prefetcherFactory && !cfg.collectMissStream;
+        return !prefetcherFactory && !cfg.collectMissStream &&
+               cfg.checkLevel == 0 && cfg.injectWalkerBugPeriod == 0;
     }
 };
 

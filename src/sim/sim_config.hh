@@ -127,6 +127,27 @@ struct SimConfig
     /** VPN offset applied to thread 1 in SMT mode (distinct address
      * spaces of the two colocated workloads). */
     Vpn smtThread1VpnOffset = Vpn{1} << 34;
+
+    /**
+     * Differential-check level. 0 (default) disables checking; at 1
+     * and above every completed demand translation is cross-checked
+     * against the golden reference model (check/ref_translator.hh)
+     * and divergences are recorded in the result. The level mirrors
+     * MORRIGAN_CHECK_LEVEL for the structural hooks, but is carried
+     * in the config so the run itself is reproducible from the
+     * config alone.
+     */
+    int checkLevel = 0;
+
+    /**
+     * Fault-injection knob for validating the checker: every Nth
+     * instruction-side demand walk flips bit 0 of the translated
+     * frame before it is installed. 0 disables. A checked run with
+     * injection enabled must report mismatches naming the faulting
+     * VPNs; this is exercised by tests and by morrigan-fuzz
+     * --inject.
+     */
+    std::uint64_t injectWalkerBugPeriod = 0;
 };
 
 /** Everything a simulation run reports. */
@@ -188,6 +209,21 @@ struct SimResult
 
     /** Correcting page walks issued (Section 4.3). */
     std::uint64_t correctingWalks = 0;
+
+    // --- differential checking (checkLevel > 0) ---
+    /** Demand translations cross-checked against the reference. */
+    std::uint64_t checkedTranslations = 0;
+    /** Divergences between simulator and reference model. */
+    std::uint64_t checkMismatches = 0;
+    /** 4KB pages mapped in this address space at the end of the
+     * run (reference-model view; 0 when checking is off). */
+    std::uint64_t checkMappedPages = 0;
+    /**
+     * Human-readable mismatch report (empty when clean). Not
+     * serialized into the result cache: checked runs are never
+     * cached (ExperimentJob::cacheable()).
+     */
+    std::string checkReport;
 };
 
 } // namespace morrigan

@@ -29,6 +29,12 @@ Simulator::Simulator(const SimConfig &cfg)
         icachePref_ = std::make_unique<FnlMmaPrefetcher>();
         break;
     }
+    if (cfg_.checkLevel > 0) {
+        // Attach before any workload premaps so the reference model
+        // sees every mapping from the first one.
+        checker_ = std::make_unique<check::DiffChecker>();
+        pageTable_.setObserver(checker_.get());
+    }
 }
 
 void
@@ -251,6 +257,12 @@ Simulator::resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid)
     cycles_ += static_cast<double>(stlb_lat);
     c_.istlbStallCycles += static_cast<double>(stlb_lat);
     if (tr.level == TlbHitLevel::Stlb) {
+        // With P2TLB, STLB entries can come straight from prefetches
+        // that were never demand-verified; cross-check them here.
+        if (checker_ && cfg_.prefetchIntoStlb)
+            checker_->onTranslation(
+                vpn, tr.pfn, check::TranslationSource::StlbPrefetch,
+                now(), tid);
         if (cfg_.prefetchOnStlbHits)
             engagePrefetcher(vpn, pc, tid);
         return tr.pfn;
@@ -259,6 +271,10 @@ Simulator::resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid)
     if (cfg_.perfectIstlb) {
         // Idealisation: every iSTLB lookup hits (Figure 9/18 bound).
         WalkPath p = pageTable_.walk(vpn, true);
+        if (checker_)
+            checker_->onTranslation(
+                vpn, p.pfn, check::TranslationSource::PerfectIstlb,
+                now(), tid);
         tlbs_.fill(vpn, p.pfn, AccessType::Instruction);
         return p.pfn;
     }
@@ -308,6 +324,10 @@ Simulator::resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid)
                 c_.istlbStallCycles += wait;
             }
             pfn = pr.entry.pfn;
+            if (checker_)
+                checker_->onTranslation(
+                    vpn, pfn, check::TranslationSource::PbHit, now(),
+                    tid, &pr.entry.tag);
             tlbs_.fill(vpn, pfn, AccessType::Instruction);
             if (prefetcher_)
                 prefetcher_->creditPbHit(pr.entry.tag);
@@ -325,6 +345,17 @@ Simulator::resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid)
         cycles_ += stall;
         c_.istlbStallCycles += stall;
         pfn = wr.pfn;
+        ++instrDemandWalkSeq_;
+        if (cfg_.injectWalkerBugPeriod != 0 &&
+            instrDemandWalkSeq_ % cfg_.injectWalkerBugPeriod == 0) {
+            // Deliberate fault injection (see SimConfig): corrupt
+            // the frame the walker produced before it is installed.
+            pfn ^= 1;
+        }
+        if (checker_)
+            checker_->onTranslation(
+                vpn, pfn, check::TranslationSource::DemandWalk,
+                now(), tid);
         tlbs_.fill(vpn, pfn, AccessType::Instruction);
     }
 
@@ -476,6 +507,10 @@ Simulator::handleData(Addr va, unsigned tid)
         cycles_ += static_cast<double>(wr.latency) * mlp;
         c_.dataStallCycles += static_cast<double>(wr.latency) * mlp;
         pfn = wr.pfn;
+        if (checker_)
+            checker_->onTranslation(
+                vpn, pfn, check::TranslationSource::DataWalk, now(),
+                tid);
         tlbs_.fill(vpn, wr.large ? wr.basePfn : wr.pfn,
                    AccessType::Data, wr.large);
     }
@@ -664,6 +699,12 @@ Simulator::buildResult() const
     r.pbHitDistance = c_.pbHitDistance;
     r.contextSwitches = c_.contextSwitches;
     r.correctingWalks = c_.correctingWalks;
+    if (checker_) {
+        r.checkedTranslations = checker_->checked();
+        r.checkMismatches = checker_->mismatches();
+        r.checkMappedPages = checker_->ref().mappedPages();
+        r.checkReport = checker_->report();
+    }
     return r;
 }
 

@@ -33,6 +33,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/checker.hh"
 #include "common/stats.hh"
 #include "core/tlb_prefetcher.hh"
 #include "icache/icache_prefetcher.hh"
@@ -77,6 +78,10 @@ class Simulator
      * available per epoch. Idempotent per interval.
      */
     IntervalSampler &enableIntervalSampler(std::uint64_t interval);
+
+    /** The differential checker, or nullptr when
+     * SimConfig::checkLevel is 0. */
+    check::DiffChecker *checker() { return checker_.get(); }
 
     /** The tracer, or nullptr when tracing is disabled. */
     PrefetchTracer *tracer() { return tracer_.get(); }
@@ -169,6 +174,13 @@ class Simulator
 
     TlbPrefetcher *prefetcher_ = nullptr;
     std::unique_ptr<ICachePrefetcher> icachePref_;
+
+    // Differential checker (null at checkLevel 0 => every check
+    // site costs one branch).
+    std::unique_ptr<check::DiffChecker> checker_;
+    /** Instruction-side demand walks completed, for the
+     * injectWalkerBugPeriod fault-injection knob. */
+    std::uint64_t instrDemandWalkSeq_ = 0;
 
     // Observability (both null => hooks cost one branch each).
     std::unique_ptr<PrefetchTracer> tracer_;

@@ -1,5 +1,7 @@
 #include "prefetch_buffer.hh"
 
+#include "check/invariants.hh"
+
 namespace morrigan
 {
 
@@ -76,6 +78,11 @@ PrefetchBuffer::insert(Vpn vpn, const PbEntry &entry,
     PbEntry victim;
     Vpn victim_vpn = 0;
     bool evicted = table_.insert(vpn, entry, &victim_vpn, &victim);
+    MORRIGAN_CHECK_INVARIANT(1, population() <= capacity(),
+                             "prefetch buffer population %u exceeds "
+                             "capacity %u after insert of vpn %#llx",
+                             population(), capacity(),
+                             static_cast<unsigned long long>(vpn));
     if (evicted && !victim.usedOnce) {
         ++uselessEvictions_;
         if (obs_)
@@ -98,6 +105,12 @@ PrefetchBuffer::insertOpportunistic(Vpn vpn, const PbEntry &entry)
     }
     if (table_.insertNoEvict(vpn, entry)) {
         ++inserts_;
+        MORRIGAN_CHECK_INVARIANT(1, population() <= capacity(),
+                                 "prefetch buffer population %u "
+                                 "exceeds capacity %u after "
+                                 "opportunistic insert of vpn %#llx",
+                                 population(), capacity(),
+                                 static_cast<unsigned long long>(vpn));
         if (obs_)
             obs_->pbEvent(PbObserver::Event::Installed, entry, 0);
     } else if (obs_) {

@@ -70,9 +70,12 @@ PageTable::walkHashed(Vpn vpn, bool allocate)
     auto it = hashedLeaves_.find(vpn);
     bool mapped = it != hashedLeaves_.end();
     if (!mapped && allocate) {
-        hashedLeaves_[vpn] = phys_.allocFrame();
+        Pfn pfn = phys_.allocFrame();
+        hashedLeaves_[vpn] = pfn;
         ++mappedPages_;
         mapped = true;
+        if (observer_)
+            observer_->onMap4K(vpn, pfn);
     }
 
     unsigned probes = 0;
@@ -116,6 +119,8 @@ PageTable::mapPage(Vpn vpn)
             ++mappedPages_;
             unsigned probes = 0;
             findBucket(vpn >> 3, true, &probes);
+            if (observer_)
+                observer_->onMap4K(vpn, it->second);
         }
         return inserted;
     }
@@ -138,6 +143,8 @@ PageTable::mapPage(Vpn vpn)
     if (inserted) {
         it->second = phys_.allocFrame();
         ++mappedPages_;
+        if (observer_)
+            observer_->onMap4K(vpn, it->second);
     }
     return inserted;
 }
@@ -173,6 +180,8 @@ PageTable::mapLargePage(Vpn vpn)
             phys_.allocFrame();
         it->second = first;
         mappedPages_ += pagesPerLargePage;
+        if (observer_)
+            observer_->onMap2M(base, first);
     }
     return inserted;
 }

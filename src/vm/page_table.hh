@@ -63,6 +63,26 @@ struct WalkPath
 };
 
 /**
+ * Observer of mapping creation, implemented by the differential
+ * checker (check/checker.hh): every mapping the OS model creates is
+ * mirrored into the golden reference translator at the moment it
+ * comes into existence, so the reference never has to reverse-
+ * engineer table state.
+ */
+class PageTableObserver
+{
+  public:
+    virtual ~PageTableObserver() = default;
+
+    /** A 4KB mapping vpn -> pfn was created. */
+    virtual void onMap4K(Vpn vpn, Pfn pfn) = 0;
+
+    /** A 2MB mapping was created; @p base_vpn is 512-page aligned
+     * and the group occupies frames [base_pfn, base_pfn + 512). */
+    virtual void onMap2M(Vpn base_vpn, Pfn base_pfn) = 0;
+};
+
+/**
  * The OS-managed page table for one address space.
  *
  * Mappings are created either up front (mapRange -- the loaded binary
@@ -136,6 +156,13 @@ class PageTable
 
     std::uint64_t mappedPages() const { return mappedPages_.value(); }
 
+    /**
+     * Attach a mapping observer (at most one; the differential
+     * checker). Mappings created before attachment are not replayed,
+     * so attach before the workload premaps.
+     */
+    void setObserver(PageTableObserver *obs) { observer_ = obs; }
+
   private:
     struct Node
     {
@@ -159,6 +186,7 @@ class PageTable
     PhysMem &phys_;
     unsigned levels_;
     PageTableFormat format_;
+    PageTableObserver *observer_ = nullptr;
     Node root_;
 
     // --- hashed-format state ---

@@ -1,0 +1,157 @@
+/** @file Golden reference translator: known layouts, faults, reach. */
+
+#include <gtest/gtest.h>
+
+#include "check/ref_translator.hh"
+
+using namespace morrigan;
+using namespace morrigan::check;
+
+namespace
+{
+
+constexpr Vpn pagesPer1G = Vpn{1} << (2 * radixBits);
+
+} // namespace
+
+TEST(RefTranslator, Known4KLayoutTranslatesExactly)
+{
+    RefTranslator ref;
+    ref.map4K(0x100, 0x2000);
+    ref.map4K(0x101, 0x37ab);
+    ref.map4K(0xdead, 0x1);
+
+    RefResult r = ref.translate(0x100);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.t.pfn, 0x2000u);
+    EXPECT_EQ(r.t.basePfn, 0x2000u);
+    EXPECT_EQ(r.t.size, RefPageSize::Size4K);
+
+    EXPECT_EQ(ref.translate(0x101).t.pfn, 0x37abu);
+    EXPECT_EQ(ref.translate(0xdead).t.pfn, 0x1u);
+    EXPECT_EQ(ref.mappedPages(), 3u);
+    EXPECT_EQ(ref.mapConflicts(), 0u);
+}
+
+TEST(RefTranslator, TranslateAddrRebuildsPhysicalByteAddress)
+{
+    RefTranslator ref;
+    ref.map4K(0x100, 0x2000);
+    Addr va = (Addr{0x100} << pageShift) + 0x123;
+    EXPECT_EQ(ref.translateAddr(va),
+              (Addr{0x2000} << pageShift) + 0x123);
+    // Unmapped → 0 sentinel.
+    EXPECT_EQ(ref.translateAddr(Addr{0x999} << pageShift), 0u);
+}
+
+TEST(RefTranslator, UnmappedPageFaults)
+{
+    RefTranslator ref;
+    ref.map4K(0x100, 0x2000);
+    RefResult r = ref.translate(0x101);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.fault, RefFault::NotMapped);
+    EXPECT_FALSE(ref.isMapped(0x101));
+    EXPECT_TRUE(ref.isMapped(0x100));
+}
+
+TEST(RefTranslator, PermissionFaults)
+{
+    RefTranslator ref;
+    ref.map4K(0x200, 0x4000, RefPermRead);
+    ref.map4K(0x201, 0x4001, RefPermRead | RefPermExec);
+
+    EXPECT_TRUE(ref.translate(0x200, RefPermRead).ok);
+    RefResult w = ref.translate(0x200, RefPermWrite);
+    EXPECT_FALSE(w.ok);
+    EXPECT_EQ(w.fault, RefFault::Permission);
+    RefResult x = ref.translate(0x200, RefPermExec);
+    EXPECT_EQ(x.fault, RefFault::Permission);
+
+    EXPECT_TRUE(ref.translate(0x201, RefPermExec).ok);
+    EXPECT_EQ(ref.translate(0x201, RefPermRead | RefPermWrite).fault,
+              RefFault::Permission);
+}
+
+TEST(RefTranslator, TwoMegReachCoversWholeGroup)
+{
+    RefTranslator ref;
+    Vpn base = 0x200;  // 512-aligned
+    ref.map2M(base, 0x10000);
+    ASSERT_EQ(ref.mapConflicts(), 0u);
+    EXPECT_EQ(ref.mappedPages(), pagesPerLargePage);
+
+    for (Vpn off : {Vpn{0}, Vpn{1}, Vpn{137}, Vpn{511}}) {
+        RefResult r = ref.translate(base + off);
+        ASSERT_TRUE(r.ok) << "offset " << off;
+        EXPECT_EQ(r.t.size, RefPageSize::Size2M);
+        EXPECT_EQ(r.t.basePfn, 0x10000u);
+        EXPECT_EQ(r.t.pfn, 0x10000u + off);
+    }
+    EXPECT_FALSE(ref.isMapped(base + 512));
+    EXPECT_FALSE(ref.isMapped(base - 1));
+}
+
+TEST(RefTranslator, OneGigReachCoversWholeGroup)
+{
+    RefTranslator ref;
+    Vpn base = pagesPer1G;  // 2^18-aligned
+    ref.map1G(base, 0x400000);
+    ASSERT_EQ(ref.mapConflicts(), 0u);
+    EXPECT_EQ(ref.mappedPages(), pagesPer1G);
+
+    for (Vpn off : {Vpn{0}, Vpn{513}, pagesPer1G - 1}) {
+        RefResult r = ref.translate(base + off);
+        ASSERT_TRUE(r.ok) << "offset " << off;
+        EXPECT_EQ(r.t.size, RefPageSize::Size1G);
+        EXPECT_EQ(r.t.pfn, 0x400000u + off);
+    }
+    EXPECT_FALSE(ref.isMapped(base + pagesPer1G));
+}
+
+TEST(RefTranslator, RemapIsIdempotentConflictIsCounted)
+{
+    RefTranslator ref;
+    ref.map4K(0x100, 0x2000);
+    ref.map4K(0x100, 0x2000);  // identical: fine
+    EXPECT_EQ(ref.mapConflicts(), 0u);
+    EXPECT_EQ(ref.mappedPages(), 1u);
+
+    ref.map4K(0x100, 0x3000);  // different frame: conflict
+    EXPECT_EQ(ref.mapConflicts(), 1u);
+    // First registration wins.
+    EXPECT_EQ(ref.translate(0x100).t.pfn, 0x2000u);
+}
+
+TEST(RefTranslator, OverlapsAreRejected)
+{
+    RefTranslator ref;
+    ref.map2M(0x200, 0x10000);
+    ref.map4K(0x250, 0xbeef);  // inside the 2M group
+    EXPECT_EQ(ref.mapConflicts(), 1u);
+    EXPECT_EQ(ref.translate(0x250).t.pfn, 0x10050u);
+
+    ref.map4K(0x1000, 0x42);
+    ref.map2M(0x1000, 0x5000);  // 2M over an existing 4K page
+    EXPECT_EQ(ref.mapConflicts(), 2u);
+    EXPECT_EQ(ref.translate(0x1000).t.size, RefPageSize::Size4K);
+
+    ref.map2M(0x201, 0x6000);  // unaligned base
+    EXPECT_EQ(ref.mapConflicts(), 3u);
+    ref.map1G(0x1, 0x7000);  // unaligned base
+    EXPECT_EQ(ref.mapConflicts(), 4u);
+    ref.map1G(0, 0x8000);  // would cover the 4K page at 0x1000
+    EXPECT_EQ(ref.mapConflicts(), 5u);
+}
+
+TEST(RefTranslator, ClearDropsEverything)
+{
+    RefTranslator ref;
+    ref.map4K(0x100, 0x2000);
+    ref.map2M(0x200, 0x10000);
+    ref.clear();
+    EXPECT_EQ(ref.mappedPages(), 0u);
+    EXPECT_FALSE(ref.isMapped(0x100));
+    EXPECT_FALSE(ref.isMapped(0x200));
+    EXPECT_EQ(ref.translate(0x100).fault, RefFault::NotMapped);
+}

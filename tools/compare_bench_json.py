@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_*.json artifact against its golden copy.
+
+Bench binaries mirror every printed row into a machine-readable
+artifact when MORRIGAN_BENCH_JSON is set (see bench/bench_util.hh).
+This tool compares such an artifact against a checked-in golden file
+row by row with a relative tolerance, and prints a readable per-row
+delta table, so CI can gate on figure regressions without scraping
+stdout.
+
+Exit status: 0 when every row matches within tolerance, 1 on any
+regression (missing row, extra row, unit change, or out-of-tolerance
+value).
+
+Usage:
+  compare_bench_json.py --rtol 0.02 CANDIDATE GOLDEN
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    """Flatten a bench artifact into {(section, label): (value, unit)}."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "morrigan-bench":
+        raise SystemExit(f"{path}: not a morrigan-bench artifact")
+    rows = {}
+    for section in doc.get("sections", []):
+        fig = section.get("figure", "?")
+        for row in section.get("rows", []):
+            key = (fig, row["label"])
+            if key in rows:
+                raise SystemExit(f"{path}: duplicate row {key}")
+            rows[key] = (float(row["measured"]), row.get("unit", ""))
+    if not rows:
+        raise SystemExit(f"{path}: no rows (empty artifact)")
+    return rows
+
+
+def within(candidate, golden, rtol, atol):
+    if math.isnan(candidate) or math.isnan(golden):
+        return False
+    return abs(candidate - golden) <= max(atol, rtol * abs(golden))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("candidate", help="freshly produced BENCH_*.json")
+    ap.add_argument("golden", help="checked-in golden BENCH_*.json")
+    ap.add_argument("--rtol", type=float, default=0.02,
+                    help="relative tolerance per row (default 0.02)")
+    ap.add_argument("--atol", type=float, default=1e-9,
+                    help="absolute floor for near-zero rows")
+    args = ap.parse_args()
+
+    cand = load_rows(args.candidate)
+    gold = load_rows(args.golden)
+
+    failures = 0
+    width = max(len(label) for _, label in (cand.keys() | gold.keys()))
+    print(f"comparing {args.candidate} vs {args.golden} "
+          f"(rtol {args.rtol:g})")
+    print(f"  {'row':<{width}} {'golden':>12} {'candidate':>12} "
+          f"{'delta':>10}  verdict")
+
+    for key in sorted(gold.keys() | cand.keys()):
+        _, label = key
+        if key not in cand:
+            print(f"  {label:<{width}} {gold[key][0]:>12.4f} "
+                  f"{'missing':>12} {'':>10}  FAIL (row disappeared)")
+            failures += 1
+            continue
+        if key not in gold:
+            print(f"  {label:<{width}} {'missing':>12} "
+                  f"{cand[key][0]:>12.4f} {'':>10}  FAIL (new row; "
+                  f"regenerate the golden)")
+            failures += 1
+            continue
+        gv, gu = gold[key]
+        cv, cu = cand[key]
+        if gu != cu:
+            print(f"  {label:<{width}} {gv:>12.4f} {cv:>12.4f} "
+                  f"{'':>10}  FAIL (unit '{gu}' -> '{cu}')")
+            failures += 1
+            continue
+        delta = cv - gv
+        rel = delta / gv if gv else math.inf if delta else 0.0
+        ok = within(cv, gv, args.rtol, args.atol)
+        verdict = "ok" if ok else f"FAIL (rel {rel:+.2%})"
+        print(f"  {label:<{width}} {gv:>12.4f} {cv:>12.4f} "
+              f"{delta:>+10.4f}  {verdict}")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"{failures} row(s) out of tolerance. If the change is "
+              f"intentional, regenerate the golden:")
+        print(f"  MORRIGAN_BENCH_JSON=bench/golden "
+              f"./build/bench/<bench_binary>")
+        return 1
+    print(f"all {len(gold)} row(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

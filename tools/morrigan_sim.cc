@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "check/invariants.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "core/morrigan.hh"
@@ -66,6 +67,13 @@ usage()
         "  --ctx-switch N        context switch every N "
         "instructions\n"
         "  --pb-entries N        prefetch buffer capacity\n"
+        "  --check               cross-check every demand "
+        "translation against the golden reference model "
+        "(MORRIGAN_CHECK=1 does the same)\n"
+        "  --check-level N       check level 1|2 (2 adds heavyweight "
+        "structural invariants; implies --check)\n"
+        "  --inject N            corrupt every Nth instruction "
+        "demand walk (checker validation)\n"
         "  --stats               dump the component statistics tree\n"
         "  --stats-json FILE     write the versioned JSON stats "
         "document\n"
@@ -275,6 +283,15 @@ main(int argc, char **argv)
     std::uint64_t interval = 0;
     bool interval_csv = false;
 
+    // MORRIGAN_CHECK=1 is the environment spelling of --check. The
+    // env is resolved here, at the CLI boundary, so SimConfig (and
+    // with it every experiment cache key) stays a pure function of
+    // the flags.
+    int check_level = 0;
+    if (const char *e = std::getenv("MORRIGAN_CHECK"))
+        if (*e != '\0' && std::string(e) != "0")
+            check_level = 1;
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -323,6 +340,14 @@ main(int argc, char **argv)
         } else if (arg == "--pb-entries") {
             cfg.pbEntries = static_cast<std::uint32_t>(
                 parseU64(arg, next(), 1, 1u << 20));
+        } else if (arg == "--check") {
+            check_level = std::max(check_level, 1);
+        } else if (arg == "--check-level") {
+            check_level = static_cast<int>(
+                parseU64(arg, next(), 1, 2));
+        } else if (arg == "--inject") {
+            cfg.injectWalkerBugPeriod =
+                parseU64(arg, next(), 1, std::uint64_t{1} << 40);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--stats-json") {
@@ -350,6 +375,16 @@ main(int argc, char **argv)
             usage();
             return 1;
         }
+    }
+
+    cfg.checkLevel = check_level;
+    if (check_level > 0) {
+        // Arm the structural invariant hooks to the same level
+        // unless the user pinned MORRIGAN_CHECK_LEVEL themselves.
+        // The env is read lazily on first use, which is after this.
+        setenv("MORRIGAN_CHECK_LEVEL",
+               std::to_string(check_level).c_str(),
+               /*overwrite=*/0);
     }
 
     if (icache_name == "none")
@@ -409,6 +444,24 @@ main(int argc, char **argv)
                         opt[i].ipc, speedupPct(base[i], opt[i]));
         std::printf("geomean speedup     %.2f%%\n",
                     geomeanSpeedupPct(base, opt));
+        if (check_level > 0) {
+            std::uint64_t checked = 0, mismatched = 0;
+            for (const SimResult &sr : all) {
+                checked += sr.checkedTranslations;
+                mismatched += sr.checkMismatches;
+                if (!sr.checkReport.empty())
+                    std::fprintf(stderr, "[%s] %s",
+                                 sr.workload.c_str(),
+                                 sr.checkReport.c_str());
+            }
+            std::printf("diff-check          %llu translations, "
+                        "%llu mismatches\n",
+                        static_cast<unsigned long long>(checked),
+                        static_cast<unsigned long long>(mismatched));
+            if (mismatched > 0 ||
+                morrigan::check::invariantViolations() > 0)
+                return 1;
+        }
         return 0;
     }
 
@@ -524,6 +577,25 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::printf("\n-- component statistics --\n");
         sim.rootStats().dump(std::cout);
+    }
+
+    if (cfg.checkLevel > 0) {
+        std::printf("diff-check          %llu translations, "
+                    "%llu mismatches\n",
+                    static_cast<unsigned long long>(
+                        r.checkedTranslations),
+                    static_cast<unsigned long long>(
+                        r.checkMismatches));
+        if (!r.checkReport.empty())
+            std::fprintf(stderr, "%s", r.checkReport.c_str());
+        std::uint64_t structural =
+            morrigan::check::invariantViolations();
+        if (structural > 0)
+            std::fprintf(stderr,
+                         "%llu structural invariant violation(s)\n",
+                         static_cast<unsigned long long>(structural));
+        if (r.checkMismatches > 0 || structural > 0)
+            return 1;
     }
     return 0;
 }
