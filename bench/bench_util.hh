@@ -13,7 +13,10 @@
 #ifndef MORRIGAN_BENCH_BENCH_UTIL_HH
 #define MORRIGAN_BENCH_BENCH_UTIL_HH
 
+#include <unistd.h>
+
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,9 +35,18 @@ namespace morrigan::bench
  * Machine-readable mirror of a bench binary's printed output.
  *
  * When MORRIGAN_BENCH_JSON names a directory, every header()/row()
- * call is also recorded here and written as BENCH_<figure>.json on
- * process exit, so figure data can be collected by scripts without
- * scraping stdout. Disabled (and free) otherwise.
+ * call is also recorded here and written as BENCH_<figure>.json, so
+ * figure data can be collected by scripts without scraping stdout.
+ * Disabled (and free) otherwise.
+ *
+ * Durability: the artifact is rewritten (atomically, tmp + rename)
+ * after every recorded row, and again from SIGINT/SIGTERM/SIGHUP
+ * handlers and the destructor -- a campaign killed mid-figure leaves
+ * the rows it completed on disk instead of nothing. Only the process
+ * that created the artifact writes it (sandboxed --isolate children
+ * inherit the singleton but are pid-guarded out). When the campaign
+ * supervisor recorded permanent job failures, the artifact carries
+ * them in a "failures" manifest alongside the degraded rows.
  */
 class BenchArtifact
 {
@@ -54,6 +66,7 @@ class BenchArtifact
             return;
         std::lock_guard<std::mutex> lock(mutex_);
         sections_.push_back({figure, description, scale, {}});
+        flushLocked();
     }
 
     void
@@ -67,47 +80,34 @@ class BenchArtifact
             return;
         sections_.back().rows.push_back(
             {label, measured, unit, paper_note});
+        flushLocked();
     }
 
-    ~BenchArtifact()
+    /** Serialize the artifact now (atomic tmp + rename). */
+    void
+    flush()
     {
-        if (!enabled_ || sections_.empty())
+        if (!enabled_)
             return;
-        std::string path = dir_ + "/BENCH_" +
-                           sanitize(sections_.front().figure) +
-                           ".json";
-        std::ofstream ofs(path);
-        if (!ofs)
-            return;
-        json::Writer w(ofs);
-        w.beginObject();
-        w.kv("schema", "morrigan-bench");
-        w.kv("version", json::benchSchemaVersion);
-        w.key("sections").beginArray();
-        for (const Section &s : sections_) {
-            w.beginObject();
-            w.kv("figure", s.figure);
-            w.kv("description", s.description);
-            w.kv("full_scale", s.scale.full);
-            w.kv("workloads", s.scale.numWorkloads);
-            w.kv("warmup_instructions", s.scale.warmupInstructions);
-            w.kv("sim_instructions", s.scale.simInstructions);
-            w.key("rows").beginArray();
-            for (const Row &r : s.rows) {
-                w.beginObject();
-                w.kv("label", r.label);
-                w.kv("measured", r.measured);
-                w.kv("unit", r.unit);
-                w.kv("paper_note", r.paperNote);
-                w.endObject();
-            }
-            w.endArray();
-            w.endObject();
-        }
-        w.endArray();
-        w.endObject();
-        ofs << '\n';
+        std::lock_guard<std::mutex> lock(mutex_);
+        flushLocked();
     }
+
+    /**
+     * Best-effort flush from a signal handler: skip (rather than
+     * deadlock) when a worker thread holds the artifact lock. The
+     * per-row flushes mean the file is at most one row stale.
+     */
+    void
+    flushFromSignal()
+    {
+        if (!enabled_ || !mutex_.try_lock())
+            return;
+        flushLocked();
+        mutex_.unlock();
+    }
+
+    ~BenchArtifact() { flush(); }
 
   private:
     struct Row
@@ -131,6 +131,75 @@ class BenchArtifact
             dir_ = d;
             enabled_ = !dir_.empty();
         }
+        if (!enabled_)
+            return;
+        ownerPid_ = ::getpid();
+        for (int sig : {SIGINT, SIGTERM, SIGHUP})
+            std::signal(sig, &BenchArtifact::onSignal);
+    }
+
+    static void
+    onSignal(int sig)
+    {
+        instance().flushFromSignal();
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+    }
+
+    /** Caller holds mutex_. Rewrites the artifact atomically; no-op
+     * in forked children (sandboxed jobs must not clobber the
+     * parent's file) and before the first section. */
+    void
+    flushLocked()
+    {
+        if (sections_.empty() || ::getpid() != ownerPid_)
+            return;
+        std::string path = dir_ + "/BENCH_" +
+                           sanitize(sections_.front().figure) +
+                           ".json";
+        std::string tmp = path + ".tmp." + std::to_string(ownerPid_);
+        {
+            std::ofstream ofs(tmp);
+            if (!ofs)
+                return;
+            json::Writer w(ofs);
+            w.beginObject();
+            w.kv("schema", "morrigan-bench");
+            w.kv("version", json::benchSchemaVersion);
+            w.key("sections").beginArray();
+            for (const Section &s : sections_) {
+                w.beginObject();
+                w.kv("figure", s.figure);
+                w.kv("description", s.description);
+                w.kv("full_scale", s.scale.full);
+                w.kv("workloads", s.scale.numWorkloads);
+                w.kv("warmup_instructions",
+                     s.scale.warmupInstructions);
+                w.kv("sim_instructions", s.scale.simInstructions);
+                w.key("rows").beginArray();
+                for (const Row &r : s.rows) {
+                    w.beginObject();
+                    w.kv("label", r.label);
+                    w.kv("measured", r.measured);
+                    w.kv("unit", r.unit);
+                    w.kv("paper_note", r.paperNote);
+                    w.endObject();
+                }
+                w.endArray();
+                w.endObject();
+            }
+            w.endArray();
+            if (FailureManifest::global().size() > 0) {
+                w.key("failures").rawValue([](std::ostream &ro) {
+                    FailureManifest::global().writeJson(ro);
+                });
+            }
+            w.endObject();
+            ofs << '\n';
+            if (!ofs)
+                return;
+        }
+        std::rename(tmp.c_str(), path.c_str());
     }
 
     static std::string
@@ -148,6 +217,7 @@ class BenchArtifact
     /** Guards sections_: rows can arrive from RunPool workers. */
     std::mutex mutex_;
     bool enabled_ = false;
+    ::pid_t ownerPid_ = 0;
     std::string dir_;
     std::vector<Section> sections_;
 };

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "sim/run_pool.hh"
+#include "sim/supervisor.hh"
 #include "workload/workload_factory.hh"
 
 namespace morrigan::check
@@ -349,11 +350,30 @@ struct JobSlots
     int pair = -1, soloA = -1, soloB = -1;
 };
 
+/** Stable journal identity of one family member: every sampled
+ * dimension is a deterministic function of (seed, campaign
+ * parameters), so this names the run uniquely across processes. */
+std::string
+fuzzJournalTag(std::uint64_t seed, const char *member,
+               const FuzzOptions &opt)
+{
+    return csprintf(
+        "fuzz:v1:seed=%llu:%s:instr=%llu:warmup=%llu:check=%d:"
+        "inject=%llu",
+        static_cast<unsigned long long>(seed), member,
+        static_cast<unsigned long long>(opt.instructions),
+        static_cast<unsigned long long>(opt.warmupInstructions),
+        std::max(1, opt.checkLevel),
+        static_cast<unsigned long long>(opt.injectPeriod));
+}
+
 void
-appendSeedJobs(const FuzzCase &fc, const FuzzOptions &opt,
+appendSeedJobs(std::uint64_t seed, const FuzzCase &fc,
+               const FuzzOptions &opt,
                std::vector<ExperimentJob> &jobs, JobSlots &slots)
 {
-    auto push = [&](ExperimentJob job) {
+    auto push = [&](const char *member, ExperimentJob job) {
+        job.journalTag = fuzzJournalTag(seed, member, opt);
         jobs.push_back(std::move(job));
         return static_cast<int>(jobs.size() - 1);
     };
@@ -384,8 +404,8 @@ appendSeedJobs(const FuzzCase &fc, const FuzzOptions &opt,
                                           fc.workload);
     };
 
-    slots.base = push(baseJob());
-    slots.none = push(noneJob(fc.cfg));
+    slots.base = push("base", baseJob());
+    slots.none = push("none", noneJob(fc.cfg));
 
     {
         auto factory = []() -> std::unique_ptr<TlbPrefetcher> {
@@ -397,14 +417,14 @@ appendSeedJobs(const FuzzCase &fc, const FuzzOptions &opt,
                                                 fc.smtWorkload)
                    : ExperimentJob::with(fc.cfg, factory,
                                          fc.workload);
-        slots.zero = push(std::move(j));
+        slots.zero = push("zero", std::move(j));
     }
 
     {
         SimConfig cfg = fc.cfg;
         cfg.tlb.stlb.ways *= 2;
         cfg.tlb.stlb.entries *= 2;  // same set count, twice the ways
-        slots.doubled = push(noneJob(cfg));
+        slots.doubled = push("doubled", noneJob(cfg));
     }
 
     if (fc.smt) {
@@ -418,13 +438,13 @@ appendSeedJobs(const FuzzCase &fc, const FuzzOptions &opt,
         cfg.simInstructions = (opt.instructions / 16) * 16;
         if (cfg.simInstructions == 0)
             cfg.simInstructions = 16;
-        slots.pair = push(ExperimentJob::smtPair(
+        slots.pair = push("pair", ExperimentJob::smtPair(
             cfg, PrefetcherKind::None, fc.workload, fc.smtWorkload));
         SimConfig half = cfg;
         half.simInstructions = cfg.simInstructions / 2;
-        slots.soloA = push(ExperimentJob::of(
+        slots.soloA = push("soloA", ExperimentJob::of(
             half, PrefetcherKind::None, fc.workload));
-        slots.soloB = push(ExperimentJob::of(
+        slots.soloB = push("soloB", ExperimentJob::of(
             half, PrefetcherKind::None, fc.smtWorkload));
     }
 }
@@ -444,7 +464,8 @@ runCampaign(const FuzzOptions &opt, std::ostream *log)
     for (std::uint64_t i = 0; i < opt.seeds; ++i) {
         cases.push_back(sampleCase(opt.seedBase + i, opt));
         slots.emplace_back();
-        appendSeedJobs(cases.back(), opt, jobs, slots.back());
+        appendSeedJobs(opt.seedBase + i, cases.back(), opt, jobs,
+                       slots.back());
     }
     if (log)
         *log << "morrigan-fuzz: " << opt.seeds << " seed(s), "
@@ -457,38 +478,75 @@ runCampaign(const FuzzOptions &opt, std::ostream *log)
                      : std::string())
              << "\n";
 
-    RunPool pool(opt.jobs);
-    std::vector<SimResult> results = pool.run(jobs);
+    SupervisorOptions sup = Supervisor::defaultOptions();
+    sup.isolate = sup.isolate || opt.isolate;
+    if (opt.jobTimeoutMs)
+        sup.jobTimeoutMs = opt.jobTimeoutMs;
+    if (!opt.journalPath.empty())
+        sup.journalPath = opt.journalPath;
+    sup.jobs = opt.jobs;
+    // Fuzz jobs carry factories / fault injection, so the result
+    // cache never applies; journal resume keys off journalTag.
+    Supervisor supervisor(sup);
+    std::vector<RunOutcome> outcomes = supervisor.run(jobs);
 
     FuzzCampaignOutcome out;
     for (std::uint64_t i = 0; i < opt.seeds; ++i) {
         const JobSlots &s = slots[i];
-        SeedRunSet rs;
-        rs.fc = cases[i];
-        rs.base = results[s.base];
-        rs.none = results[s.none];
-        rs.zeroBudget = results[s.zero];
-        rs.doubledStlb = results[s.doubled];
-        rs.hasSmt = s.pair >= 0;
-        if (rs.hasSmt) {
-            rs.smtPair = results[s.pair];
-            rs.soloA = results[s.soloA];
-            rs.soloB = results[s.soloB];
-        }
-
         FuzzSeedOutcome so;
         so.seed = opt.seedBase + i;
         so.summary = cases[i].summary;
-        so.failures =
-            evaluateSeedInvariants(rs, opt.injectPeriod != 0);
-        so.passed = so.failures.empty();
-        for (const SimResult *r :
-             {&rs.base, &rs.none, &rs.zeroBudget, &rs.doubledStlb}) {
-            if (!r->checkReport.empty()) {
-                so.checkReport = r->checkReport;
-                break;
+
+        std::vector<std::pair<const char *, int>> members = {
+            {"base", s.base},
+            {"none", s.none},
+            {"zero", s.zero},
+            {"doubled", s.doubled},
+        };
+        if (s.pair >= 0) {
+            members.push_back({"pair", s.pair});
+            members.push_back({"soloA", s.soloA});
+            members.push_back({"soloB", s.soloB});
+        }
+        for (const auto &[member, idx] : members) {
+            const RunOutcome &o = outcomes[idx];
+            if (o.ok())
+                continue;
+            so.quarantined = true;
+            std::string line = csprintf(
+                "sandbox: %s run %s after %u attempt(s): %s",
+                member, runStatusName(o.status), o.attempts,
+                o.failure.what.c_str());
+            if (!o.failure.stderrTail.empty())
+                line += "\n  stderr: " + o.failure.stderrTail;
+            so.failures.push_back(std::move(line));
+        }
+
+        if (!so.quarantined) {
+            SeedRunSet rs;
+            rs.fc = cases[i];
+            rs.base = outcomes[s.base].output.result;
+            rs.none = outcomes[s.none].output.result;
+            rs.zeroBudget = outcomes[s.zero].output.result;
+            rs.doubledStlb = outcomes[s.doubled].output.result;
+            rs.hasSmt = s.pair >= 0;
+            if (rs.hasSmt) {
+                rs.smtPair = outcomes[s.pair].output.result;
+                rs.soloA = outcomes[s.soloA].output.result;
+                rs.soloB = outcomes[s.soloB].output.result;
+            }
+            so.failures =
+                evaluateSeedInvariants(rs, opt.injectPeriod != 0);
+            for (const SimResult *r : {&rs.base, &rs.none,
+                                       &rs.zeroBudget,
+                                       &rs.doubledStlb}) {
+                if (!r->checkReport.empty()) {
+                    so.checkReport = r->checkReport;
+                    break;
+                }
             }
         }
+        so.passed = so.failures.empty();
         // With injection the base report documents the *caught*
         // bug; keep it even though the seed passes.
         if (so.passed)
@@ -509,8 +567,13 @@ runCampaign(const FuzzOptions &opt, std::ostream *log)
         out.seeds.push_back(std::move(so));
     }
 
+    // In-process hook count, plus counts that crossed a process
+    // boundary (sandboxed children and journal-replayed runs report
+    // their own deltas in the outcome).
     out.structuralViolations =
         invariantViolations() - structuralBefore;
+    for (const RunOutcome &o : outcomes)
+        out.structuralViolations += o.structuralViolations;
     if (log && out.structuralViolations)
         *log << "structural invariant hooks reported "
              << out.structuralViolations << " violation(s)\n";

@@ -75,6 +75,15 @@ struct FuzzOptions
     unsigned jobs = 0;
     /** Directory for failing-seed repro artifacts; empty disables. */
     std::string artifactDir;
+    /** Sandbox every run in its own process (sim/supervisor.hh):
+     * a crashing or hanging seed is quarantined as a seed failure
+     * instead of killing the campaign. */
+    bool isolate = false;
+    /** Per-run watchdog deadline in ms (0 = derived). */
+    std::uint64_t jobTimeoutMs = 0;
+    /** Campaign journal path: completed runs are resumed across
+     * invocations; empty disables. */
+    std::string journalPath;
 };
 
 /** One sampled configuration point. */
@@ -128,6 +137,10 @@ struct FuzzSeedOutcome
     std::uint64_t seed = 0;
     std::string summary;
     bool passed = false;
+    /** A family member crashed / hung / failed under the sandbox;
+     * the invariants were not evaluable and the seed is counted
+     * failed. */
+    bool quarantined = false;
     std::vector<std::string> failures;
     /** First non-empty differential mismatch report of the family. */
     std::string checkReport;

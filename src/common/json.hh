@@ -41,6 +41,9 @@ inline constexpr int benchSchemaVersion = 1;
  * check_mismatches, check_mapped_pages) and the checkLevel /
  * injectWalkerBugPeriod key components. */
 inline constexpr int resultCacheSchemaVersion = 2;
+/** Version of the campaign-journal JSONL record schema
+ * (sim/supervisor.hh). */
+inline constexpr int journalSchemaVersion = 1;
 
 /** Write @p s as a quoted, escaped JSON string. */
 inline void

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -43,10 +44,29 @@ runSmtPair(const SimConfig &cfg, TlbPrefetcher *prefetcher,
     return sim.run();
 }
 
+std::vector<RunOutcome>
+runBatchOutcomes(const std::vector<ExperimentJob> &jobs)
+{
+    Supervisor supervisor(Supervisor::defaultOptions());
+    return supervisor.run(jobs);
+}
+
 std::vector<SimResult>
 runBatch(const std::vector<ExperimentJob> &jobs)
 {
-    return RunPool::global().run(jobs);
+    std::vector<RunOutcome> outcomes = runBatchOutcomes(jobs);
+    std::vector<SimResult> results;
+    results.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        RunOutcome &o = outcomes[i];
+        if (!o.ok())
+            warn("job '%s' %s after %u attempt(s): %s",
+                 jobLabel(jobs[i]).c_str(),
+                 runStatusName(o.status), o.attempts,
+                 o.failure.what.c_str());
+        results.push_back(std::move(o.output.result));
+    }
+    return results;
 }
 
 std::vector<SimResult>
@@ -57,7 +77,7 @@ runWorkloads(const SimConfig &cfg, PrefetcherKind kind,
     jobs.reserve(workloads.size());
     for (const ServerWorkloadParams &wl : workloads)
         jobs.push_back(ExperimentJob::of(cfg, kind, wl));
-    return RunPool::global().run(jobs);
+    return runBatch(jobs);
 }
 
 std::vector<MissStreamStats>
@@ -71,19 +91,32 @@ collectMissStreams(const SimConfig &cfg,
     for (const ServerWorkloadParams &wl : workloads)
         jobs.push_back(
             ExperimentJob::of(c, PrefetcherKind::None, wl));
-    std::vector<ExperimentOutput> outputs =
-        RunPool::global().runAll(jobs);
+    std::vector<RunOutcome> outcomes = runBatchOutcomes(jobs);
     std::vector<MissStreamStats> streams;
-    streams.reserve(outputs.size());
-    for (ExperimentOutput &o : outputs)
-        streams.push_back(std::move(o.missStream));
+    streams.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        RunOutcome &o = outcomes[i];
+        if (!o.ok())
+            warn("miss-stream job '%s' %s: %s (empty stream "
+                 "substituted)",
+                 jobLabel(jobs[i]).c_str(),
+                 runStatusName(o.status), o.failure.what.c_str());
+        streams.push_back(std::move(o.output.missStream));
+    }
     return streams;
 }
 
 double
 speedupPct(const SimResult &base, const SimResult &opt)
 {
-    panic_if(base.ipc <= 0.0, "baseline IPC is zero");
+    if (base.ipc <= 0.0 || opt.ipc <= 0.0) {
+        warn("speedup for '%s' unavailable: %s run missing "
+             "(degraded campaign)",
+             (base.workload.empty() ? opt.workload : base.workload)
+                 .c_str(),
+             base.ipc <= 0.0 ? "baseline" : "optimised");
+        return std::numeric_limits<double>::quiet_NaN();
+    }
     return (opt.ipc / base.ipc - 1.0) * 100.0;
 }
 
@@ -95,8 +128,20 @@ geomeanSpeedupPct(const std::vector<SimResult> &base,
              "mismatched result vectors");
     std::vector<double> ratios;
     ratios.reserve(base.size());
-    for (std::size_t i = 0; i < base.size(); ++i)
+    std::size_t skipped = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        if (base[i].ipc <= 0.0 || opt[i].ipc <= 0.0) {
+            ++skipped;
+            continue;
+        }
         ratios.push_back(opt[i].ipc / base[i].ipc);
+    }
+    if (skipped > 0)
+        warn("geomean over %zu/%zu pairs (%zu missing, degraded "
+             "campaign)",
+             ratios.size(), base.size(), skipped);
+    if (ratios.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return (geomean(ratios) - 1.0) * 100.0;
 }
 

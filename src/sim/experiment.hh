@@ -16,6 +16,7 @@
 
 #include "core/prefetcher_factory.hh"
 #include "sim/run_pool.hh"
+#include "sim/supervisor.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 #include "workload/miss_stream_stats.hh"
@@ -41,9 +42,19 @@ SimResult runSmtPair(const SimConfig &cfg, TlbPrefetcher *prefetcher,
 // --- batch API (parallel, cached; see sim/run_pool.hh) ---
 
 /**
- * Run a heterogeneous batch through the shared RunPool + result
- * cache. Results come back in submission order, bit-identical to
- * running each job serially.
+ * Run a heterogeneous batch under the campaign supervisor (result
+ * cache, fault containment, watchdog, retries, journal -- policy
+ * from Supervisor::defaultOptions()). One outcome per job, in
+ * submission order; results are bit-identical to running each job
+ * serially.
+ */
+std::vector<RunOutcome>
+runBatchOutcomes(const std::vector<ExperimentJob> &jobs);
+
+/**
+ * runBatchOutcomes() for callers that only want results: failed
+ * jobs get a warning and a default-constructed SimResult (ipc 0),
+ * which the speedup helpers below treat as "row missing".
  */
 std::vector<SimResult> runBatch(const std::vector<ExperimentJob> &jobs);
 
@@ -58,10 +69,13 @@ std::vector<MissStreamStats>
 collectMissStreams(const SimConfig &cfg,
                    const std::vector<ServerWorkloadParams> &workloads);
 
-/** Percentage speedup of @p opt over @p base. */
+/** Percentage speedup of @p opt over @p base; NaN (with a warning)
+ * when either run is missing (ipc <= 0, a failed supervised job). */
 double speedupPct(const SimResult &base, const SimResult &opt);
 
-/** Geometric-mean speedup (in %) over paired runs. */
+/** Geometric-mean speedup (in %) over paired runs. Pairs with a
+ * missing member are skipped with a warning (degraded campaigns);
+ * NaN if no valid pair remains. */
 double geomeanSpeedupPct(const std::vector<SimResult> &base,
                          const std::vector<SimResult> &opt);
 

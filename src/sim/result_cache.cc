@@ -1,17 +1,18 @@
 #include "result_cache.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
-#include <cctype>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
-#include <vector>
 
 #include "common/json.hh"
+#include "common/json_reader.hh"
 #include "common/logging.hh"
 
 namespace morrigan
@@ -142,284 +143,6 @@ fnv1a(const std::string &s)
     return h;
 }
 
-// ---------------------------------------------------------------
-// Minimal JSON reader, just enough for the flat result documents
-// the disk cache writes. Numbers keep their raw token so 64-bit
-// counters and %.17g doubles both round-trip exactly.
-// ---------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Type { Null, Bool, Number, String, Array, Object };
-    Type type = Type::Null;
-    bool boolean = false;
-    std::string token;  //!< raw text for Number, decoded for String
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        return parseValue(out) && (skipWs(), pos_ == s_.size());
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        skipWs();
-        if (pos_ >= s_.size())
-            return false;
-        char c = s_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"') {
-            out.type = JsonValue::Type::String;
-            return parseString(out.token);
-        }
-        if (c == 't' || c == 'f') {
-            const char *word = c == 't' ? "true" : "false";
-            if (s_.compare(pos_, std::strlen(word), word) != 0)
-                return false;
-            pos_ += std::strlen(word);
-            out.type = JsonValue::Type::Bool;
-            out.boolean = c == 't';
-            return true;
-        }
-        if (c == 'n') {
-            if (s_.compare(pos_, 4, "null") != 0)
-                return false;
-            pos_ += 4;
-            out.type = JsonValue::Type::Null;
-            return true;
-        }
-        return parseNumber(out);
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (!consume('"'))
-            return false;
-        out.clear();
-        while (pos_ < s_.size()) {
-            char c = s_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    return false;
-                char e = s_[pos_++];
-                switch (e) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 'r': out += '\r'; break;
-                  case 't': out += '\t'; break;
-                  case 'u': {
-                    if (pos_ + 4 > s_.size())
-                        return false;
-                    unsigned cp = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        char h = s_[pos_++];
-                        cp <<= 4;
-                        if (h >= '0' && h <= '9')
-                            cp |= h - '0';
-                        else if (h >= 'a' && h <= 'f')
-                            cp |= h - 'a' + 10;
-                        else if (h >= 'A' && h <= 'F')
-                            cp |= h - 'A' + 10;
-                        else
-                            return false;
-                    }
-                    // Control characters only; good enough for the
-                    // strings the cache writes.
-                    out += static_cast<char>(cp & 0xff);
-                    break;
-                  }
-                  default:
-                    return false;
-                }
-            } else {
-                out += c;
-            }
-        }
-        return false;
-    }
-
-    bool
-    parseNumber(JsonValue &out)
-    {
-        std::size_t start = pos_;
-        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
-            ++pos_;
-        bool any = false;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' ||
-                s_[pos_] == 'E' || s_[pos_] == '-' ||
-                s_[pos_] == '+')) {
-            ++pos_;
-            any = true;
-        }
-        if (!any)
-            return false;
-        out.type = JsonValue::Type::Number;
-        out.token = s_.substr(start, pos_ - start);
-        return true;
-    }
-
-    bool
-    parseArray(JsonValue &out)
-    {
-        if (!consume('['))
-            return false;
-        out.type = JsonValue::Type::Array;
-        skipWs();
-        if (consume(']'))
-            return true;
-        for (;;) {
-            JsonValue v;
-            if (!parseValue(v))
-                return false;
-            out.array.push_back(std::move(v));
-            if (consume(']'))
-                return true;
-            if (!consume(','))
-                return false;
-        }
-    }
-
-    bool
-    parseObject(JsonValue &out)
-    {
-        if (!consume('{'))
-            return false;
-        out.type = JsonValue::Type::Object;
-        skipWs();
-        if (consume('}'))
-            return true;
-        for (;;) {
-            std::string key;
-            skipWs();
-            if (!parseString(key) || !consume(':'))
-                return false;
-            JsonValue v;
-            if (!parseValue(v))
-                return false;
-            out.object.emplace_back(std::move(key), std::move(v));
-            if (consume('}'))
-                return true;
-            if (!consume(','))
-                return false;
-        }
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
-bool
-getU64(const JsonValue &obj, const char *key, std::uint64_t &out)
-{
-    const JsonValue *v = obj.find(key);
-    if (!v || v->type != JsonValue::Type::Number)
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long parsed =
-        std::strtoull(v->token.c_str(), &end, 10);
-    if (errno == ERANGE || *end != '\0')
-        return false;
-    out = parsed;
-    return true;
-}
-
-bool
-getDouble(const JsonValue &obj, const char *key, double &out)
-{
-    const JsonValue *v = obj.find(key);
-    if (!v || v->type != JsonValue::Type::Number)
-        return false;
-    char *end = nullptr;
-    double parsed = std::strtod(v->token.c_str(), &end);
-    if (*end != '\0')
-        return false;
-    out = parsed;
-    return true;
-}
-
-bool
-getString(const JsonValue &obj, const char *key, std::string &out)
-{
-    const JsonValue *v = obj.find(key);
-    if (!v || v->type != JsonValue::Type::String)
-        return false;
-    out = v->token;
-    return true;
-}
-
-template <std::size_t N>
-bool
-getU64Array(const JsonValue &obj, const char *key,
-            std::array<std::uint64_t, N> &out)
-{
-    const JsonValue *v = obj.find(key);
-    if (!v || v->type != JsonValue::Type::Array ||
-        v->array.size() != N)
-        return false;
-    for (std::size_t i = 0; i < N; ++i) {
-        const JsonValue &e = v->array[i];
-        if (e.type != JsonValue::Type::Number)
-            return false;
-        errno = 0;
-        char *end = nullptr;
-        unsigned long long parsed =
-            std::strtoull(e.token.c_str(), &end, 10);
-        if (errno == ERANGE || *end != '\0')
-            return false;
-        out[i] = parsed;
-    }
-    return true;
-}
-
 /** %.17g doubles survive a decimal round-trip bit-exactly. */
 void
 kvFullDouble(json::Writer &w, const char *key, double v)
@@ -440,12 +163,19 @@ kvU64Array(json::Writer &w, const char *key,
     w.endArray();
 }
 
+} // namespace
+
 /** Populate a SimResult from a parsed JSON object; strict about
  * every field being present and well-formed. */
 bool
-simResultFromJson(const JsonValue &doc, SimResult &out)
+simResultFromJson(const json::Value &doc, SimResult &out)
 {
-    if (doc.type != JsonValue::Type::Object)
+    using json::getDouble;
+    using json::getString;
+    using json::getU64;
+    using json::getU64Array;
+
+    if (doc.type != json::Value::Type::Object)
         return false;
 
     SimResult r;
@@ -505,8 +235,6 @@ simResultFromJson(const JsonValue &doc, SimResult &out)
     out = std::move(r);
     return true;
 }
-
-} // namespace
 
 std::string
 experimentKey(const SimConfig &cfg, PrefetcherKind kind,
@@ -632,8 +360,8 @@ writeSimResultJson(std::ostream &os, const SimResult &r)
 bool
 parseSimResultJson(const std::string &text, SimResult &out)
 {
-    JsonValue doc;
-    if (!JsonParser(text).parse(doc))
+    json::Value doc;
+    if (!json::Reader(text).parse(doc))
         return false;
     return simResultFromJson(doc, out);
 }
@@ -731,28 +459,47 @@ ResultCache::diskLookup(const std::string &key, SimResult &out)
     ss << ifs.rdbuf();
     const std::string text = ss.str();
 
-    JsonValue doc;
-    if (!JsonParser(text).parse(doc) ||
-        doc.type != JsonValue::Type::Object) {
+    // A file that exists but does not parse (or is empty) is most
+    // often a concurrent writer on a filesystem without atomic
+    // rename semantics, not corruption worth alarming about: skip
+    // it, count it, and warn once per process so multi-process
+    // campaigns do not spam a warning per lookup.
+    json::Value doc;
+    if (!json::Reader(text).parse(doc) ||
+        doc.type != json::Value::Type::Object) {
         ++counts_.diskRejects;
+        warnMidWriteOnce(key);
         return false;
     }
     std::string schema, stored_key;
     std::uint64_t version = 0;
-    if (!getString(doc, "schema", schema) ||
+    if (!json::getString(doc, "schema", schema) ||
         schema != "morrigan-result-cache" ||
-        !getU64(doc, "version", version) ||
+        !json::getU64(doc, "version", version) ||
         version != json::resultCacheSchemaVersion ||
-        !getString(doc, "key", stored_key) || stored_key != key) {
+        !json::getString(doc, "key", stored_key) ||
+        stored_key != key) {
         ++counts_.diskRejects;
         return false;
     }
-    const JsonValue *res = doc.find("result");
+    const json::Value *res = doc.find("result");
     if (!res || !simResultFromJson(*res, out)) {
         ++counts_.diskRejects;
+        warnMidWriteOnce(key);
         return false;
     }
     return true;
+}
+
+void
+ResultCache::warnMidWriteOnce(const std::string &key)
+{
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+        warn("result cache: skipping unreadable entry '%s' "
+             "(mid-write by another process, or corrupt); treating "
+             "as a miss",
+             diskPath(key).c_str());
 }
 
 void
@@ -762,31 +509,54 @@ ResultCache::diskInsert(const std::string &key,
     const std::string path = diskPath(key);
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
+
+    // Advisory per-directory publish lock: concurrent campaigns
+    // writing the same deterministic results serialize their
+    // publishes so readers on filesystems with weak rename
+    // atomicity never observe a half-written entry. Best-effort --
+    // if the lock cannot be taken the atomic tmp+rename below is
+    // still safe on POSIX filesystems.
+    const std::string lock_path = diskDir_ + "/morrigan-cache.lock";
+    int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (lock_fd >= 0 && ::flock(lock_fd, LOCK_EX) != 0) {
+        ::close(lock_fd);
+        lock_fd = -1;
+    }
+
+    bool published = false;
     {
         std::ofstream ofs(tmp);
         if (!ofs) {
             warn("result cache: cannot write '%s'", tmp.c_str());
-            return;
-        }
-        json::Writer w(ofs);
-        w.beginObject();
-        w.kv("schema", "morrigan-result-cache");
-        w.kv("version", json::resultCacheSchemaVersion);
-        w.kv("key", key);
-        w.key("result").rawValue(
-            [&](std::ostream &o) { writeSimResultJson(o, result); });
-        w.endObject();
-        ofs << '\n';
-        if (!ofs) {
-            warn("result cache: short write to '%s'", tmp.c_str());
-            std::remove(tmp.c_str());
-            return;
+        } else {
+            json::Writer w(ofs);
+            w.beginObject();
+            w.kv("schema", "morrigan-result-cache");
+            w.kv("version", json::resultCacheSchemaVersion);
+            w.kv("key", key);
+            w.key("result").rawValue([&](std::ostream &o) {
+                writeSimResultJson(o, result);
+            });
+            w.endObject();
+            ofs << '\n';
+            ofs.flush();
+            if (!ofs) {
+                warn("result cache: short write to '%s'",
+                     tmp.c_str());
+                std::remove(tmp.c_str());
+            } else {
+                published = true;
+            }
         }
     }
     // Atomic publish so concurrent readers never see partial files.
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (published && std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("result cache: cannot publish '%s'", path.c_str());
         std::remove(tmp.c_str());
+    }
+    if (lock_fd >= 0) {
+        ::flock(lock_fd, LOCK_UN);
+        ::close(lock_fd);
     }
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/json_reader.hh"
 #include "core/prefetcher_factory.hh"
 #include "sim/sim_config.hh"
 #include "workload/server_workload.hh"
@@ -56,6 +57,10 @@ void writeSimResultJson(std::ostream &os, const SimResult &r);
  * Returns false (leaving @p out untouched) on malformed input.
  */
 bool parseSimResultJson(const std::string &text, SimResult &out);
+
+/** Same, from an already-parsed JSON object (campaign journal,
+ * sandbox result pipe). */
+bool simResultFromJson(const json::Value &doc, SimResult &out);
 
 /** The keyed result cache. */
 class ResultCache
@@ -103,6 +108,7 @@ class ResultCache
     bool diskLookup(const std::string &key, SimResult &out);
     void diskInsert(const std::string &key, const SimResult &result);
     std::string diskPath(const std::string &key) const;
+    void warnMidWriteOnce(const std::string &key);
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, SimResult> entries_;

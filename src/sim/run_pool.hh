@@ -58,6 +58,16 @@ struct ExperimentJob
     std::function<std::unique_ptr<TlbPrefetcher>()>
         prefetcherFactory;
 
+    /**
+     * Stable identity for the campaign journal when the job is not
+     * cacheable (factory prefetchers, checked runs). Campaigns that
+     * want such jobs to resume across processes must set a tag that
+     * uniquely names the job's full configuration (the fuzzer tags
+     * every family member with its seed + member role). Empty means
+     * "journal only if cacheable".
+     */
+    std::string journalTag;
+
     /** Canonical constructors. */
     static ExperimentJob of(const SimConfig &cfg, PrefetcherKind kind,
                             const ServerWorkloadParams &workload);

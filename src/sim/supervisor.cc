@@ -1,0 +1,1076 @@
+#include "supervisor.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "check/invariants.hh"
+#include "common/json.hh"
+#include "common/json_reader.hh"
+#include "common/logging.hh"
+#include "sim/result_cache.hh"
+
+namespace morrigan
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** FNV-1a 64-bit, for deterministic retry jitter. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Validated env-var integer (same contract as parseJobsValue). */
+std::uint64_t
+parseEnvU64(const char *what, const char *s, std::uint64_t min_value,
+            std::uint64_t max_value)
+{
+    if (!s || *s == '\0' ||
+        !std::isdigit(static_cast<unsigned char>(*s)))
+        fatal("%s: '%s' is not a non-negative integer", what,
+              s ? s : "");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (*end != '\0')
+        fatal("%s: trailing junk in '%s'", what, s);
+    if (errno == ERANGE || v < min_value || v > max_value)
+        fatal("%s: %s out of range [%llu, %llu]", what, s,
+              static_cast<unsigned long long>(min_value),
+              static_cast<unsigned long long>(max_value));
+    return v;
+}
+
+/** CLI spelling of a prefetcher kind (morrigan-sim --prefetcher). */
+const char *
+cliPrefetcherName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::Sequential: return "sp";
+      case PrefetcherKind::Stride: return "asp";
+      case PrefetcherKind::Distance: return "dp";
+      case PrefetcherKind::Markov: return "mp";
+      case PrefetcherKind::MarkovIso: return "mp-iso";
+      case PrefetcherKind::MarkovUnbounded2: return "mp-unbounded2";
+      case PrefetcherKind::MarkovUnboundedInf: return "mp-unbounded";
+      case PrefetcherKind::Morrigan: return "morrigan";
+      case PrefetcherKind::MorriganMono: return "morrigan-mono";
+    }
+    return "none";
+}
+
+std::optional<RunStatus>
+runStatusFromName(const std::string &name)
+{
+    if (name == "ok")
+        return RunStatus::Ok;
+    if (name == "failed")
+        return RunStatus::Failed;
+    if (name == "timed_out")
+        return RunStatus::TimedOut;
+    if (name == "crashed")
+        return RunStatus::Crashed;
+    return std::nullopt;
+}
+
+/** One journal record. Failures carry their diagnosis; successes
+ * carry the full result (plus the check report, which the cache
+ * deliberately drops but resumed campaigns must keep). */
+void
+writeJournalLine(std::ostream &os, const std::string &key,
+                 const RunOutcome &o)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema", "morrigan-journal");
+    w.kv("version", json::journalSchemaVersion);
+    w.kv("key", key);
+    w.kv("status", runStatusName(o.status));
+    w.kv("attempts", std::uint64_t{o.attempts});
+    if (o.ok()) {
+        w.key("result").rawValue([&](std::ostream &ro) {
+            writeSimResultJson(ro, o.output.result);
+        });
+        w.kv("check_report", o.output.result.checkReport);
+        w.kv("structural", o.structuralViolations);
+    } else {
+        w.kv("what", o.failure.what);
+        w.kv("signal", o.failure.signal);
+        w.kv("stderr_tail", o.failure.stderrTail);
+        w.kv("repro", o.failure.repro);
+    }
+    w.endObject();
+}
+
+bool
+parseJournalLine(const std::string &line, std::string &key,
+                 RunOutcome &out)
+{
+    json::Value doc;
+    if (!json::Reader(line).parse(doc) ||
+        doc.type != json::Value::Type::Object)
+        return false;
+    std::string schema, status_name;
+    std::uint64_t version = 0, attempts = 0;
+    if (!json::getString(doc, "schema", schema) ||
+        schema != "morrigan-journal" ||
+        !json::getU64(doc, "version", version) ||
+        version !=
+            static_cast<std::uint64_t>(json::journalSchemaVersion) ||
+        !json::getString(doc, "key", key) ||
+        !json::getString(doc, "status", status_name) ||
+        !json::getU64(doc, "attempts", attempts))
+        return false;
+    auto status = runStatusFromName(status_name);
+    if (!status)
+        return false;
+
+    RunOutcome o;
+    o.status = *status;
+    o.attempts = static_cast<unsigned>(attempts);
+    if (o.ok()) {
+        const json::Value *res = doc.find("result");
+        if (!res || !simResultFromJson(*res, o.output.result))
+            return false;
+        json::getString(doc, "check_report",
+                        o.output.result.checkReport);
+        json::getU64(doc, "structural", o.structuralViolations);
+    } else {
+        o.failure.status = o.status;
+        std::uint64_t sig = 0;
+        json::getString(doc, "what", o.failure.what);
+        if (json::getU64(doc, "signal", sig))
+            o.failure.signal = static_cast<int>(sig);
+        json::getString(doc, "stderr_tail", o.failure.stderrTail);
+        json::getString(doc, "repro", o.failure.repro);
+    }
+    out = std::move(o);
+    return true;
+}
+
+/** Keep the last @p keep bytes, cutting at a line boundary when one
+ * is close. */
+std::string
+tailOf(const std::string &s, std::size_t keep = 2000)
+{
+    if (s.size() <= keep)
+        return s;
+    std::size_t start = s.size() - keep;
+    std::size_t nl = s.find('\n', start);
+    if (nl != std::string::npos && nl + 1 < s.size() &&
+        nl - start < 200)
+        start = nl + 1;
+    return "..." + s.substr(start);
+}
+
+// ---------------------------------------------------------------
+// Sandbox child protocol: the child writes exactly one JSON object
+// to the result pipe -- {"ok":true,"result":{...},
+// "check_report":...,"structural":N} or {"ok":false,"what":...} --
+// and _exit()s (no atexit handlers, no stream flushing: the parent
+// owns all artifacts).
+// ---------------------------------------------------------------
+
+void
+writeAllFd(int fd, const std::string &s)
+{
+    std::size_t off = 0;
+    while (off < s.size()) {
+        ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+[[noreturn]] void
+runChildJob(const ExperimentJob &job, int result_fd)
+{
+    // The forked child inherits the parent's violation count;
+    // report only what this job adds.
+    const std::uint64_t structural_before =
+        check::invariantViolations();
+    std::string doc;
+    int code = 0;
+    try {
+        ExperimentOutput out = executeJob(job);
+        std::ostringstream ss;
+        json::Writer w(ss);
+        w.beginObject();
+        w.kv("ok", true);
+        w.key("result").rawValue([&](std::ostream &ro) {
+            writeSimResultJson(ro, out.result);
+        });
+        w.kv("check_report", out.result.checkReport);
+        w.kv("structural",
+             check::invariantViolations() - structural_before);
+        w.endObject();
+        doc = ss.str();
+    } catch (const std::exception &e) {
+        std::ostringstream ss;
+        json::Writer w(ss);
+        w.beginObject();
+        w.kv("ok", false);
+        w.kv("what", e.what());
+        w.endObject();
+        doc = ss.str();
+        code = 2;
+    } catch (...) {
+        doc = "{\"ok\":false,\"what\":\"unknown exception\"}";
+        code = 2;
+    }
+    writeAllFd(result_fd, doc);
+    ::_exit(code);
+}
+
+/** 0 = unparseable, 1 = ok result, 2 = child-reported failure. */
+int
+parseChildDoc(const std::string &text, RunOutcome &o,
+              std::string &what)
+{
+    json::Value doc;
+    if (!json::Reader(text).parse(doc) ||
+        doc.type != json::Value::Type::Object)
+        return 0;
+    bool okflag = false;
+    if (!json::getBool(doc, "ok", okflag))
+        return 0;
+    if (!okflag) {
+        if (!json::getString(doc, "what", what) || what.empty())
+            what = "child reported failure without detail";
+        return 2;
+    }
+    const json::Value *res = doc.find("result");
+    if (!res || !simResultFromJson(*res, o.output.result))
+        return 0;
+    json::getString(doc, "check_report", o.output.result.checkReport);
+    json::getU64(doc, "structural", o.structuralViolations);
+    return 1;
+}
+
+/** Shared scheduler bookkeeping: an attempt waiting to start. */
+struct PendingAttempt
+{
+    std::size_t idx;  //!< index into the batch
+    unsigned attempt; //!< 1-based attempt number
+    Clock::time_point notBefore;
+};
+
+/** Thread-mode completion signalling. Slots keep a shared_ptr to
+ * this so a watchdog-abandoned thread can still safely finish and
+ * notify after the scheduler has moved on. */
+struct SchedulerSignal
+{
+    std::mutex m;
+    std::condition_variable cv;
+};
+
+struct ThreadAttempt
+{
+    std::shared_ptr<SchedulerSignal> signal;
+    std::atomic<bool> done{false};
+    bool threw = false;
+    std::string what;
+    ExperimentOutput output;
+};
+
+/** Process-wide default-policy override (the CLI flags). */
+std::mutex defaultOptionsMutex;
+std::optional<SupervisorOptions> defaultOptionsOverride;
+
+} // namespace
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timed_out";
+      case RunStatus::Crashed: return "crashed";
+    }
+    return "?";
+}
+
+SupervisorOptions
+SupervisorOptions::fromEnv()
+{
+    SupervisorOptions o;
+    if (const char *e = std::getenv("MORRIGAN_ISOLATE"))
+        o.isolate = *e != '\0' && std::string(e) != "0";
+    if (const char *e = std::getenv("MORRIGAN_JOB_TIMEOUT"))
+        o.jobTimeoutMs =
+            parseEnvU64("MORRIGAN_JOB_TIMEOUT", e, 1, 86'400) * 1000;
+    if (const char *e = std::getenv("MORRIGAN_JOB_RETRIES"))
+        o.maxAttempts = 1 + static_cast<unsigned>(parseEnvU64(
+                                "MORRIGAN_JOB_RETRIES", e, 0, 100));
+    if (const char *e = std::getenv("MORRIGAN_JOURNAL"))
+        o.journalPath = e;
+    return o;
+}
+
+FailureManifest &
+FailureManifest::global()
+{
+    static FailureManifest manifest;
+    return manifest;
+}
+
+void
+FailureManifest::add(const std::string &label,
+                     const RunFailure &failure, unsigned attempts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back({label, failure, attempts});
+}
+
+std::vector<FailureManifest::Entry>
+FailureManifest::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+std::size_t
+FailureManifest::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+FailureManifest::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+void
+FailureManifest::writeJson(std::ostream &os) const
+{
+    std::vector<Entry> snapshot = entries();
+    json::Writer w(os);
+    w.beginArray();
+    for (const Entry &e : snapshot) {
+        w.beginObject();
+        w.kv("label", e.label);
+        w.kv("status", runStatusName(e.failure.status));
+        w.kv("what", e.failure.what);
+        w.kv("signal", e.failure.signal);
+        w.kv("repro", e.failure.repro);
+        w.kv("attempts", std::uint64_t{e.attempts});
+        w.endObject();
+    }
+    w.endArray();
+}
+
+std::uint64_t
+derivedJobTimeoutMs(const ExperimentJob &job)
+{
+    // A generous fixed floor (cold caches, loaded CI machines) plus
+    // time proportional to the instruction budget; the simulator
+    // sustains well over 1M instructions/s, so 50 us per 1k
+    // instructions is an order of magnitude of slack.
+    const std::uint64_t budget =
+        job.cfg.warmupInstructions + job.cfg.simInstructions;
+    return 60'000 + budget / 20;
+}
+
+std::uint64_t
+retryDelayMs(const std::string &key, unsigned attempt,
+             const SupervisorOptions &opt)
+{
+    if (attempt <= 1)
+        return 0;
+    const unsigned shift = std::min(attempt - 2, 20u);
+    const std::uint64_t backoff =
+        std::min(opt.backoffCapMs, opt.backoffBaseMs << shift);
+    // Jitter in [0, backoff/2], hashed from (key, attempt): spreads
+    // concurrent retries without making reruns nondeterministic.
+    const std::uint64_t jitter_range = backoff / 2 + 1;
+    const std::uint64_t h =
+        fnv1a(key + "#" + std::to_string(attempt));
+    return backoff + h % jitter_range;
+}
+
+std::string
+jobLabel(const ExperimentJob &job)
+{
+    std::string label = job.workload.name;
+    if (job.smt)
+        label += "+" + job.smtWorkload.name;
+    label += " x ";
+    label += job.prefetcherFactory ? "custom"
+                                   : prefetcherKindName(job.kind);
+    if (!job.journalTag.empty())
+        label += " [" + job.journalTag + "]";
+    return label;
+}
+
+std::string
+jobReproCommand(const ExperimentJob &job)
+{
+    if (job.prefetcherFactory) {
+        if (!job.journalTag.empty())
+            return "# non-CLI job: " + job.journalTag;
+        return "# job uses a custom prefetcher factory; no CLI repro";
+    }
+    const SimConfig &c = job.cfg;
+    std::string cmd = "./build/tools/morrigan-sim";
+    cmd += " --workload " + job.workload.name;
+    if (job.smt)
+        cmd += " --smt-with " + job.smtWorkload.name;
+    cmd += csprintf(" --prefetcher %s", cliPrefetcherName(job.kind));
+    cmd += csprintf(" --warmup %llu --instructions %llu",
+                    static_cast<unsigned long long>(
+                        c.warmupInstructions),
+                    static_cast<unsigned long long>(
+                        c.simInstructions));
+    if (c.pageTableDepth != 4)
+        cmd += csprintf(" --pt-depth %u", c.pageTableDepth);
+    if (c.walker.asap)
+        cmd += " --asap";
+    if (c.perfectIstlb)
+        cmd += " --perfect-istlb";
+    if (c.prefetchIntoStlb)
+        cmd += " --p2tlb";
+    if (c.icachePref == ICachePrefKind::None)
+        cmd += " --icache none";
+    else if (c.icachePref == ICachePrefKind::FnlMma)
+        cmd += " --icache fnl-mma";
+    if (!c.icacheTranslationCost)
+        cmd += " --no-icache-xlat";
+    if (c.prefetchOnStlbHits)
+        cmd += " --prefetch-on-hits";
+    if (c.contextSwitchInterval > 0)
+        cmd += csprintf(" --ctx-switch %llu",
+                        static_cast<unsigned long long>(
+                            c.contextSwitchInterval));
+    if (c.pbEntries != SimConfig{}.pbEntries)
+        cmd += csprintf(" --pb-entries %u", c.pbEntries);
+    if (c.checkLevel > 0)
+        cmd += csprintf(" --check-level %d", c.checkLevel);
+    if (c.injectWalkerBugPeriod > 0)
+        cmd += csprintf(" --inject %llu",
+                        static_cast<unsigned long long>(
+                            c.injectWalkerBugPeriod));
+    return cmd;
+}
+
+CampaignJournal::CampaignJournal(const std::string &path)
+{
+    if (path.empty())
+        return;
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        fatal("cannot open journal '%s': %s", path.c_str(),
+              std::strerror(errno));
+
+    std::ifstream ifs(path);
+    std::string line;
+    std::size_t bad = 0;
+    while (std::getline(ifs, line)) {
+        if (line.empty())
+            continue;
+        std::string key;
+        RunOutcome o;
+        if (parseJournalLine(line, key, o)) {
+            o.fromJournal = true;
+            replay_[key] = std::move(o); // last record wins
+        } else {
+            ++bad;
+        }
+    }
+    if (bad > 0)
+        warn("journal '%s': ignoring %zu unparseable line(s) "
+             "(interrupted append); those jobs will rerun",
+             path.c_str(), bad);
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+CampaignJournal::lookup(const std::string &key, RunOutcome &out) const
+{
+    auto it = replay_.find(key);
+    if (it == replay_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+CampaignJournal::record(const std::string &key,
+                        const RunOutcome &outcome)
+{
+    if (fd_ < 0)
+        return;
+    std::ostringstream ss;
+    writeJournalLine(ss, key, outcome);
+    ss << '\n';
+    const std::string line = ss.str();
+    // One O_APPEND write per record: concurrent appenders cannot
+    // interleave, and a kill leaves at most one truncated line,
+    // which load() skips.
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            warn("journal: short write (%s); record for key dropped",
+                 std::strerror(errno));
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd_);
+}
+
+Supervisor::Supervisor(SupervisorOptions opt) : opt_(std::move(opt))
+{
+    if (opt_.maxAttempts == 0)
+        opt_.maxAttempts = 1;
+}
+
+SupervisorOptions
+Supervisor::defaultOptions()
+{
+    {
+        std::lock_guard<std::mutex> lock(defaultOptionsMutex);
+        if (defaultOptionsOverride)
+            return *defaultOptionsOverride;
+    }
+    return SupervisorOptions::fromEnv();
+}
+
+void
+Supervisor::setDefaultOptions(const SupervisorOptions &opt)
+{
+    std::lock_guard<std::mutex> lock(defaultOptionsMutex);
+    defaultOptionsOverride = opt;
+}
+
+unsigned
+Supervisor::jobs() const
+{
+    return opt_.jobs > 0 ? opt_.jobs : defaultJobs();
+}
+
+std::string
+Supervisor::jobKey(const ExperimentJob &job) const
+{
+    if (job.cacheable())
+        return experimentKey(job.cfg, job.kind, job.workload,
+                             job.smt ? &job.smtWorkload : nullptr);
+    // Miss-stream outputs are not journalable (the stream is not
+    // serialized), so such jobs stay anonymous even when tagged.
+    if (!job.journalTag.empty() && !job.cfg.collectMissStream)
+        return "tag:" + job.journalTag;
+    return "";
+}
+
+std::vector<RunOutcome>
+Supervisor::run(const std::vector<ExperimentJob> &batch)
+{
+    std::vector<RunOutcome> out(batch.size());
+    std::vector<std::string> keys(batch.size());
+    CampaignJournal journal(opt_.journalPath);
+    ResultCache &cache = ResultCache::global();
+
+    // Plan: replay journaled outcomes, serve cache hits, dedupe
+    // repeated cacheable keys, execute the rest.
+    std::unordered_map<std::string, std::size_t> representative;
+    std::vector<std::pair<std::size_t, std::size_t>> copies;
+    std::vector<bool> is_copy(batch.size(), false);
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const ExperimentJob &job = batch[i];
+        keys[i] = jobKey(job);
+        if (!keys[i].empty() && journal.lookup(keys[i], out[i]))
+            continue;
+        if (opt_.useCache && job.cacheable() &&
+            cache.lookup(keys[i], out[i].output.result)) {
+            out[i].status = RunStatus::Ok;
+            out[i].fromCache = true;
+            out[i].attempts = 0;
+            if (journal.enabled())
+                journal.record(keys[i], out[i]);
+            continue;
+        }
+        if (job.cacheable()) {
+            auto [it, fresh] = representative.try_emplace(keys[i], i);
+            if (!fresh) {
+                copies.emplace_back(i, it->second);
+                is_copy[i] = true;
+                continue;
+            }
+        }
+        work.push_back(i);
+    }
+
+    // Publish a finalized outcome the moment the scheduler settles
+    // it: the journal then checkpoints progress job by job, so a
+    // campaign killed mid-flight resumes with every finished job.
+    PublishFn publish = [&](std::size_t i) {
+        const RunOutcome &o = out[i];
+        if (o.ok() && opt_.useCache && batch[i].cacheable())
+            cache.insert(keys[i], o.output.result);
+        if (!keys[i].empty() && journal.enabled())
+            journal.record(keys[i], o);
+    };
+
+    if (opt_.isolate) {
+        // Jobs whose outputs cannot cross the result pipe run
+        // inline (uncontained); everything else forks.
+        std::vector<std::size_t> sandboxed;
+        for (std::size_t w : work) {
+            if (batch[w].cfg.collectMissStream) {
+                out[w] = superviseInline(batch[w], keys[w]);
+                publish(w);
+            } else {
+                sandboxed.push_back(w);
+            }
+        }
+        runSandboxed(batch, sandboxed, keys, out, publish);
+    } else {
+        runThreaded(batch, work, keys, out, publish);
+    }
+
+    for (const auto &[dst, src] : copies)
+        out[dst] = out[src];
+
+    // Every job that ends this campaign without a result -- fresh
+    // failure or replayed one -- belongs in the manifest the CLIs
+    // emit.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        if (!out[i].ok() && !is_copy[i])
+            FailureManifest::global().add(jobLabel(batch[i]),
+                                          out[i].failure,
+                                          out[i].attempts);
+    return out;
+}
+
+RunOutcome
+Supervisor::superviseInline(const ExperimentJob &job,
+                            const std::string &key)
+{
+    const std::string retry_key = key.empty() ? jobLabel(job) : key;
+    RunOutcome o;
+    for (unsigned attempt = 1; attempt <= opt_.maxAttempts;
+         ++attempt) {
+        if (attempt > 1)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                retryDelayMs(retry_key, attempt, opt_)));
+        try {
+            o.output = executeJob(job);
+            o.status = RunStatus::Ok;
+            o.attempts = attempt;
+            return o;
+        } catch (const std::exception &e) {
+            o.failure.what = e.what();
+        } catch (...) {
+            o.failure.what = "unknown exception";
+        }
+        o.status = RunStatus::Failed;
+        o.failure.status = RunStatus::Failed;
+        o.failure.repro = jobReproCommand(job);
+        o.attempts = attempt;
+    }
+    return o;
+}
+
+void
+Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
+                        const std::vector<std::size_t> &work,
+                        const std::vector<std::string> &keys,
+                        std::vector<RunOutcome> &out,
+                        const PublishFn &publish)
+{
+    if (work.empty())
+        return;
+    const unsigned nthreads = std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::min<std::size_t>(jobs(), work.size())));
+    auto signal = std::make_shared<SchedulerSignal>();
+
+    std::deque<PendingAttempt> pending;
+    const Clock::time_point start = Clock::now();
+    for (std::size_t w : work)
+        pending.push_back({w, 1, start});
+
+    struct Active
+    {
+        std::shared_ptr<ThreadAttempt> att;
+        std::thread th;
+        std::size_t idx;
+        unsigned attempt;
+        Clock::time_point deadline;
+        std::uint64_t timeoutMs;
+    };
+    std::vector<Active> active;
+
+    auto handle_failure = [&](std::size_t idx, unsigned attempt,
+                              RunStatus status,
+                              const std::string &what) {
+        if (attempt < opt_.maxAttempts) {
+            const std::string retry_key =
+                keys[idx].empty() ? jobLabel(batch[idx]) : keys[idx];
+            pending.push_back(
+                {idx, attempt + 1,
+                 Clock::now() +
+                     std::chrono::milliseconds(retryDelayMs(
+                         retry_key, attempt + 1, opt_))});
+            return;
+        }
+        RunOutcome &o = out[idx];
+        o.status = status;
+        o.attempts = attempt;
+        o.failure.status = status;
+        o.failure.what = what;
+        o.failure.repro = jobReproCommand(batch[idx]);
+        publish(idx);
+    };
+
+    while (!pending.empty() || !active.empty()) {
+        Clock::time_point now = Clock::now();
+
+        // Launch every eligible attempt a free worker slot can take.
+        for (auto it = pending.begin();
+             it != pending.end() && active.size() < nthreads;) {
+            if (it->notBefore > now) {
+                ++it;
+                continue;
+            }
+            auto att = std::make_shared<ThreadAttempt>();
+            att->signal = signal;
+            const ExperimentJob *jobp = &batch[it->idx];
+            std::thread th([att, jobp] {
+                ExperimentOutput result;
+                bool threw = false;
+                std::string what;
+                try {
+                    result = executeJob(*jobp);
+                } catch (const std::exception &e) {
+                    threw = true;
+                    what = e.what();
+                } catch (...) {
+                    threw = true;
+                    what = "unknown exception";
+                }
+                {
+                    std::lock_guard<std::mutex> g(att->signal->m);
+                    att->output = std::move(result);
+                    att->threw = threw;
+                    att->what = std::move(what);
+                    att->done.store(true, std::memory_order_release);
+                }
+                att->signal->cv.notify_all();
+            });
+            const std::uint64_t tmo =
+                opt_.jobTimeoutMs > 0 ? opt_.jobTimeoutMs
+                                      : derivedJobTimeoutMs(*jobp);
+            active.push_back({std::move(att), std::move(th),
+                              it->idx, it->attempt,
+                              now + std::chrono::milliseconds(tmo),
+                              tmo});
+            it = pending.erase(it);
+        }
+
+        // Sleep until the next completion, deadline, or retry time.
+        Clock::time_point next = Clock::time_point::max();
+        for (const Active &a : active)
+            next = std::min(next, a.deadline);
+        if (active.size() < nthreads)
+            for (const PendingAttempt &p : pending)
+                next = std::min(next, p.notBefore);
+        {
+            std::unique_lock<std::mutex> lk(signal->m);
+            bool any_done = false;
+            for (const Active &a : active)
+                if (a.att->done.load(std::memory_order_acquire)) {
+                    any_done = true;
+                    break;
+                }
+            if (!any_done && next != Clock::time_point::max())
+                signal->cv.wait_until(lk, next);
+        }
+
+        now = Clock::now();
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->att->done.load(std::memory_order_acquire)) {
+                it->th.join();
+                if (!it->att->threw) {
+                    RunOutcome &o = out[it->idx];
+                    o.status = RunStatus::Ok;
+                    o.output = std::move(it->att->output);
+                    o.attempts = it->attempt;
+                    publish(it->idx);
+                } else {
+                    handle_failure(it->idx, it->attempt,
+                                   RunStatus::Failed,
+                                   it->att->what);
+                }
+                it = active.erase(it);
+            } else if (now >= it->deadline) {
+                // Watchdog without a sandbox: we cannot kill a
+                // std::thread, so abandon it (it may still finish
+                // into its private ThreadAttempt, which nothing
+                // reads) and move on.
+                it->th.detach();
+                handle_failure(
+                    it->idx, it->attempt, RunStatus::TimedOut,
+                    csprintf("exceeded %llu ms watchdog deadline "
+                             "(thread abandoned; use --isolate for "
+                             "hard kills)",
+                             static_cast<unsigned long long>(
+                                 it->timeoutMs)));
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+void
+Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
+                         const std::vector<std::size_t> &work,
+                         const std::vector<std::string> &keys,
+                         std::vector<RunOutcome> &out,
+                         const PublishFn &publish)
+{
+    if (work.empty())
+        return;
+    const unsigned nchildren = std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::min<std::size_t>(jobs(), work.size())));
+
+    std::deque<PendingAttempt> pending;
+    const Clock::time_point start = Clock::now();
+    for (std::size_t w : work)
+        pending.push_back({w, 1, start});
+
+    struct Child
+    {
+        pid_t pid;
+        std::size_t idx;
+        unsigned attempt;
+        int resultFd;
+        int stderrFd;
+        std::string resultBuf;
+        std::string stderrBuf;
+        Clock::time_point deadline;
+        std::uint64_t timeoutMs;
+        bool watchdogKilled = false;
+    };
+    std::vector<Child> children;
+
+    auto handle_failure = [&](const Child &c, RunStatus status,
+                              const std::string &what, int sig) {
+        if (c.attempt < opt_.maxAttempts) {
+            const std::string retry_key = keys[c.idx].empty()
+                                              ? jobLabel(batch[c.idx])
+                                              : keys[c.idx];
+            pending.push_back(
+                {c.idx, c.attempt + 1,
+                 Clock::now() +
+                     std::chrono::milliseconds(retryDelayMs(
+                         retry_key, c.attempt + 1, opt_))});
+            return;
+        }
+        RunOutcome &o = out[c.idx];
+        o.status = status;
+        o.attempts = c.attempt;
+        o.failure.status = status;
+        o.failure.what = what;
+        o.failure.signal = sig;
+        o.failure.stderrTail = tailOf(c.stderrBuf);
+        o.failure.repro = jobReproCommand(batch[c.idx]);
+        publish(c.idx);
+    };
+
+    auto classify = [&](Child &c, int status) {
+        if (WIFSIGNALED(status)) {
+            const int sig = WTERMSIG(status);
+            if (c.watchdogKilled)
+                handle_failure(
+                    c, RunStatus::TimedOut,
+                    csprintf("exceeded %llu ms watchdog deadline "
+                             "(child killed)",
+                             static_cast<unsigned long long>(
+                                 c.timeoutMs)),
+                    sig);
+            else
+                handle_failure(c, RunStatus::Crashed,
+                               csprintf("terminated by signal %d "
+                                        "(%s)",
+                                        sig, strsignal(sig)),
+                               sig);
+            return;
+        }
+        const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        RunOutcome o;
+        std::string what;
+        const int parsed = parseChildDoc(c.resultBuf, o, what);
+        if (code == 0 && parsed == 1) {
+            o.status = RunStatus::Ok;
+            o.attempts = c.attempt;
+            out[c.idx] = std::move(o);
+            publish(c.idx);
+        } else if (parsed == 2) {
+            handle_failure(c, RunStatus::Failed, what, 0);
+        } else {
+            handle_failure(
+                c, RunStatus::Failed,
+                csprintf("child exited with status %d without a "
+                         "parseable result",
+                         code),
+                0);
+        }
+    };
+
+    while (!pending.empty() || !children.empty()) {
+        Clock::time_point now = Clock::now();
+
+        // Fork every eligible attempt a free slot can take. The
+        // scheduler itself stays single-threaded, so fork() never
+        // races another of our threads holding a lock.
+        for (auto it = pending.begin();
+             it != pending.end() && children.size() < nchildren;) {
+            if (it->notBefore > now) {
+                ++it;
+                continue;
+            }
+            int rp[2], ep[2];
+            if (::pipe(rp) != 0)
+                fatal("pipe: %s", std::strerror(errno));
+            if (::pipe(ep) != 0)
+                fatal("pipe: %s", std::strerror(errno));
+            const pid_t pid = ::fork();
+            if (pid < 0)
+                fatal("fork: %s", std::strerror(errno));
+            if (pid == 0) {
+                ::close(rp[0]);
+                ::close(ep[0]);
+                ::dup2(ep[1], 2);
+                ::close(ep[1]);
+                runChildJob(batch[it->idx], rp[1]);
+            }
+            ::close(rp[1]);
+            ::close(ep[1]);
+            const std::uint64_t tmo =
+                opt_.jobTimeoutMs > 0
+                    ? opt_.jobTimeoutMs
+                    : derivedJobTimeoutMs(batch[it->idx]);
+            children.push_back(
+                {pid, it->idx, it->attempt, rp[0], ep[0], "", "",
+                 now + std::chrono::milliseconds(tmo), tmo});
+            it = pending.erase(it);
+        }
+
+        // Wait for output, a deadline, or a retry becoming ready.
+        std::vector<pollfd> fds;
+        std::vector<std::pair<std::size_t, bool>> fd_owner;
+        for (std::size_t ci = 0; ci < children.size(); ++ci) {
+            if (children[ci].resultFd >= 0) {
+                fds.push_back({children[ci].resultFd, POLLIN, 0});
+                fd_owner.emplace_back(ci, true);
+            }
+            if (children[ci].stderrFd >= 0) {
+                fds.push_back({children[ci].stderrFd, POLLIN, 0});
+                fd_owner.emplace_back(ci, false);
+            }
+        }
+        Clock::time_point next = Clock::time_point::max();
+        for (const Child &c : children)
+            if (!c.watchdogKilled)
+                next = std::min(next, c.deadline);
+        if (children.size() < nchildren)
+            for (const PendingAttempt &p : pending)
+                next = std::min(next, p.notBefore);
+        int poll_ms = -1;
+        if (next != Clock::time_point::max()) {
+            auto delta =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    next - Clock::now())
+                    .count();
+            poll_ms = delta < 0
+                          ? 0
+                          : static_cast<int>(std::min<long long>(
+                                delta + 1, 60'000));
+        }
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
+
+        for (std::size_t fi = 0; fi < fds.size(); ++fi) {
+            if (!(fds[fi].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Child &c = children[fd_owner[fi].first];
+            const bool is_result = fd_owner[fi].second;
+            int &fd = is_result ? c.resultFd : c.stderrFd;
+            std::string &buf = is_result ? c.resultBuf : c.stderrBuf;
+            char chunk[4096];
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                buf.append(chunk, static_cast<std::size_t>(n));
+            } else if (n == 0 || (n < 0 && errno != EINTR)) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+
+        now = Clock::now();
+        for (auto it = children.begin(); it != children.end();) {
+            if (it->resultFd < 0 && it->stderrFd < 0) {
+                int status = 0;
+                while (::waitpid(it->pid, &status, 0) < 0 &&
+                       errno == EINTR) {
+                }
+                classify(*it, status);
+                it = children.erase(it);
+            } else {
+                if (now >= it->deadline && !it->watchdogKilled) {
+                    ::kill(it->pid, SIGKILL);
+                    it->watchdogKilled = true;
+                }
+                ++it;
+            }
+        }
+    }
+}
+
+} // namespace morrigan

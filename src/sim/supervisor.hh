@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Fault-isolated campaign supervisor.
+ *
+ * RunPool answers "run these jobs fast"; the Supervisor answers
+ * "run this campaign to completion no matter what individual jobs
+ * do". It wraps every ExperimentJob in a fault boundary:
+ *
+ *  - exceptions (and, in sandbox mode, SIGSEGV/SIGABRT/OOM kills)
+ *    in one job are captured as a per-job failure instead of
+ *    aborting the batch;
+ *  - a watchdog enforces a per-job wall-clock deadline, derived
+ *    from the instruction budget unless pinned;
+ *  - failed or timed-out jobs are retried a bounded number of
+ *    times with exponential backoff and deterministic jitter
+ *    (seeded from the job key, so reruns schedule identically);
+ *  - every final outcome is appended to an fsync'd JSONL journal,
+ *    so a campaign killed at any point (Ctrl-C, CI timeout,
+ *    machine loss) resumes exactly where it stopped;
+ *  - permanent failures land in the process-wide FailureManifest,
+ *    which the CLIs and bench artifacts emit so degraded campaigns
+ *    report what is missing instead of silently dropping rows.
+ *
+ * Sandbox mode (SupervisorOptions::isolate, --isolate,
+ * MORRIGAN_ISOLATE=1) forks one child per job and ships the result
+ * back over a pipe; the scheduler then runs single-threaded in the
+ * parent (children provide the parallelism), which keeps fork()
+ * safe. Thread mode (the default) contains C++ exceptions only; a
+ * crash still takes the process down, and a timed-out job's thread
+ * is abandoned, not killed.
+ */
+
+#ifndef MORRIGAN_SIM_SUPERVISOR_HH
+#define MORRIGAN_SIM_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/run_pool.hh"
+
+namespace morrigan
+{
+
+/** How one job ended up. */
+enum class RunStatus
+{
+    Ok,       //!< produced a result
+    Failed,   //!< threw / exited nonzero on every attempt
+    TimedOut, //!< exceeded the watchdog deadline on every attempt
+    Crashed,  //!< died by signal on every attempt (sandbox mode)
+};
+
+const char *runStatusName(RunStatus s);
+
+/** Captured detail for a non-Ok outcome. */
+struct RunFailure
+{
+    RunStatus status = RunStatus::Failed;
+    std::string what;       //!< exception text / exit description
+    int signal = 0;         //!< terminating signal (Crashed)
+    std::string stderrTail; //!< last stderr bytes (sandbox mode)
+    std::string repro;      //!< command (or tag) identifying the job
+};
+
+/** Per-job verdict from a supervised batch. */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Ok;
+    ExperimentOutput output; //!< valid iff status == Ok
+    RunFailure failure;      //!< valid iff status != Ok
+    /** Executions performed: 0 for cache hits; journal replays
+     * keep the recording campaign's count. */
+    unsigned attempts = 1;
+    bool fromJournal = false;
+    bool fromCache = false;
+    /** Structural invariant violations observed inside a sandboxed
+     * child (merged into the parent's count by the fuzzer). */
+    std::uint64_t structuralViolations = 0;
+
+    bool ok() const { return status == RunStatus::Ok; }
+};
+
+/** Campaign resilience policy. */
+struct SupervisorOptions
+{
+    /** fork() one child per job; contains crashes and lets the
+     * watchdog SIGKILL hung jobs. */
+    bool isolate = false;
+
+    /** Per-job wall-clock deadline in ms; 0 derives a deadline from
+     * the job's instruction budget (derivedJobTimeoutMs). */
+    std::uint64_t jobTimeoutMs = 0;
+
+    /** Total executions per job, first try included. */
+    unsigned maxAttempts = 2;
+
+    /** Exponential backoff between retries: attempt k waits
+     * base << (k-1), capped, plus deterministic jitter. */
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffCapMs = 5'000;
+
+    /** JSONL journal path; empty disables checkpoint/resume. */
+    std::string journalPath;
+
+    /** Worker count; 0 defers to defaultJobs(). */
+    unsigned jobs = 0;
+
+    /** Route cacheable jobs through ResultCache::global(). */
+    bool useCache = true;
+
+    /** Resolve MORRIGAN_ISOLATE / MORRIGAN_JOB_TIMEOUT (seconds) /
+     * MORRIGAN_JOB_RETRIES / MORRIGAN_JOURNAL on top of defaults;
+     * junk values are fatal. */
+    static SupervisorOptions fromEnv();
+};
+
+/**
+ * Process-wide ledger of permanently failed jobs, drained by the
+ * CLIs / bench artifacts into failure manifests. Thread-safe.
+ */
+class FailureManifest
+{
+  public:
+    struct Entry
+    {
+        std::string label; //!< human-readable job identity
+        RunFailure failure;
+        unsigned attempts = 0;
+    };
+
+    static FailureManifest &global();
+
+    void add(const std::string &label, const RunFailure &failure,
+             unsigned attempts);
+    std::vector<Entry> entries() const;
+    std::size_t size() const;
+    void clear();
+
+    /** JSON array of {label, status, what, signal, repro,
+     * attempts}. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+};
+
+/** Default watchdog deadline for a job: a fixed floor plus time
+ * proportional to the warmup+measure instruction budget. */
+std::uint64_t derivedJobTimeoutMs(const ExperimentJob &job);
+
+/**
+ * Delay before retry attempt @p attempt (2 = first retry) of the
+ * job identified by @p key: exponential backoff plus jitter hashed
+ * from (key, attempt), so a rerun of the same campaign schedules
+ * identically.
+ */
+std::uint64_t retryDelayMs(const std::string &key, unsigned attempt,
+                           const SupervisorOptions &opt);
+
+/** Human-readable job identity for reports and manifests. */
+std::string jobLabel(const ExperimentJob &job);
+
+/**
+ * Best-effort repro command for a job. Jobs expressible as a
+ * morrigan-sim invocation get one; factory/synthetic jobs get a
+ * comment carrying the journal tag.
+ */
+std::string jobReproCommand(const ExperimentJob &job);
+
+/**
+ * Append-only JSONL journal of job-key -> outcome. Appends are
+ * single atomic O_APPEND writes, fsync'd, so a record is either
+ * fully present or absent; load() tolerates a truncated last line
+ * (the job simply reruns). The last record for a key wins.
+ */
+class CampaignJournal
+{
+  public:
+    /** Opens (creating if absent) and loads @p path; empty path
+     * makes an inert journal. */
+    explicit CampaignJournal(const std::string &path);
+    ~CampaignJournal();
+
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    bool enabled() const { return fd_ >= 0; }
+    std::size_t loadedRecords() const { return replay_.size(); }
+
+    /** Replay a finished outcome for @p key, if journaled. */
+    bool lookup(const std::string &key, RunOutcome &out) const;
+
+    /** Durably record @p outcome for @p key. */
+    void record(const std::string &key, const RunOutcome &outcome);
+
+  private:
+    int fd_ = -1;
+    std::unordered_map<std::string, RunOutcome> replay_;
+};
+
+/** The supervisor itself. */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions opt = defaultOptions());
+
+    /** Run a batch to completion; one outcome per job, in
+     * submission order. Never throws for job-level faults. */
+    std::vector<RunOutcome> run(const std::vector<ExperimentJob> &batch);
+
+    /**
+     * Process-wide default policy: fromEnv(), overridden by
+     * setDefaultOptions() (the CLI flags). runBatch() and the other
+     * sim/experiment.hh helpers construct their Supervisor from
+     * this.
+     */
+    static SupervisorOptions defaultOptions();
+    static void setDefaultOptions(const SupervisorOptions &opt);
+
+  private:
+    /** Stable identity for cache + journal; "" = anonymous. */
+    std::string jobKey(const ExperimentJob &job) const;
+
+    unsigned jobs() const;
+
+    /** Called by the schedulers the moment a job's outcome is
+     * final, so the journal checkpoints progress incrementally (a
+     * campaign killed mid-flight keeps every finished job). */
+    using PublishFn = std::function<void(std::size_t)>;
+
+    /** Run indices @p work of @p batch on worker threads (faults =
+     * exceptions; timeouts abandon the thread). */
+    void runThreaded(const std::vector<ExperimentJob> &batch,
+                     const std::vector<std::size_t> &work,
+                     const std::vector<std::string> &keys,
+                     std::vector<RunOutcome> &out,
+                     const PublishFn &publish);
+
+    /** Run indices @p work of @p batch in fork-sandboxed children,
+     * up to jobs() at a time, writing outcomes into @p out. */
+    void runSandboxed(const std::vector<ExperimentJob> &batch,
+                      const std::vector<std::size_t> &work,
+                      const std::vector<std::string> &keys,
+                      std::vector<RunOutcome> &out,
+                      const PublishFn &publish);
+
+    /** Sandbox-mode fallback for jobs whose outputs cannot cross a
+     * pipe (miss-stream collection): run on the calling thread with
+     * retries but no crash containment or watchdog. */
+    RunOutcome superviseInline(const ExperimentJob &job,
+                               const std::string &key);
+
+    SupervisorOptions opt_;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SIM_SUPERVISOR_HH

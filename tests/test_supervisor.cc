@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Campaign supervisor regression tests: fault containment (thread
+ * and sandbox modes), watchdog timeouts, deterministic retry
+ * scheduling, journal checkpoint/resume (bit-identical, tolerant of
+ * torn writes), failure manifests and degraded-mode batch results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_reader.hh"
+#include "core/tlb_prefetcher.hh"
+#include "sim/experiment.hh"
+#include "sim/supervisor.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.warmupInstructions = 20'000;
+    cfg.simInstructions = 60'000;
+    return cfg;
+}
+
+/** Every field compared exactly: supervised results must be
+ * bit-identical to direct serial execution, replay included. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.prefetcher, b.prefetcher);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.istlbMisses, b.istlbMisses);
+    EXPECT_EQ(a.dstlbMisses, b.dstlbMisses);
+    EXPECT_EQ(a.pbHits, b.pbHits);
+    EXPECT_EQ(a.demandWalks, b.demandWalks);
+    EXPECT_EQ(a.coverage, b.coverage);
+    EXPECT_EQ(a.meanDemandWalkLatencyInstr,
+              b.meanDemandWalkLatencyInstr);
+}
+
+/** Throws from inside the simulation loop (thread-mode fault). */
+class ThrowingPrefetcher : public TlbPrefetcher
+{
+  public:
+    const char *name() const override { return "throwing"; }
+    void
+    onInstrStlbMiss(Vpn, Addr, unsigned,
+                    std::vector<PrefetchRequest> &) override
+    {
+        throw std::runtime_error("synthetic prefetcher fault");
+    }
+};
+
+/** Dies by SIGSEGV inside the simulation loop (sandbox fault). */
+class CrashingPrefetcher : public TlbPrefetcher
+{
+  public:
+    const char *name() const override { return "crashing"; }
+    void
+    onInstrStlbMiss(Vpn, Addr, unsigned,
+                    std::vector<PrefetchRequest> &) override
+    {
+        std::raise(SIGSEGV);
+    }
+};
+
+/** Never returns from the simulation loop (watchdog fodder). */
+class HangingPrefetcher : public TlbPrefetcher
+{
+  public:
+    const char *name() const override { return "hanging"; }
+    void
+    onInstrStlbMiss(Vpn, Addr, unsigned,
+                    std::vector<PrefetchRequest> &) override
+    {
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+};
+
+ExperimentJob
+goodJob(const SimConfig &cfg, unsigned workload_index)
+{
+    return ExperimentJob::of(cfg, PrefetcherKind::None,
+                             qmmWorkloadParams(workload_index));
+}
+
+template <typename Prefetcher>
+ExperimentJob
+faultyJob(const SimConfig &cfg, const char *tag)
+{
+    ExperimentJob job = ExperimentJob::with(
+        cfg, [] { return std::make_unique<Prefetcher>(); },
+        qmmWorkloadParams(0));
+    job.journalTag = tag;
+    return job;
+}
+
+std::string
+tempPath(const char *stem)
+{
+    return testing::TempDir() + stem;
+}
+
+} // namespace
+
+TEST(Supervisor, ThreadModeContainsExceptions)
+{
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    Supervisor sup(opt);
+
+    std::vector<ExperimentJob> jobs = {
+        goodJob(cfg, 1),
+        faultyJob<ThrowingPrefetcher>(cfg, "test:throwing"),
+        goodJob(cfg, 2),
+    };
+    std::vector<RunOutcome> out = sup.run(jobs);
+    ASSERT_EQ(out.size(), 3u);
+
+    EXPECT_TRUE(out[0].ok());
+    EXPECT_TRUE(out[2].ok());
+    expectIdentical(out[0].output.result,
+                    runWorkload(cfg, PrefetcherKind::None,
+                                qmmWorkloadParams(1)));
+
+    EXPECT_EQ(out[1].status, RunStatus::Failed);
+    EXPECT_EQ(out[1].attempts, 1u);
+    EXPECT_NE(out[1].failure.what.find("synthetic prefetcher fault"),
+              std::string::npos);
+    EXPECT_NE(out[1].failure.repro.find("test:throwing"),
+              std::string::npos);
+}
+
+TEST(Supervisor, ThreadModeRetriesThenFails)
+{
+    SupervisorOptions opt;
+    opt.maxAttempts = 3;
+    opt.backoffBaseMs = 1;
+    opt.backoffCapMs = 2;
+    opt.useCache = false;
+    Supervisor sup(opt);
+
+    std::vector<RunOutcome> out = sup.run(
+        {faultyJob<ThrowingPrefetcher>(quickConfig(), "test:retry")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, RunStatus::Failed);
+    EXPECT_EQ(out[0].attempts, 3u);
+}
+
+TEST(Supervisor, RunBatchDegradedMode)
+{
+    // The result-only convenience API must not abort on a failed
+    // job: the row degrades to a default SimResult (ipc 0) that the
+    // metric helpers treat as missing.
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    Supervisor::setDefaultOptions(opt);
+
+    std::vector<SimResult> results = runBatch({
+        goodJob(cfg, 3),
+        faultyJob<ThrowingPrefetcher>(cfg, "test:degraded"),
+    });
+    Supervisor::setDefaultOptions(SupervisorOptions::fromEnv());
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[0].ipc, 0.0);
+    EXPECT_EQ(results[1].ipc, 0.0);
+    EXPECT_TRUE(std::isnan(speedupPct(results[1], results[0])));
+}
+
+TEST(Supervisor, IsolateContainsSigsegv)
+{
+    // Under ASan the child's SIGSEGV is reported as a nonzero exit
+    // instead of a signal death, so assert containment (!ok) rather
+    // than the specific Crashed classification.
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.isolate = true;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    Supervisor sup(opt);
+
+    std::vector<ExperimentJob> jobs = {
+        goodJob(cfg, 4),
+        faultyJob<CrashingPrefetcher>(cfg, "test:crashing"),
+    };
+    std::vector<RunOutcome> out = sup.run(jobs);
+    ASSERT_EQ(out.size(), 2u);
+
+    EXPECT_TRUE(out[0].ok());
+    expectIdentical(out[0].output.result,
+                    runWorkload(cfg, PrefetcherKind::None,
+                                qmmWorkloadParams(4)));
+    EXPECT_FALSE(out[1].ok());
+    EXPECT_EQ(out[1].attempts, 1u);
+}
+
+TEST(Supervisor, WatchdogKillsHungJob)
+{
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.isolate = true;
+    opt.jobTimeoutMs = 500;
+    opt.maxAttempts = 2;
+    opt.backoffBaseMs = 1;
+    opt.backoffCapMs = 2;
+    opt.useCache = false;
+    Supervisor sup(opt);
+
+    std::vector<RunOutcome> out = sup.run(
+        {faultyJob<HangingPrefetcher>(cfg, "test:hanging")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, RunStatus::TimedOut);
+    EXPECT_EQ(out[0].attempts, 2u);
+}
+
+TEST(Supervisor, CrashAndHangBatchCompletes)
+{
+    // The defining property: a batch containing a crasher and a
+    // hanger still returns every good row.
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.isolate = true;
+    // Comfortably above the good jobs' runtime, short enough that
+    // the hanger's kill keeps the test fast.
+    opt.jobTimeoutMs = 1'000;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    FailureManifest::global().clear();
+    std::vector<RunOutcome> out = Supervisor(opt).run({
+        goodJob(cfg, 5),
+        faultyJob<CrashingPrefetcher>(cfg, "test:crash2"),
+        faultyJob<HangingPrefetcher>(cfg, "test:hang2"),
+        goodJob(cfg, 6),
+    });
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_TRUE(out[0].ok());
+    EXPECT_FALSE(out[1].ok());
+    EXPECT_EQ(out[2].status, RunStatus::TimedOut);
+    EXPECT_TRUE(out[3].ok());
+    EXPECT_EQ(FailureManifest::global().size(), 2u);
+    FailureManifest::global().clear();
+}
+
+TEST(Supervisor, RetryScheduleDeterministic)
+{
+    SupervisorOptions opt;
+    opt.backoffBaseMs = 100;
+    opt.backoffCapMs = 5'000;
+
+    // Same (key, attempt) always yields the same delay.
+    EXPECT_EQ(retryDelayMs("job-a", 2, opt),
+              retryDelayMs("job-a", 2, opt));
+    // Different keys jitter differently (overwhelmingly likely for
+    // these two fixed strings; a hash collision would be a bug in
+    // itself worth noticing).
+    EXPECT_NE(retryDelayMs("job-a", 2, opt),
+              retryDelayMs("job-b", 2, opt));
+
+    // Exponential growth up to the cap: attempt k backs off
+    // base << (k - 2) (capped), plus jitter in [0, backoff/2].
+    for (unsigned attempt = 2; attempt < 8; ++attempt) {
+        std::uint64_t d = retryDelayMs("job-a", attempt, opt);
+        std::uint64_t backoff =
+            std::min<std::uint64_t>(opt.backoffCapMs,
+                                    opt.backoffBaseMs
+                                        << (attempt - 2));
+        EXPECT_GE(d, backoff);
+        EXPECT_LE(d, backoff + backoff / 2);
+    }
+    // Deep attempts stay bounded by cap + jitter; the first try
+    // has no delay at all.
+    EXPECT_EQ(retryDelayMs("job-a", 1, opt), 0u);
+    EXPECT_LE(retryDelayMs("job-a", 60, opt),
+              opt.backoffCapMs + opt.backoffCapMs / 2);
+}
+
+TEST(Supervisor, DerivedTimeoutScalesWithBudget)
+{
+    SimConfig small = quickConfig();
+    SimConfig big = quickConfig();
+    big.simInstructions = 100 * small.simInstructions;
+    std::uint64_t t_small =
+        derivedJobTimeoutMs(goodJob(small, 0));
+    std::uint64_t t_big = derivedJobTimeoutMs(goodJob(big, 0));
+    EXPECT_GE(t_small, 60'000u); // fixed floor
+    EXPECT_GT(t_big, t_small);
+}
+
+TEST(Supervisor, JournalResumeBitIdentical)
+{
+    // Simulate a campaign killed partway: journal only a prefix of
+    // the batch, then run the full batch against the same journal.
+    // The resumed campaign must produce outcomes bit-identical to an
+    // uninterrupted run, replaying the prefix without executing it.
+    const SimConfig cfg = quickConfig();
+    const std::string journal =
+        tempPath("morrigan-test-journal-resume.jsonl");
+    std::remove(journal.c_str());
+
+    std::vector<ExperimentJob> prefix = {goodJob(cfg, 7),
+                                         goodJob(cfg, 8)};
+    std::vector<ExperimentJob> full = prefix;
+    full.push_back(goodJob(cfg, 9));
+    full.push_back(ExperimentJob::of(cfg, PrefetcherKind::Morrigan,
+                                     qmmWorkloadParams(7)));
+
+    SupervisorOptions opt;
+    opt.useCache = false;
+    opt.journalPath = journal;
+
+    // "Killed" campaign: only the prefix completed.
+    std::vector<RunOutcome> first = Supervisor(opt).run(prefix);
+    ASSERT_TRUE(first[0].ok() && first[1].ok());
+    EXPECT_FALSE(first[0].fromJournal);
+
+    // Uninterrupted reference, no journal.
+    SupervisorOptions plain;
+    plain.useCache = false;
+    std::vector<RunOutcome> reference = Supervisor(plain).run(full);
+
+    // Resume.
+    std::vector<RunOutcome> resumed = Supervisor(opt).run(full);
+    ASSERT_EQ(resumed.size(), full.size());
+    EXPECT_TRUE(resumed[0].fromJournal);
+    EXPECT_TRUE(resumed[1].fromJournal);
+    // Replays keep the recording campaign's execution count.
+    EXPECT_EQ(resumed[0].attempts, 1u);
+    EXPECT_FALSE(resumed[2].fromJournal);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        SCOPED_TRACE(i);
+        ASSERT_TRUE(resumed[i].ok());
+        expectIdentical(reference[i].output.result,
+                        resumed[i].output.result);
+    }
+
+    // A third run replays everything.
+    std::vector<RunOutcome> third = Supervisor(opt).run(full);
+    for (const RunOutcome &o : third)
+        EXPECT_TRUE(o.fromJournal);
+    std::remove(journal.c_str());
+}
+
+TEST(Supervisor, JournalToleratesTruncatedLastLine)
+{
+    const SimConfig cfg = quickConfig();
+    const std::string journal =
+        tempPath("morrigan-test-journal-torn.jsonl");
+    std::remove(journal.c_str());
+
+    SupervisorOptions opt;
+    opt.useCache = false;
+    opt.journalPath = journal;
+    Supervisor(opt).run({goodJob(cfg, 10)});
+
+    // Simulate a torn write: an unterminated, truncated record.
+    {
+        std::ofstream f(journal, std::ios::app);
+        f << "{\"schema\":\"morrigan-journal\",\"key\":\"half";
+    }
+
+    // The good record still replays; the torn line is skipped.
+    std::vector<RunOutcome> out =
+        Supervisor(opt).run({goodJob(cfg, 10)});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].ok());
+    EXPECT_TRUE(out[0].fromJournal);
+    std::remove(journal.c_str());
+}
+
+TEST(Supervisor, JournalRecordsFailures)
+{
+    // Permanent failures are journaled too: resuming a campaign
+    // must not re-execute a job that already failed all attempts.
+    const SimConfig cfg = quickConfig();
+    const std::string journal =
+        tempPath("morrigan-test-journal-fail.jsonl");
+    std::remove(journal.c_str());
+
+    int factory_calls = 0;
+    ExperimentJob failing = ExperimentJob::with(
+        cfg,
+        [&factory_calls]() -> std::unique_ptr<TlbPrefetcher> {
+            ++factory_calls;
+            return std::make_unique<ThrowingPrefetcher>();
+        },
+        qmmWorkloadParams(0));
+    failing.journalTag = "test:journaled-failure";
+
+    SupervisorOptions opt;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    opt.journalPath = journal;
+
+    std::vector<RunOutcome> first = Supervisor(opt).run({failing});
+    EXPECT_EQ(first[0].status, RunStatus::Failed);
+    EXPECT_EQ(factory_calls, 1);
+
+    std::vector<RunOutcome> second = Supervisor(opt).run({failing});
+    EXPECT_EQ(second[0].status, RunStatus::Failed);
+    EXPECT_TRUE(second[0].fromJournal);
+    EXPECT_NE(second[0].failure.what.find(
+                  "synthetic prefetcher fault"),
+              std::string::npos);
+    EXPECT_EQ(factory_calls, 1) << "journaled failure was re-run";
+    std::remove(journal.c_str());
+}
+
+TEST(Supervisor, AnonymousJobsNeverJournal)
+{
+    // A factory job without a journalTag has no stable identity;
+    // it must re-execute on resume rather than replay some other
+    // job's record.
+    const SimConfig cfg = quickConfig();
+    const std::string journal =
+        tempPath("morrigan-test-journal-anon.jsonl");
+    std::remove(journal.c_str());
+
+    int factory_calls = 0;
+    ExperimentJob anon = ExperimentJob::with(
+        cfg,
+        [&factory_calls]() -> std::unique_ptr<TlbPrefetcher> {
+            ++factory_calls;
+            return std::make_unique<ThrowingPrefetcher>();
+        },
+        qmmWorkloadParams(0));
+
+    SupervisorOptions opt;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    opt.journalPath = journal;
+    Supervisor(opt).run({anon});
+    Supervisor(opt).run({anon});
+    EXPECT_EQ(factory_calls, 2);
+    std::remove(journal.c_str());
+}
+
+TEST(Supervisor, FailureManifestJson)
+{
+    FailureManifest m;
+    RunFailure f;
+    f.status = RunStatus::TimedOut;
+    f.what = "deadline exceeded";
+    f.repro = "./build/tools/morrigan-sim --workload qmm_00";
+    m.add("qmm_00 x morrigan", f, 3);
+
+    std::ostringstream os;
+    m.writeJson(os);
+
+    const std::string text = os.str();
+    json::Reader reader(text);
+    json::Value doc;
+    ASSERT_TRUE(reader.parse(doc)) << text;
+    ASSERT_EQ(doc.type, json::Value::Type::Array);
+    ASSERT_EQ(doc.array.size(), 1u);
+    const json::Value &e = doc.array[0];
+    std::string s;
+    EXPECT_TRUE(json::getString(e, "label", s));
+    EXPECT_EQ(s, "qmm_00 x morrigan");
+    EXPECT_TRUE(json::getString(e, "status", s));
+    EXPECT_EQ(s, "timed_out");
+    std::uint64_t attempts = 0;
+    EXPECT_TRUE(json::getU64(e, "attempts", attempts));
+    EXPECT_EQ(attempts, 3u);
+}
+
+TEST(Supervisor, OptionsFromEnv)
+{
+    setenv("MORRIGAN_ISOLATE", "1", 1);
+    setenv("MORRIGAN_JOB_TIMEOUT", "30", 1);
+    setenv("MORRIGAN_JOB_RETRIES", "4", 1);
+    SupervisorOptions opt = SupervisorOptions::fromEnv();
+    EXPECT_TRUE(opt.isolate);
+    EXPECT_EQ(opt.jobTimeoutMs, 30'000u);
+    EXPECT_EQ(opt.maxAttempts, 5u); // 1 first try + 4 retries
+    unsetenv("MORRIGAN_ISOLATE");
+    unsetenv("MORRIGAN_JOB_TIMEOUT");
+    unsetenv("MORRIGAN_JOB_RETRIES");
+    EXPECT_FALSE(SupervisorOptions::fromEnv().isolate);
+}

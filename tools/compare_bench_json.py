@@ -9,8 +9,14 @@ delta table, so CI can gate on figure regressions without scraping
 stdout.
 
 Exit status: 0 when every row matches within tolerance, 1 on any
-regression (missing row, extra row, unit change, or out-of-tolerance
-value).
+regression (missing row, extra row, unit change, out-of-tolerance
+value, or a degraded candidate carrying a failure manifest), 2 when
+an input file is missing or unreadable.
+
+A candidate produced by a campaign that lost jobs (crashes, timeouts
+-- see sim/supervisor.hh) carries a "failures" manifest; such an
+artifact never passes, and the manifest is echoed so CI logs say
+*which* jobs died rather than just "rows disappeared".
 
 Usage:
   compare_bench_json.py --rtol 0.02 CANDIDATE GOLDEN
@@ -22,23 +28,64 @@ import math
 import sys
 
 
-def load_rows(path):
+def load_doc(path):
+    """Read and validate one artifact; exit 2 with a clear message
+    instead of a traceback when the file is absent or malformed (the
+    common CI failure: the bench crashed before writing anything)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read artifact {path}: "
+              f"{e.strerror or e}\n(did the bench binary run, and "
+              f"was MORRIGAN_BENCH_JSON set?)", file=sys.stderr)
+        raise SystemExit(2) from None
+    except json.JSONDecodeError as e:
+        print(f"error: {path} is not valid JSON ({e}); the "
+              f"producing bench likely died mid-write",
+              file=sys.stderr)
+        raise SystemExit(2) from None
+    if not isinstance(doc, dict) or doc.get("schema") != "morrigan-bench":
+        print(f"error: {path}: not a morrigan-bench artifact",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return doc
+
+
+def load_rows(doc, path):
     """Flatten a bench artifact into {(section, label): (value, unit)}."""
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "morrigan-bench":
-        raise SystemExit(f"{path}: not a morrigan-bench artifact")
     rows = {}
     for section in doc.get("sections", []):
         fig = section.get("figure", "?")
         for row in section.get("rows", []):
             key = (fig, row["label"])
             if key in rows:
-                raise SystemExit(f"{path}: duplicate row {key}")
+                raise SystemExit(f"error: {path}: duplicate row {key}")
             rows[key] = (float(row["measured"]), row.get("unit", ""))
     if not rows:
-        raise SystemExit(f"{path}: no rows (empty artifact)")
+        raise SystemExit(f"error: {path}: no rows (empty artifact)")
     return rows
+
+
+def report_failure_manifest(doc, path):
+    """Echo a degraded artifact's failure manifest; returns the
+    number of manifest entries (0 for a clean artifact)."""
+    manifest = doc.get("failures", [])
+    if not manifest:
+        return 0
+    print(f"{path}: DEGRADED artifact -- {len(manifest)} job(s) "
+          f"failed permanently during the producing campaign:")
+    for entry in manifest:
+        label = entry.get("label", "?")
+        status = entry.get("status", "?")
+        attempts = entry.get("attempts", "?")
+        what = entry.get("what", "")
+        print(f"  {label}: {status} after {attempts} attempt(s)"
+              f"{': ' + what if what else ''}")
+        repro = entry.get("repro", "")
+        if repro:
+            print(f"    repro: {repro}")
+    return len(manifest)
 
 
 def within(candidate, golden, rtol, atol):
@@ -57,10 +104,13 @@ def main():
                     help="absolute floor for near-zero rows")
     args = ap.parse_args()
 
-    cand = load_rows(args.candidate)
-    gold = load_rows(args.golden)
+    cand_doc = load_doc(args.candidate)
+    gold_doc = load_doc(args.golden)
+    cand = load_rows(cand_doc, args.candidate)
+    gold = load_rows(gold_doc, args.golden)
 
-    failures = 0
+    failures = report_failure_manifest(cand_doc, args.candidate)
+    missing = 0
     width = max(len(label) for _, label in (cand.keys() | gold.keys()))
     print(f"comparing {args.candidate} vs {args.golden} "
           f"(rtol {args.rtol:g})")
@@ -73,6 +123,7 @@ def main():
             print(f"  {label:<{width}} {gold[key][0]:>12.4f} "
                   f"{'missing':>12} {'':>10}  FAIL (row disappeared)")
             failures += 1
+            missing += 1
             continue
         if key not in gold:
             print(f"  {label:<{width}} {'missing':>12} "
@@ -96,7 +147,12 @@ def main():
         failures += 0 if ok else 1
 
     if failures:
-        print(f"{failures} row(s) out of tolerance. If the change is "
+        if missing:
+            print(f"{missing} golden row(s) missing from the "
+                  f"candidate: the producing campaign did not "
+                  f"complete (check the failure manifest above and "
+                  f"the bench logs).")
+        print(f"{failures} problem(s) found. If a value change is "
               f"intentional, regenerate the golden:")
         print(f"  MORRIGAN_BENCH_JSON=bench/golden "
               f"./build/bench/<bench_binary>")

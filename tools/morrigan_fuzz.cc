@@ -55,7 +55,14 @@ usage()
         "  --artifact-dir DIR  write failing-seed repro artifacts "
         "into DIR\n"
         "  --jobs N            parallel worker count (default: "
-        "MORRIGAN_JOBS, then hardware)\n");
+        "MORRIGAN_JOBS, then hardware)\n"
+        "  --isolate           sandbox every run in its own process; "
+        "crashing/hanging seeds are quarantined, not fatal "
+        "(MORRIGAN_ISOLATE=1)\n"
+        "  --job-timeout SECS  per-run watchdog deadline (default: "
+        "derived from the instruction budget)\n"
+        "  --journal FILE      campaign journal (JSONL); rerunning "
+        "with the same parameters resumes completed runs\n");
 }
 
 std::uint64_t
@@ -120,6 +127,13 @@ main(int argc, char **argv)
             opt.artifactDir = next();
         } else if (arg == "--jobs") {
             RunPool::setDefaultJobs(parseJobsValue("--jobs", next()));
+        } else if (arg == "--isolate") {
+            opt.isolate = true;
+        } else if (arg == "--job-timeout") {
+            opt.jobTimeoutMs =
+                parseU64(arg, next(), 1, 86'400) * 1000;
+        } else if (arg == "--journal") {
+            opt.journalPath = next();
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();

@@ -90,7 +90,16 @@ usage()
         "  --jobs N              parallel worker count (default: "
         "MORRIGAN_JOBS, then hardware)\n"
         "  --sweep               run the whole QMM suite (baseline "
-        "+ prefetcher) and report speedups\n");
+        "+ prefetcher) and report speedups\n"
+        "  --isolate             sandbox every batch job in its own "
+        "process (contains crashes/OOM; MORRIGAN_ISOLATE=1)\n"
+        "  --job-timeout SECS    per-job watchdog deadline (default "
+        "derived from the instruction budget; "
+        "MORRIGAN_JOB_TIMEOUT)\n"
+        "  --retries N           retry failed/timed-out jobs up to "
+        "N times with backoff (default 1; MORRIGAN_JOB_RETRIES)\n"
+        "  --journal FILE        append per-job outcomes to FILE "
+        "and resume completed jobs from it (MORRIGAN_JOURNAL)\n");
 }
 
 /**
@@ -256,6 +265,12 @@ writeStatsJsonDocument(std::ostream &os, Simulator &sim,
         w.key("intervals").rawValue([&](std::ostream &o) {
             sim.intervalSampler()->writeRingJson(o);
         });
+    // Batch jobs (--baseline) that failed permanently: degraded
+    // campaigns must say what is missing.
+    if (FailureManifest::global().size() > 0)
+        w.key("failures").rawValue([&](std::ostream &o) {
+            FailureManifest::global().writeJson(o);
+        });
     w.endObject();
     os << '\n';
 }
@@ -282,6 +297,9 @@ main(int argc, char **argv)
     std::string interval_out_path;
     std::uint64_t interval = 0;
     bool interval_csv = false;
+    // Campaign resilience policy: env defaults, overridden by the
+    // flags below, installed process-wide for every batch.
+    SupervisorOptions sup = Supervisor::defaultOptions();
 
     // MORRIGAN_CHECK=1 is the environment spelling of --check. The
     // env is resolved here, at the CLI boundary, so SimConfig (and
@@ -370,12 +388,24 @@ main(int argc, char **argv)
             RunPool::setDefaultJobs(parseJobsValue("--jobs", next()));
         } else if (arg == "--sweep") {
             sweep = true;
+        } else if (arg == "--isolate") {
+            sup.isolate = true;
+        } else if (arg == "--job-timeout") {
+            sup.jobTimeoutMs =
+                parseU64(arg, next(), 1, 86'400) * 1000;
+        } else if (arg == "--retries") {
+            sup.maxAttempts = 1 + static_cast<unsigned>(
+                                      parseU64(arg, next(), 0, 100));
+        } else if (arg == "--journal") {
+            sup.journalPath = next();
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
             return 1;
         }
     }
+
+    Supervisor::setDefaultOptions(sup);
 
     cfg.checkLevel = check_level;
     if (check_level > 0) {
@@ -414,23 +444,36 @@ main(int argc, char **argv)
                 sweep_cfg, PrefetcherKind::None,
                 qmmWorkloadParams(i)));
         for (unsigned i = 0; i < numQmmWorkloads; ++i) {
-            if (kind == PrefetcherKind::Morrigan && smt_scaled)
-                jobs.push_back(ExperimentJob::with(
+            if (kind == PrefetcherKind::Morrigan && smt_scaled) {
+                ExperimentJob job = ExperimentJob::with(
                     sweep_cfg,
                     [] {
                         return std::make_unique<MorriganPrefetcher>(
                             MorriganParams{}.smtScaled());
                     },
-                    qmmWorkloadParams(i)));
-            else
+                    qmmWorkloadParams(i));
+                // Factory jobs are uncacheable; give them a stable
+                // tag so --journal can resume them too.
+                job.journalTag = csprintf(
+                    "sweep:smt-scaled:%s:warmup=%llu:instr=%llu",
+                    qmmWorkloadParams(i).name.c_str(),
+                    static_cast<unsigned long long>(
+                        sweep_cfg.warmupInstructions),
+                    static_cast<unsigned long long>(
+                        sweep_cfg.simInstructions));
+                jobs.push_back(std::move(job));
+            } else {
                 jobs.push_back(ExperimentJob::of(
                     sweep_cfg, kind, qmmWorkloadParams(i)));
+            }
         }
-        std::vector<SimResult> all = runBatch(jobs);
-        std::vector<SimResult> base(
-            all.begin(), all.begin() + numQmmWorkloads);
-        std::vector<SimResult> opt(
-            all.begin() + numQmmWorkloads, all.end());
+        std::vector<RunOutcome> outcomes = runBatchOutcomes(jobs);
+        std::vector<SimResult> base, opt;
+        for (unsigned i = 0; i < numQmmWorkloads; ++i)
+            base.push_back(outcomes[i].output.result);
+        for (unsigned i = 0; i < numQmmWorkloads; ++i)
+            opt.push_back(
+                outcomes[numQmmWorkloads + i].output.result);
 
         std::printf("-- QMM suite sweep: %s vs baseline "
                     "(%u workloads, %u jobs) --\n",
@@ -438,15 +481,83 @@ main(int argc, char **argv)
                     RunPool::global().jobs());
         std::printf("%-10s %10s %10s %9s\n", "workload", "base IPC",
                     "opt IPC", "speedup");
-        for (unsigned i = 0; i < numQmmWorkloads; ++i)
+        unsigned failed_rows = 0;
+        for (unsigned i = 0; i < numQmmWorkloads; ++i) {
+            const RunOutcome &bo = outcomes[i];
+            const RunOutcome &oo = outcomes[numQmmWorkloads + i];
+            if (!bo.ok() || !oo.ok()) {
+                ++failed_rows;
+                std::printf("%-10s %10s %10s %9s  (%s)\n",
+                            qmmWorkloadParams(i).name.c_str(), "-",
+                            "-", "-",
+                            runStatusName(!bo.ok() ? bo.status
+                                                   : oo.status));
+                continue;
+            }
             std::printf("%-10s %10.4f %10.4f %8.2f%%\n",
                         base[i].workload.c_str(), base[i].ipc,
                         opt[i].ipc, speedupPct(base[i], opt[i]));
-        std::printf("geomean speedup     %.2f%%\n",
-                    geomeanSpeedupPct(base, opt));
+        }
+        const double geomean_pct = geomeanSpeedupPct(base, opt);
+        std::printf("geomean speedup     %.2f%%\n", geomean_pct);
+
+        // Degraded-mode report: every permanently failed job, with
+        // its repro, on stderr; machine-readable in --stats-json.
+        const auto failures = FailureManifest::global().entries();
+        if (!failures.empty()) {
+            std::fprintf(stderr,
+                         "%zu job(s) failed permanently:\n",
+                         failures.size());
+            for (const auto &f : failures)
+                std::fprintf(stderr, "  [%s] %s: %s\n    repro: %s\n",
+                             runStatusName(f.failure.status),
+                             f.label.c_str(),
+                             f.failure.what.c_str(),
+                             f.failure.repro.c_str());
+        }
+        if (!stats_json_path.empty()) {
+            std::ofstream ofs(stats_json_path);
+            if (!ofs)
+                fatal("cannot open --stats-json file '%s'",
+                      stats_json_path.c_str());
+            json::Writer w(ofs);
+            w.beginObject();
+            w.kv("schema", "morrigan-stats");
+            w.kv("version", json::statsSchemaVersion);
+            w.kv("mode", "sweep");
+            w.kv("prefetcher", prefetcher_name);
+            w.key("rows").beginArray();
+            for (unsigned i = 0; i < numQmmWorkloads; ++i) {
+                const RunOutcome &bo = outcomes[i];
+                const RunOutcome &oo =
+                    outcomes[numQmmWorkloads + i];
+                w.beginObject();
+                w.kv("workload", qmmWorkloadParams(i).name);
+                w.kv("ok", bo.ok() && oo.ok());
+                if (bo.ok() && oo.ok()) {
+                    w.kv("base_ipc", base[i].ipc);
+                    w.kv("opt_ipc", opt[i].ipc);
+                    w.kv("speedup_pct",
+                         speedupPct(base[i], opt[i]));
+                }
+                w.endObject();
+            }
+            w.endArray();
+            w.kv("geomean_speedup_pct", geomean_pct);
+            if (FailureManifest::global().size() > 0)
+                w.key("failures").rawValue([&](std::ostream &o) {
+                    FailureManifest::global().writeJson(o);
+                });
+            w.endObject();
+            ofs << '\n';
+        }
+
         if (check_level > 0) {
             std::uint64_t checked = 0, mismatched = 0;
-            for (const SimResult &sr : all) {
+            for (const RunOutcome &o : outcomes) {
+                if (!o.ok())
+                    continue;
+                const SimResult &sr = o.output.result;
                 checked += sr.checkedTranslations;
                 mismatched += sr.checkMismatches;
                 if (!sr.checkReport.empty())
@@ -462,7 +573,7 @@ main(int argc, char **argv)
                 morrigan::check::invariantViolations() > 0)
                 return 1;
         }
-        return 0;
+        return failed_rows > 0 ? 2 : 0;
     }
 
     auto wl = parseWorkload(workload_name);
