@@ -16,7 +16,6 @@
 #include <unistd.h>
 
 #include <cctype>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,13 +39,16 @@ namespace morrigan::bench
  * Disabled (and free) otherwise.
  *
  * Durability: the artifact is rewritten (atomically, tmp + rename)
- * after every recorded row, and again from SIGINT/SIGTERM/SIGHUP
- * handlers and the destructor -- a campaign killed mid-figure leaves
- * the rows it completed on disk instead of nothing. Only the process
- * that created the artifact writes it (sandboxed --isolate children
- * inherit the singleton but are pid-guarded out). When the campaign
- * supervisor recorded permanent job failures, the artifact carries
- * them in a "failures" manifest alongside the degraded rows.
+ * after every recorded row and from the destructor -- a campaign
+ * killed mid-figure (any signal, SIGKILL included) leaves the rows
+ * it completed on disk instead of nothing, with no signal handlers
+ * involved (nothing here is async-signal-safe, so none is installed;
+ * a termination signal costs at most the row currently in flight).
+ * Only the process that created the artifact writes it (sandboxed
+ * --isolate children inherit the singleton but are pid-guarded
+ * out). When the campaign supervisor recorded permanent job
+ * failures, the artifact carries them in a "failures" manifest
+ * alongside the degraded rows.
  */
 class BenchArtifact
 {
@@ -93,20 +95,6 @@ class BenchArtifact
         flushLocked();
     }
 
-    /**
-     * Best-effort flush from a signal handler: skip (rather than
-     * deadlock) when a worker thread holds the artifact lock. The
-     * per-row flushes mean the file is at most one row stale.
-     */
-    void
-    flushFromSignal()
-    {
-        if (!enabled_ || !mutex_.try_lock())
-            return;
-        flushLocked();
-        mutex_.unlock();
-    }
-
     ~BenchArtifact() { flush(); }
 
   private:
@@ -131,19 +119,8 @@ class BenchArtifact
             dir_ = d;
             enabled_ = !dir_.empty();
         }
-        if (!enabled_)
-            return;
-        ownerPid_ = ::getpid();
-        for (int sig : {SIGINT, SIGTERM, SIGHUP})
-            std::signal(sig, &BenchArtifact::onSignal);
-    }
-
-    static void
-    onSignal(int sig)
-    {
-        instance().flushFromSignal();
-        std::signal(sig, SIG_DFL);
-        std::raise(sig);
+        if (enabled_)
+            ownerPid_ = ::getpid();
     }
 
     /** Caller holds mutex_. Rewrites the artifact atomically; no-op

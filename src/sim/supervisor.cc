@@ -297,6 +297,10 @@ struct SchedulerSignal
 struct ThreadAttempt
 {
     std::shared_ptr<SchedulerSignal> signal;
+    /** Owned copy of the job: a watchdog-abandoned (detached)
+     * thread may outlive Supervisor::run() and the caller's batch
+     * vector, so it must never hold a pointer into them. */
+    ExperimentJob job;
     std::atomic<bool> done{false};
     bool threw = false;
     std::string what;
@@ -543,21 +547,34 @@ CampaignJournal::record(const std::string &key,
     ss << '\n';
     const std::string line = ss.str();
     // One O_APPEND write per record: concurrent appenders cannot
-    // interleave, and a kill leaves at most one truncated line,
-    // which load() skips.
-    std::size_t off = 0;
-    while (off < line.size()) {
-        ssize_t n =
-            ::write(fd_, line.data() + off, line.size() - off);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            warn("journal: short write (%s); record for key dropped",
+    // interleave. If the write comes up short (disk full, quota),
+    // never append the remainder -- another process's record could
+    // land between the fragments and be glued onto ours, corrupting
+    // *its* line too. Instead seal the fragment with a newline (so
+    // only this unparseable record is lost) and retry the whole
+    // record once as a fresh line.
+    for (int tries = 0; tries < 2; ++tries) {
+        ssize_t n;
+        do {
+            n = ::write(fd_, line.data(), line.size());
+        } while (n < 0 && errno == EINTR);
+        if (n == static_cast<ssize_t>(line.size())) {
+            ::fsync(fd_);
+            return;
+        }
+        if (n < 0) {
+            warn("journal: write failed (%s); record dropped "
+                 "(that job will rerun on resume)",
                  std::strerror(errno));
             return;
         }
-        off += static_cast<std::size_t>(n);
+        ssize_t m;
+        do {
+            m = ::write(fd_, "\n", 1);
+        } while (m < 0 && errno == EINTR);
     }
+    warn("journal: short write persists; record dropped (that job "
+         "will rerun on resume)");
     ::fsync(fd_);
 }
 
@@ -746,8 +763,9 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
 
     auto handle_failure = [&](std::size_t idx, unsigned attempt,
                               RunStatus status,
-                              const std::string &what) {
-        if (attempt < opt_.maxAttempts) {
+                              const std::string &what,
+                              bool allow_retry) {
+        if (allow_retry && attempt < opt_.maxAttempts) {
             const std::string retry_key =
                 keys[idx].empty() ? jobLabel(batch[idx]) : keys[idx];
             pending.push_back(
@@ -778,13 +796,13 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
             }
             auto att = std::make_shared<ThreadAttempt>();
             att->signal = signal;
-            const ExperimentJob *jobp = &batch[it->idx];
-            std::thread th([att, jobp] {
+            att->job = batch[it->idx];
+            std::thread th([att] {
                 ExperimentOutput result;
                 bool threw = false;
                 std::string what;
                 try {
-                    result = executeJob(*jobp);
+                    result = executeJob(att->job);
                 } catch (const std::exception &e) {
                     threw = true;
                     what = e.what();
@@ -802,8 +820,9 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                 att->signal->cv.notify_all();
             });
             const std::uint64_t tmo =
-                opt_.jobTimeoutMs > 0 ? opt_.jobTimeoutMs
-                                      : derivedJobTimeoutMs(*jobp);
+                opt_.jobTimeoutMs > 0
+                    ? opt_.jobTimeoutMs
+                    : derivedJobTimeoutMs(att->job);
             active.push_back({std::move(att), std::move(th),
                               it->idx, it->attempt,
                               now + std::chrono::milliseconds(tmo),
@@ -843,22 +862,29 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                 } else {
                     handle_failure(it->idx, it->attempt,
                                    RunStatus::Failed,
-                                   it->att->what);
+                                   it->att->what, true);
                 }
                 it = active.erase(it);
             } else if (now >= it->deadline) {
                 // Watchdog without a sandbox: we cannot kill a
                 // std::thread, so abandon it (it may still finish
                 // into its private ThreadAttempt, which nothing
-                // reads) and move on.
+                // reads) and move on. No retry: the abandoned
+                // thread may still be executing this very job
+                // (process-global state would be shared by two
+                // concurrent runs) and keeps occupying a core, so
+                // a retry would oversubscribe the worker budget.
+                // --isolate is the retry-capable mode for hangs.
                 it->th.detach();
                 handle_failure(
                     it->idx, it->attempt, RunStatus::TimedOut,
                     csprintf("exceeded %llu ms watchdog deadline "
-                             "(thread abandoned; use --isolate for "
-                             "hard kills)",
+                             "(thread abandoned; timed-out jobs are "
+                             "not retried in thread mode -- use "
+                             "--isolate for hard kills and retries)",
                              static_cast<unsigned long long>(
-                                 it->timeoutMs)));
+                                 it->timeoutMs)),
+                    false);
                 it = active.erase(it);
             } else {
                 ++it;

@@ -11,9 +11,10 @@
  *    aborting the batch;
  *  - a watchdog enforces a per-job wall-clock deadline, derived
  *    from the instruction budget unless pinned;
- *  - failed or timed-out jobs are retried a bounded number of
- *    times with exponential backoff and deterministic jitter
- *    (seeded from the job key, so reruns schedule identically);
+ *  - failed jobs (and, in sandbox mode, timed-out ones) are
+ *    retried a bounded number of times with exponential backoff
+ *    and deterministic jitter (seeded from the job key, so reruns
+ *    schedule identically);
  *  - every final outcome is appended to an fsync'd JSONL journal,
  *    so a campaign killed at any point (Ctrl-C, CI timeout,
  *    machine loss) resumes exactly where it stopped;
@@ -27,7 +28,9 @@
  * parent (children provide the parallelism), which keeps fork()
  * safe. Thread mode (the default) contains C++ exceptions only; a
  * crash still takes the process down, and a timed-out job's thread
- * is abandoned, not killed.
+ * is abandoned, not killed -- and because the abandoned thread may
+ * still be running that job, thread-mode timeouts are terminal
+ * (never retried).
  */
 
 #ifndef MORRIGAN_SIM_SUPERVISOR_HH

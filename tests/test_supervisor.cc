@@ -239,6 +239,34 @@ TEST(Supervisor, WatchdogKillsHungJob)
     EXPECT_EQ(out[0].attempts, 2u);
 }
 
+TEST(Supervisor, ThreadModeTimeoutIsTerminal)
+{
+    // Thread mode cannot kill a hung worker, only abandon it. The
+    // abandoned thread may still be executing the job, so the
+    // supervisor must not retry (two concurrent runs would share
+    // process-global state and oversubscribe the worker budget):
+    // exactly one attempt, status TimedOut, despite maxAttempts 3.
+    // The worker owns a copy of the job, so destroying this test's
+    // jobs vector while the orphan thread keeps running is safe.
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.jobTimeoutMs = 300;
+    opt.maxAttempts = 3;
+    opt.backoffBaseMs = 1;
+    opt.backoffCapMs = 2;
+    opt.useCache = false;
+    Supervisor sup(opt);
+
+    std::vector<RunOutcome> out = sup.run(
+        {faultyJob<HangingPrefetcher>(cfg, "test:hang-thread")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, RunStatus::TimedOut);
+    EXPECT_EQ(out[0].attempts, 1u);
+    EXPECT_NE(
+        out[0].failure.what.find("not retried in thread mode"),
+        std::string::npos);
+}
+
 TEST(Supervisor, CrashAndHangBatchCompletes)
 {
     // The defining property: a batch containing a crasher and a

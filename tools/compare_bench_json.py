@@ -61,7 +61,14 @@ def load_rows(doc, path):
             key = (fig, row["label"])
             if key in rows:
                 raise SystemExit(f"error: {path}: duplicate row {key}")
-            rows[key] = (float(row["measured"]), row.get("unit", ""))
+            # Degraded campaigns emit NaN measurements, which the
+            # JSON writer serializes as null; map them back to NaN so
+            # within() fails the row instead of float(None) crashing.
+            try:
+                value = float(row["measured"])
+            except (TypeError, ValueError):
+                value = math.nan
+            rows[key] = (value, row.get("unit", ""))
     if not rows:
         raise SystemExit(f"error: {path}: no rows (empty artifact)")
     return rows

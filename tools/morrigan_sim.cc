@@ -96,8 +96,9 @@ usage()
         "  --job-timeout SECS    per-job watchdog deadline (default "
         "derived from the instruction budget; "
         "MORRIGAN_JOB_TIMEOUT)\n"
-        "  --retries N           retry failed/timed-out jobs up to "
-        "N times with backoff (default 1; MORRIGAN_JOB_RETRIES)\n"
+        "  --retries N           retry failed jobs (and timed-out "
+        "ones under --isolate) up to N times with backoff "
+        "(default 1; MORRIGAN_JOB_RETRIES)\n"
         "  --journal FILE        append per-job outcomes to FILE "
         "and resume completed jobs from it (MORRIGAN_JOURNAL)\n");
 }
