@@ -1,5 +1,7 @@
 #include "fuzz.hh"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -8,6 +10,8 @@
 #include "check/invariants.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/snapshot.hh"
+#include "sim/result_cache.hh"
 #include "sim/run_pool.hh"
 #include "sim/supervisor.hh"
 #include "workload/workload_factory.hh"
@@ -327,6 +331,86 @@ evaluateSeedInvariants(const SeedRunSet &rs, bool inject_expected)
     return fails;
 }
 
+std::vector<std::string>
+evaluateCheckpointInvariant(const FuzzCase &fc, std::uint64_t seed,
+                            const std::string &scratch_dir)
+{
+    std::vector<std::string> fails;
+
+    // The seed's base configuration with checking and fault
+    // injection stripped: snapshots refuse checked runs (the golden
+    // reference model is deliberately not serialized), and M5 is a
+    // property of the simulator proper.
+    SimConfig cfg = fc.cfg;
+    cfg.checkLevel = 0;
+    cfg.injectWalkerBugPeriod = 0;
+    ExperimentJob job;
+    if (fc.customMorrigan) {
+        auto factory = [p = fc.morrigan]()
+            -> std::unique_ptr<TlbPrefetcher> {
+            return std::make_unique<MorriganPrefetcher>(p);
+        };
+        job = fc.smt ? ExperimentJob::smtPairWith(
+                           cfg, factory, fc.workload, fc.smtWorkload)
+                     : ExperimentJob::with(cfg, factory, fc.workload);
+    } else {
+        job = fc.smt ? ExperimentJob::smtPair(cfg, fc.kind,
+                                              fc.workload,
+                                              fc.smtWorkload)
+                     : ExperimentJob::of(cfg, fc.kind, fc.workload);
+    }
+
+    // Autosave interval hashed from the seed: the straight-through
+    // run leaves its last checkpoint at an effectively random
+    // instruction, which is exactly where the second run resumes.
+    const std::uint64_t total =
+        cfg.warmupInstructions + cfg.simInstructions;
+    const std::uint64_t every =
+        1 + (seed * 0x9E3779B97F4A7C15ULL >> 16) % total;
+    const std::string path = csprintf(
+        "%s/morrigan-fuzz-m5-%llu-%d.snap", scratch_dir.c_str(),
+        static_cast<unsigned long long>(seed),
+        static_cast<int>(::getpid()));
+    ::unlink(path.c_str());
+
+    JobExecutionOptions save_opts;
+    save_opts.checkpointPath = path;
+    save_opts.checkpointEvery = every;
+    JobExecutionOptions resume_opts;
+    resume_opts.checkpointPath = path; // restore only, no autosave
+
+    try {
+        const ExperimentOutput straight = executeJob(job, save_opts);
+        SnapshotHeader hdr;
+        if (!readSnapshotHeader(path, hdr)) {
+            fails.push_back(csprintf(
+                "M5: straight-through run left no readable "
+                "checkpoint at %s (autosave interval %llu)",
+                path.c_str(),
+                static_cast<unsigned long long>(every)));
+        } else {
+            const ExperimentOutput resumed =
+                executeJob(job, resume_opts);
+            std::ostringstream a, b;
+            writeSimResultJson(a, straight.result);
+            writeSimResultJson(b, resumed.result);
+            if (a.str() != b.str())
+                fails.push_back(csprintf(
+                    "M5: resuming from the checkpoint at %llu/%llu "
+                    "instructions diverged from the uninterrupted "
+                    "run\n  straight: %s\n  resumed:  %s",
+                    static_cast<unsigned long long>(
+                        hdr.progressInstructions),
+                    static_cast<unsigned long long>(total),
+                    a.str().c_str(), b.str().c_str()));
+        }
+    } catch (const std::exception &e) {
+        fails.push_back(csprintf("M5: %s", e.what()));
+    }
+    ::unlink(path.c_str());
+    return fails;
+}
+
 std::string
 reproCommand(std::uint64_t seed, const FuzzOptions &opt)
 {
@@ -544,6 +628,17 @@ runCampaign(const FuzzOptions &opt, std::ostream *log)
                     so.checkReport = r->checkReport;
                     break;
                 }
+            }
+            if (opt.checkpointInvariant) {
+                std::error_code ec;
+                auto tmp =
+                    std::filesystem::temp_directory_path(ec);
+                std::vector<std::string> m5 =
+                    evaluateCheckpointInvariant(
+                        cases[i], so.seed,
+                        ec ? std::string(".") : tmp.string());
+                so.failures.insert(so.failures.end(), m5.begin(),
+                                   m5.end());
             }
         }
         so.passed = so.failures.empty();

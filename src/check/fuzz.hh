@@ -29,7 +29,12 @@
  *       dSTLB misses on the same access stream;
  *   M4  an SMT pair over disjoint address spaces maps exactly the
  *       sum of the pages its two solo halves map (architectural
- *       additivity; miss counts are capacity-coupled and excluded).
+ *       additivity; miss counts are capacity-coupled and excluded);
+ *   M5  interrupting the run at a (seed-derived) random instruction
+ *       via a snapshot checkpoint and resuming in a fresh process
+ *       image produces a bit-identical result to running straight
+ *       through (checking is disabled for this pair: snapshots
+ *       refuse checked runs by design).
  *
  * Every run also carries the differential checker (checkLevel >= 1),
  * so any translation the fast simulator resolves to the wrong frame
@@ -84,6 +89,9 @@ struct FuzzOptions
     /** Campaign journal path: completed runs are resumed across
      * invocations; empty disables. */
     std::string journalPath;
+    /** Evaluate M5 (checkpoint/restore bit-identity) per seed; it
+     * costs roughly one extra base-sized run per seed. */
+    bool checkpointInvariant = true;
 };
 
 /** One sampled configuration point. */
@@ -130,6 +138,19 @@ struct SeedRunSet
  */
 std::vector<std::string>
 evaluateSeedInvariants(const SeedRunSet &rs, bool inject_expected);
+
+/**
+ * Evaluate M5 for one sampled configuration: run the seed's base
+ * configuration (checking and fault injection stripped) straight
+ * through, then again resuming from the snapshot the first run
+ * autosaved at a seed-derived instruction, and compare the two
+ * SimResults bit-for-bit. Snapshot files go into @p scratch_dir and
+ * are removed afterwards. Returns one message per divergence (empty
+ * == invariant held).
+ */
+std::vector<std::string>
+evaluateCheckpointInvariant(const FuzzCase &fc, std::uint64_t seed,
+                            const std::string &scratch_dir);
 
 /** Outcome of one fuzzed seed. */
 struct FuzzSeedOutcome

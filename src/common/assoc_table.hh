@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "logging.hh"
+#include "snapshot.hh"
 
 namespace morrigan
 {
@@ -194,6 +195,71 @@ class SetAssocTable
     std::uint32_t ways() const { return ways_; }
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t population() const { return population_; }
+
+    /**
+     * Serialize the table in storage order (set-major, way-minor):
+     * geometry, LRU clock, and for each way its valid flag plus --
+     * when valid -- key, lastUse and the payload via @p save_value.
+     * Invalid ways carry no payload; restore() resets them, which is
+     * behaviorally identical (their contents are never read).
+     *
+     * @param save_value Callable (SnapshotWriter&, const ValueT&).
+     */
+    template <typename SaveV>
+    void
+    save(SnapshotWriter &w, SaveV &&save_value) const
+    {
+        w.section("assoc_table");
+        w.u32(ways_);
+        w.u32(numSets_);
+        w.u64(useClock_);
+        for (const auto &set : sets_) {
+            for (const Entry &e : set) {
+                w.b(e.valid);
+                if (!e.valid)
+                    continue;
+                w.u64(static_cast<std::uint64_t>(e.key));
+                w.u64(e.lastUse);
+                save_value(w, e.value);
+            }
+        }
+    }
+
+    /**
+     * Restore a table saved with identical geometry.
+     *
+     * @param load_value Callable (SnapshotReader&, ValueT&).
+     * @throws SnapshotError on a geometry mismatch.
+     */
+    template <typename LoadV>
+    void
+    restore(SnapshotReader &r, LoadV &&load_value)
+    {
+        r.section("assoc_table");
+        std::uint32_t ways = r.u32();
+        std::uint32_t sets = r.u32();
+        if (ways != ways_ || sets != numSets_)
+            throw SnapshotError(
+                "assoc table geometry mismatch: snapshot " +
+                std::to_string(sets) + "x" + std::to_string(ways) +
+                ", live " + std::to_string(numSets_) + "x" +
+                std::to_string(ways_));
+        useClock_ = r.u64();
+        population_ = 0;
+        for (auto &set : sets_) {
+            for (Entry &e : set) {
+                e.valid = r.b();
+                if (!e.valid) {
+                    e = Entry{};
+                    continue;
+                }
+                e.key = static_cast<KeyT>(r.u64());
+                e.lastUse = r.u64();
+                load_value(r, e.value);
+                ++population_;
+            }
+        }
+    }
 
   private:
     struct Entry

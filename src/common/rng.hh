@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hh"
+
 namespace morrigan
 {
 
@@ -100,6 +102,24 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /** Serialize the generator state (stream position included). */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.section("rng");
+        w.u64(state_);
+        w.u64(inc_);
+    }
+
+    /** Resume the exact stream position a save() captured. */
+    void
+    restore(SnapshotReader &r)
+    {
+        r.section("rng");
+        state_ = r.u64();
+        inc_ = r.u64();
     }
 
   private:

@@ -21,6 +21,8 @@
 namespace morrigan
 {
 
+class SnapshotReader;
+class SnapshotWriter;
 class StatGroup;
 class Counter;
 class Histogram;
@@ -58,6 +60,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
@@ -86,6 +91,9 @@ class Histogram
     std::uint64_t bucketBound(std::size_t i) const;
     void reset();
 
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
@@ -111,6 +119,9 @@ class Distribution
     double max() const { return count_ ? max_ : 0.0; }
     double sum() const { return sum_; }
     void reset();
+
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
@@ -160,6 +171,18 @@ class StatGroup
 
     /** Zero every registered stat in this subtree. */
     void resetAll();
+
+    /**
+     * Serialize every stat in this subtree, depth-first in
+     * registration order. Group names and stat counts are embedded so
+     * restoreAll() detects any mismatch between the saved tree and
+     * the live one (e.g. a different component configuration).
+     */
+    void saveAll(SnapshotWriter &w) const;
+
+    /** Restore a subtree written by saveAll().
+     * @throws SnapshotError on any structural mismatch. */
+    void restoreAll(SnapshotReader &r);
 
   private:
     friend class Counter;

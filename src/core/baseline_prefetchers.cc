@@ -228,4 +228,130 @@ MarkovPrefetcher::storageBits() const
     return static_cast<std::size_t>(entries_) * (16 + slots_ * 36);
 }
 
+void
+StridePrefetcher::save(SnapshotWriter &w) const
+{
+    w.section("asp");
+    table_.save(w, [](SnapshotWriter &sw, const AspEntry &e) {
+        sw.u64(e.lastVpn);
+        sw.i64(e.stride);
+        sw.b(e.confirmed);
+    });
+    w.u64(conflicts_);
+    w.u64(lookups_);
+}
+
+void
+StridePrefetcher::restore(SnapshotReader &r)
+{
+    r.section("asp");
+    table_.restore(r, [](SnapshotReader &sr, AspEntry &e) {
+        e.lastVpn = sr.u64();
+        e.stride = sr.i64();
+        e.confirmed = sr.b();
+    });
+    conflicts_ = r.u64();
+    lookups_ = r.u64();
+}
+
+void
+DistancePrefetcher::save(SnapshotWriter &w) const
+{
+    w.section("dp");
+    table_.save(w, [](SnapshotWriter &sw, const DpEntry &e) {
+        for (unsigned i = 0; i < slots; ++i) {
+            sw.i64(e.next[i]);
+            sw.b(e.valid[i]);
+        }
+        sw.u8(e.lruVictim);
+    });
+    for (const History &h : hist_) {
+        w.u64(h.prevVpn);
+        w.i64(h.prevDist);
+        w.b(h.vpnValid);
+        w.b(h.distValid);
+    }
+    w.u64(conflicts_);
+    w.u64(lookups_);
+}
+
+void
+DistancePrefetcher::restore(SnapshotReader &r)
+{
+    r.section("dp");
+    table_.restore(r, [](SnapshotReader &sr, DpEntry &e) {
+        for (unsigned i = 0; i < slots; ++i) {
+            e.next[i] = sr.i64();
+            e.valid[i] = sr.b();
+        }
+        e.lruVictim = sr.u8();
+    });
+    for (History &h : hist_) {
+        h.prevVpn = r.u64();
+        h.prevDist = r.i64();
+        h.vpnValid = r.b();
+        h.distValid = r.b();
+    }
+    conflicts_ = r.u64();
+    lookups_ = r.u64();
+}
+
+void
+MarkovPrefetcher::save(SnapshotWriter &w) const
+{
+    w.section("mp");
+    w.b(unbounded());
+    auto saveEntry = [](SnapshotWriter &sw, const MpEntry &e) {
+        sw.u64(e.successors.size());
+        for (Vpn v : e.successors)
+            sw.u64(v);
+    };
+    if (unbounded()) {
+        std::vector<Vpn> keys;
+        keys.reserve(unboundedTable_.size());
+        for (const auto &[vpn, e] : unboundedTable_)
+            keys.push_back(vpn);
+        std::sort(keys.begin(), keys.end());
+        w.u64(keys.size());
+        for (Vpn vpn : keys) {
+            w.u64(vpn);
+            saveEntry(w, unboundedTable_.at(vpn));
+        }
+    } else {
+        table_.save(w, saveEntry);
+    }
+    for (const History &h : hist_) {
+        w.u64(h.prevVpn);
+        w.b(h.valid);
+    }
+}
+
+void
+MarkovPrefetcher::restore(SnapshotReader &r)
+{
+    r.section("mp");
+    if (r.b() != unbounded())
+        throw SnapshotError("MP bounded/unbounded mode mismatch");
+    auto loadEntry = [](SnapshotReader &sr, MpEntry &e) {
+        e.successors.assign(static_cast<std::size_t>(sr.u64()), 0);
+        for (Vpn &v : e.successors)
+            v = sr.u64();
+    };
+    if (unbounded()) {
+        unboundedTable_.clear();
+        std::uint64_t n = r.u64();
+        unboundedTable_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Vpn vpn = r.u64();
+            loadEntry(r, unboundedTable_[vpn]);
+        }
+    } else {
+        table_.restore(r, loadEntry);
+    }
+    for (History &h : hist_) {
+        h.prevVpn = r.u64();
+        h.valid = r.b();
+    }
+}
+
 } // namespace morrigan

@@ -69,6 +69,9 @@ class StridePrefetcher : public TlbPrefetcher
     std::uint64_t conflicts() const { return conflicts_; }
     std::uint64_t lookups() const { return lookups_; }
 
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     struct AspEntry
     {
@@ -107,6 +110,9 @@ class DistancePrefetcher : public TlbPrefetcher
 
     std::uint64_t conflicts() const { return conflicts_; }
     std::uint64_t lookups() const { return lookups_; }
+
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
 
   private:
     struct DpEntry
@@ -159,6 +165,9 @@ class MarkovPrefetcher : public TlbPrefetcher
     std::size_t storageBits() const override;
 
     bool unbounded() const { return entries_ == 0; }
+
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
 
   private:
     struct MpEntry

@@ -14,10 +14,13 @@
 #ifndef MORRIGAN_CORE_FREQUENCY_STACK_HH
 #define MORRIGAN_CORE_FREQUENCY_STACK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "check/invariants.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace morrigan
@@ -81,6 +84,44 @@ class FrequencyStack
 
     std::uint64_t resets() const { return resets_; }
     std::size_t trackedPages() const { return freq_.size(); }
+
+    /** Serialize (entries emitted in sorted VPN order so the image
+     * is independent of unordered_map iteration order). */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.section("freq_stack");
+        w.u64(resetInterval_);
+        w.u64(sinceReset_);
+        w.u64(resets_);
+        std::vector<std::pair<Vpn, std::uint32_t>> entries(
+            freq_.begin(), freq_.end());
+        std::sort(entries.begin(), entries.end());
+        w.u64(entries.size());
+        for (const auto &[vpn, f] : entries) {
+            w.u64(vpn);
+            w.u32(f);
+        }
+    }
+
+    void
+    restore(SnapshotReader &r)
+    {
+        r.section("freq_stack");
+        std::uint64_t interval = r.u64();
+        if (interval != resetInterval_)
+            throw SnapshotError(
+                "frequency stack reset interval mismatch");
+        sinceReset_ = r.u64();
+        resets_ = r.u64();
+        freq_.clear();
+        std::uint64_t n = r.u64();
+        freq_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Vpn vpn = r.u64();
+            freq_[vpn] = r.u32();
+        }
+    }
 
   private:
     std::unordered_map<Vpn, std::uint32_t> freq_;

@@ -108,6 +108,9 @@ class Irip : public TlbPrefetcher
      */
     bool entryResidesInMultipleTables(Vpn vpn) const;
 
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     void updatePreviousEntry(Vpn prev_vpn, int prev_table,
                              PageDelta dist);

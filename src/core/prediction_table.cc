@@ -264,4 +264,68 @@ PredictionTable::storageBits() const
            (tagBits + geom_.slots * (distanceBits + confidenceBits));
 }
 
+void
+PredictionTable::save(SnapshotWriter &w) const
+{
+    w.section("prt");
+    w.str(geom_.name);
+    w.u32(geom_.entries);
+    w.u32(geom_.ways);
+    w.u32(geom_.slots);
+    w.u64(useClock_);
+    for (const auto &set : sets_) {
+        for (const PrtEntry &e : set) {
+            w.b(e.valid);
+            if (!e.valid)
+                continue;
+            w.u32(e.tag);
+            w.u64(e.vpn);
+            w.u64(e.lastUse);
+            w.u64(e.slots.size());
+            for (const PrtSlot &s : e.slots) {
+                w.b(s.valid);
+                w.i64(s.distance);
+                w.u8(s.confidence);
+            }
+        }
+    }
+}
+
+void
+PredictionTable::restore(SnapshotReader &r)
+{
+    r.section("prt");
+    std::string name = r.str();
+    std::uint32_t entries = r.u32();
+    std::uint32_t ways = r.u32();
+    std::uint32_t slots = r.u32();
+    if (name != geom_.name || entries != geom_.entries ||
+        ways != geom_.ways || slots != geom_.slots)
+        throw SnapshotError("prediction table '" + geom_.name +
+                            "': snapshot geometry mismatch ('" + name +
+                            "')");
+    useClock_ = r.u64();
+    population_ = 0;
+    for (auto &set : sets_) {
+        for (PrtEntry &e : set) {
+            e.valid = r.b();
+            if (!e.valid) {
+                e = PrtEntry{};
+                continue;
+            }
+            e.tag = static_cast<std::uint16_t>(r.u32());
+            e.vpn = r.u64();
+            e.lastUse = r.u64();
+            e.slots.assign(static_cast<std::size_t>(r.u64()),
+                           PrtSlot{});
+            for (PrtSlot &s : e.slots) {
+                s.valid = r.b();
+                s.distance = r.i64();
+                s.confidence = r.u8();
+            }
+            ++population_;
+        }
+    }
+}
+
 } // namespace morrigan

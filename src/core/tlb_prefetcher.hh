@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "tlb/prefetch_buffer.hh"
 
@@ -81,6 +82,18 @@ class TlbPrefetcher
      * (Figure 14) visible over time; stateless engines return 0.
      */
     virtual std::uint64_t frequencyStackResets() const { return 0; }
+
+    /**
+     * Serialize all mutable prediction state into a simulator
+     * snapshot. Stateless engines inherit this no-op; engines with
+     * tables/history/RNG state override both hooks (a stateful engine
+     * overriding neither would silently resume cold, so the simulator
+     * snapshot embeds name() and the restore side verifies it).
+     */
+    virtual void save(SnapshotWriter &w) const { (void)w; }
+
+    /** Restore state written by save(). */
+    virtual void restore(SnapshotReader &r) { (void)r; }
 };
 
 } // namespace morrigan

@@ -56,6 +56,9 @@ class FnlMmaPrefetcher : public ICachePrefetcher
 
     std::uint64_t mmaPredictions() const { return mmaPredictions_; }
 
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     FnlMmaParams params_;
     struct MmaEntry

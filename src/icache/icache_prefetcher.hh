@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace morrigan
@@ -41,6 +42,14 @@ class ICachePrefetcher
 
     /** Whether emitted targets may leave the current page. */
     virtual bool crossesPageBoundaries() const = 0;
+
+    /**
+     * Checkpoint support. The defaults serialize nothing, which is
+     * correct for stateless prefetchers (next-line); stateful engines
+     * override both.
+     */
+    virtual void save(SnapshotWriter &w) const { (void)w; }
+    virtual void restore(SnapshotReader &r) { (void)r; }
 };
 
 /**

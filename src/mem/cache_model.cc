@@ -121,4 +121,49 @@ CacheModel::flush()
             w.valid = false;
 }
 
+void
+CacheModel::save(SnapshotWriter &w) const
+{
+    w.section("cache");
+    w.str(params_.name);
+    w.u32(numSets_);
+    w.u32(params_.ways);
+    w.u64(useClock_);
+    for (const auto &set : sets_) {
+        for (const Way &way : set) {
+            w.b(way.valid);
+            if (!way.valid)
+                continue;
+            w.u64(way.tag);
+            w.b(way.prefetched);
+            w.u64(way.lastUse);
+        }
+    }
+}
+
+void
+CacheModel::restore(SnapshotReader &r)
+{
+    r.section("cache");
+    std::string name = r.str();
+    if (name != params_.name || r.u32() != numSets_ ||
+        r.u32() != params_.ways)
+        throw SnapshotError("cache '" + params_.name +
+                            "': snapshot geometry mismatch ('" + name +
+                            "')");
+    useClock_ = r.u64();
+    for (auto &set : sets_) {
+        for (Way &way : set) {
+            way.valid = r.b();
+            if (!way.valid) {
+                way = Way{};
+                continue;
+            }
+            way.tag = r.u64();
+            way.prefetched = r.b();
+            way.lastUse = r.u64();
+        }
+    }
+}
+
 } // namespace morrigan

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -72,6 +73,9 @@ class CacheModel
 
     const CacheParams &params() const { return params_; }
     std::uint32_t numSets() const { return numSets_; }
+
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
     std::uint64_t demandAccesses() const { return accesses_.value(); }
     std::uint64_t demandMisses() const { return misses_.value(); }

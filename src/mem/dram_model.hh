@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -41,6 +42,9 @@ class DramModel
 
     std::uint64_t rowHits() const { return rowHits_.value(); }
     std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     DramParams params_;

@@ -83,6 +83,9 @@ class MemoryHierarchy
     const CacheModel &l2() const { return l2_; }
     const CacheModel &llc() const { return llc_; }
 
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
   private:
     MemAccessResult accessThrough(Addr line, CacheModel &l1);
     void maybeL2Prefetch(Addr missed_line);

@@ -107,6 +107,11 @@ class IntervalSampler
     /** Write the retained ring as a JSON array. */
     void writeRingJson(std::ostream &os) const;
 
+    /** Checkpoint the delta baseline, epoch count and ring. The
+     * streaming sink is external and not serialized. */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
   private:
     void emit(const IntervalSample &s);
 

@@ -2,6 +2,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace morrigan
 {
@@ -389,6 +390,24 @@ PrefetchTracer::writeSummaryJson(std::ostream &os) const
     w.key("totals");
     emit(totals());
     w.endObject();
+}
+
+void
+PrefetchTracer::save(SnapshotWriter &w) const
+{
+    w.section("tracer");
+    w.b(measuring_);
+    w.u64(nextId_);
+    w.u64(firstMeasuredId_);
+}
+
+void
+PrefetchTracer::restore(SnapshotReader &r)
+{
+    r.section("tracer");
+    measuring_ = r.b();
+    nextId_ = r.u64();
+    firstMeasuredId_ = r.u64();
 }
 
 } // namespace morrigan

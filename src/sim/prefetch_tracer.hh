@@ -164,6 +164,14 @@ class PrefetchTracer : public PbObserver
      * one object ({"components":{...},"totals":{...}}). */
     void writeSummaryJson(std::ostream &os) const;
 
+    /**
+     * Checkpoint the id/window scalars. The per-component counters
+     * live in the simulator's stats tree and ride its tree-wide
+     * save/restore; the event sink is external and not serialized.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
   private:
     struct ComponentStats;
 

@@ -236,13 +236,19 @@ simResultFromJson(const json::Value &doc, SimResult &out)
     return true;
 }
 
+namespace
+{
+
+/** Shared body of experimentKey() / warmupKey(). @p warmup_only
+ * omits the measurement-only fields. */
 std::string
-experimentKey(const SimConfig &cfg, PrefetcherKind kind,
-              const ServerWorkloadParams &workload,
-              const ServerWorkloadParams *smt)
+buildKey(const SimConfig &cfg, PrefetcherKind kind,
+         const ServerWorkloadParams &workload,
+         const ServerWorkloadParams *smt, bool warmup_only)
 {
     KeyBuilder kb;
-    kb.add("schema", std::string("morrigan-experiment"));
+    kb.add("schema", std::string(warmup_only ? "morrigan-warmup"
+                                             : "morrigan-experiment"));
     kb.add("version",
            std::uint64_t{json::resultCacheSchemaVersion});
     kb.add("prefetcher", std::string(prefetcherKindName(kind)));
@@ -290,8 +296,10 @@ experimentKey(const SimConfig &cfg, PrefetcherKind kind,
            std::uint64_t(static_cast<unsigned>(cfg.icachePref)));
     kb.add("icacheTranslationCost", cfg.icacheTranslationCost);
     kb.add("warmupInstructions", cfg.warmupInstructions);
-    kb.add("simInstructions", cfg.simInstructions);
-    kb.add("collectMissStream", cfg.collectMissStream);
+    if (!warmup_only) {
+        kb.add("simInstructions", cfg.simInstructions);
+        kb.add("collectMissStream", cfg.collectMissStream);
+    }
     kb.add("smtThread1VpnOffset", cfg.smtThread1VpnOffset);
     kb.add("checkLevel", std::uint64_t(cfg.checkLevel));
     kb.add("injectWalkerBugPeriod", cfg.injectWalkerBugPeriod);
@@ -301,6 +309,30 @@ experimentKey(const SimConfig &cfg, PrefetcherKind kind,
     if (smt)
         addWorkloadParams(kb, "smt", *smt);
     return kb.str();
+}
+
+} // anonymous namespace
+
+std::string
+experimentKey(const SimConfig &cfg, PrefetcherKind kind,
+              const ServerWorkloadParams &workload,
+              const ServerWorkloadParams *smt)
+{
+    return buildKey(cfg, kind, workload, smt, false);
+}
+
+std::string
+warmupKey(const SimConfig &cfg, PrefetcherKind kind,
+          const ServerWorkloadParams &workload,
+          const ServerWorkloadParams *smt)
+{
+    return buildKey(cfg, kind, workload, smt, true);
+}
+
+std::uint64_t
+cacheKeyDigest(const std::string &key)
+{
+    return fnv1a(key);
 }
 
 void

@@ -49,6 +49,24 @@ std::string experimentKey(const SimConfig &cfg, PrefetcherKind kind,
                           const ServerWorkloadParams &workload,
                           const ServerWorkloadParams *smt = nullptr);
 
+/**
+ * Canonical key for one *warmup image* (see DESIGN.md §12): like
+ * experimentKey() but without the measurement-only fields
+ * (simInstructions, collectMissStream), so every run of a sweep that
+ * shares a (workload, prefetcher, system) triple reuses one warmed
+ * snapshot regardless of how long it measures. The prefetcher kind
+ * *is* part of the key: prefetch walks mutate the caches, walker and
+ * PB during warmup, so sharing images across prefetchers would break
+ * bit-identity with an uninterrupted run.
+ */
+std::string warmupKey(const SimConfig &cfg, PrefetcherKind kind,
+                      const ServerWorkloadParams &workload,
+                      const ServerWorkloadParams *smt = nullptr);
+
+/** FNV-1a digest of a canonical key, for deriving cache/snapshot
+ * file names. */
+std::uint64_t cacheKeyDigest(const std::string &key);
+
 /** Serialize a SimResult as one JSON object (full precision). */
 void writeSimResultJson(std::ostream &os, const SimResult &r);
 

@@ -1,14 +1,20 @@
 #include "run_pool.hh"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "sim/result_cache.hh"
 #include "sim/simulator.hh"
 
@@ -20,6 +26,11 @@ namespace
 
 /** Process-wide --jobs override; 0 means "not set". */
 std::atomic<unsigned> defaultJobsOverride{0};
+
+/** Process-wide warmup-image directory override. */
+std::mutex warmupDirMutex;
+std::string warmupDirOverride;
+bool warmupDirSet = false;
 
 } // namespace
 
@@ -70,28 +81,83 @@ ExperimentJob::smtPairWith(
     return job;
 }
 
-ExperimentOutput
-executeJob(const ExperimentJob &job)
+namespace
 {
-    std::unique_ptr<TlbPrefetcher> prefetcher =
-        job.prefetcherFactory ? job.prefetcherFactory()
-                              : makePrefetcher(job.kind);
 
-    ServerWorkload trace(job.workload);
-    std::unique_ptr<ServerWorkload> smt_trace;
-    Simulator sim(job.cfg);
-    sim.attachWorkload(&trace, 0);
+/** A fully wired simulator plus everything it borrows. */
+struct JobAssembly
+{
+    std::unique_ptr<TlbPrefetcher> prefetcher;
+    std::unique_ptr<ServerWorkload> trace;
+    std::unique_ptr<ServerWorkload> smtTrace;
+    std::unique_ptr<Simulator> sim;
+};
+
+JobAssembly
+buildJob(const ExperimentJob &job)
+{
+    JobAssembly a;
+    a.prefetcher = job.prefetcherFactory ? job.prefetcherFactory()
+                                         : makePrefetcher(job.kind);
+    a.trace = std::make_unique<ServerWorkload>(job.workload);
+    a.sim = std::make_unique<Simulator>(job.cfg);
+    a.sim->attachWorkload(a.trace.get(), 0);
     if (job.smt) {
-        smt_trace = std::make_unique<ServerWorkload>(job.smtWorkload);
-        sim.attachWorkload(smt_trace.get(), 1);
+        a.smtTrace =
+            std::make_unique<ServerWorkload>(job.smtWorkload);
+        a.sim->attachWorkload(a.smtTrace.get(), 1);
     }
-    if (prefetcher)
-        sim.attachPrefetcher(prefetcher.get());
+    if (a.prefetcher)
+        a.sim->attachPrefetcher(a.prefetcher.get());
+    return a;
+}
+
+} // anonymous namespace
+
+ExperimentOutput
+executeJob(const ExperimentJob &job, const JobExecutionOptions &opts)
+{
+    JobAssembly a = buildJob(job);
+
+    // Restore chain: a checkpoint (mid-run, furthest along) beats a
+    // warmup image beats simulating from scratch. Any defect in an
+    // image -- corruption, truncation, schema or configuration
+    // mismatch -- discards it: the assembly is rebuilt and the job
+    // re-simulates. Snapshots accelerate; they never gate.
+    bool resumed = false;
+    if (!opts.checkpointPath.empty() &&
+        ::access(opts.checkpointPath.c_str(), F_OK) == 0) {
+        try {
+            a.sim->restoreCheckpoint(opts.checkpointPath);
+            resumed = true;
+        } catch (const SnapshotError &e) {
+            warn("discarding checkpoint %s: %s",
+                 opts.checkpointPath.c_str(), e.what());
+            a = buildJob(job);
+        }
+    }
+    if (!resumed && !opts.warmupImagePath.empty()) {
+        if (::access(opts.warmupImagePath.c_str(), F_OK) == 0) {
+            try {
+                a.sim->restoreCheckpoint(opts.warmupImagePath);
+                resumed = true;
+            } catch (const SnapshotError &e) {
+                warn("discarding warmup image %s: %s",
+                     opts.warmupImagePath.c_str(), e.what());
+                a = buildJob(job);
+            }
+        }
+        if (!resumed)
+            a.sim->setWarmupImagePath(opts.warmupImagePath);
+    }
+    if (!opts.checkpointPath.empty() && opts.checkpointEvery != 0)
+        a.sim->setCheckpointing(opts.checkpointPath,
+                                opts.checkpointEvery);
 
     ExperimentOutput out;
-    out.result = sim.run();
+    out.result = a.sim->run();
     if (job.cfg.collectMissStream)
-        out.missStream = sim.missStream();
+        out.missStream = a.sim->missStream();
     return out;
 }
 
@@ -148,6 +214,27 @@ RunPool::setDefaultJobs(unsigned jobs)
     defaultJobsOverride.store(jobs);
 }
 
+void
+RunPool::setWarmupImageDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(warmupDirMutex);
+    warmupDirOverride = std::move(dir);
+    warmupDirSet = true;
+}
+
+std::string
+RunPool::warmupImageDir()
+{
+    {
+        std::lock_guard<std::mutex> lock(warmupDirMutex);
+        if (warmupDirSet)
+            return warmupDirOverride;
+    }
+    if (const char *env = std::getenv("MORRIGAN_WARMUP_CACHE"))
+        return env;
+    return {};
+}
+
 std::vector<ExperimentOutput>
 RunPool::runAll(const std::vector<ExperimentJob> &batch)
 {
@@ -179,6 +266,35 @@ RunPool::runAll(const std::vector<ExperimentJob> &batch)
         work.push_back(i);
     }
 
+    // Warmup-image reuse: cacheable jobs that must actually run get
+    // a snapshot path keyed by warmupKey(), so jobs sharing a
+    // (workload, prefetcher, system) triple warm up once. Concurrent
+    // writers of one key are benign: publication is atomic and every
+    // writer produces the identical image.
+    const std::string warmup_dir = warmupImageDir();
+    if (!warmup_dir.empty()) {
+        // Best-effort: a dir that cannot be created just means the
+        // image publish warns and the batch runs unaccelerated.
+        std::error_code ec;
+        std::filesystem::create_directories(warmup_dir, ec);
+    }
+    auto optionsFor = [&](std::size_t w) {
+        JobExecutionOptions opts;
+        const ExperimentJob &job = batch[w];
+        if (!warmup_dir.empty() && job.cacheable()) {
+            char buf[24];
+            std::snprintf(
+                buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(cacheKeyDigest(
+                    warmupKey(job.cfg, job.kind, job.workload,
+                              job.smt ? &job.smtWorkload
+                                      : nullptr))));
+            opts.warmupImagePath =
+                warmup_dir + "/morrigan-warm-" + buf + ".snap";
+        }
+        return opts;
+    };
+
     // Execute. Each job is self-contained, so any assignment of
     // jobs to workers produces identical results; the shared atomic
     // cursor only affects scheduling.
@@ -186,7 +302,7 @@ RunPool::runAll(const std::vector<ExperimentJob> &batch)
         std::min<std::size_t>(jobs(), work.size()));
     if (nthreads <= 1) {
         for (std::size_t w : work)
-            out[w] = executeJob(batch[w]);
+            out[w] = executeJob(batch[w], optionsFor(w));
     } else {
         std::atomic<std::size_t> cursor{0};
         auto worker = [&]() {
@@ -195,7 +311,7 @@ RunPool::runAll(const std::vector<ExperimentJob> &batch)
                 if (k >= work.size())
                     return;
                 std::size_t w = work[k];
-                out[w] = executeJob(batch[w]);
+                out[w] = executeJob(batch[w], optionsFor(w));
             }
         };
         std::vector<std::thread> threads;

@@ -104,8 +104,29 @@ struct ExperimentOutput
     MissStreamStats missStream;
 };
 
+/**
+ * Checkpoint/resume knobs for one job execution (see DESIGN.md §12).
+ * Both paths are optional and independent; a corrupt, stale or
+ * mismatched image is discarded with a warning and the job simulates
+ * from scratch -- snapshots accelerate, they never gate.
+ */
+struct JobExecutionOptions
+{
+    /** Snapshot file to resume from (if present and valid) and to
+     * autosave into every checkpointEvery instructions. */
+    std::string checkpointPath;
+    std::uint64_t checkpointEvery = 0;
+
+    /** Warmup-image file (keyed by warmupKey() at the call site):
+     * restored when present, written at the warmup->measurement
+     * transition when not. Consulted only if no checkpoint was
+     * restored (a checkpoint is always at least as far along). */
+    std::string warmupImagePath;
+};
+
 /** Execute one job on the calling thread (no pool, no cache). */
-ExperimentOutput executeJob(const ExperimentJob &job);
+ExperimentOutput executeJob(const ExperimentJob &job,
+                            const JobExecutionOptions &opts = {});
 
 /**
  * Validated parse of a worker-count value (MORRIGAN_JOBS / --jobs):
@@ -145,6 +166,16 @@ class RunPool
     /** Override the process default worker count (the --jobs flag);
      * 0 restores env/hardware resolution. */
     static void setDefaultJobs(unsigned jobs);
+
+    /**
+     * Directory for warmup images, resolved per batch: the override
+     * set here wins, else the MORRIGAN_WARMUP_CACHE environment
+     * variable, else warmup imaging is off. Cacheable jobs in a
+     * batch then restore/publish snapshots keyed by warmupKey(), so
+     * a sweep warms each (workload, prefetcher, system) once.
+     */
+    static void setWarmupImageDir(std::string dir);
+    static std::string warmupImageDir();
 
   private:
     unsigned requestedJobs_;

@@ -592,29 +592,10 @@ Simulator::takeIntervalSample()
     sampler_->record(in);
 }
 
-SimResult
-Simulator::run()
+void
+Simulator::beginMeasurementPhase()
 {
-    fatal_if(numThreads_ == 0, "no workload attached");
-
-    // Basic-block-grained round robin between SMT threads.
-    constexpr unsigned blockSize = 8;
-
-    auto step = [&](std::uint64_t target) {
-        std::uint64_t done = 0;
-        while (done < target) {
-            for (unsigned tid = 0; tid < numThreads_; ++tid) {
-                for (unsigned i = 0; i < blockSize; ++i) {
-                    simulateInstruction(workloads_[tid]->next(), tid);
-                    ++done;
-                }
-            }
-        }
-    };
-
-    step(cfg_.warmupInstructions);
-
-    // Reset measurement state after warmup.
+    measurePhase_ = true;
     c_ = Counters{};
     rootStats_.resetAll();
     missStream_ = MissStreamStats{};
@@ -624,6 +605,43 @@ Simulator::run()
     if (sampler_) {
         sampler_->beginMeasurement();
         nextSampleAt_ = sampler_->interval();
+    }
+}
+
+SimResult
+Simulator::run()
+{
+    fatal_if(numThreads_ == 0, "no workload attached");
+
+    // Basic-block-grained round robin between SMT threads. Progress
+    // within the phase is c_.instructions (it starts from zero at
+    // construction and again at the measurement reset), which makes
+    // the loop resumable: a restored simulator re-enters here and
+    // continues with the same round boundaries.
+    constexpr unsigned blockSize = 8;
+
+    auto step = [&](std::uint64_t target) {
+        while (c_.instructions < target) {
+            for (unsigned tid = 0; tid < numThreads_; ++tid) {
+                for (unsigned i = 0; i < blockSize; ++i)
+                    simulateInstruction(workloads_[tid]->next(), tid);
+            }
+            maybeCheckpoint();
+        }
+    };
+
+    if (!measurePhase_) {
+        step(cfg_.warmupInstructions);
+        beginMeasurementPhase();
+        if (!warmupImagePath_.empty()) {
+            // Publish the warmup image exactly at the reset point so
+            // restoring it is indistinguishable from having warmed up.
+            try {
+                saveCheckpoint(warmupImagePath_);
+            } catch (const SnapshotError &e) {
+                warn("warmup image not written: %s", e.what());
+            }
+        }
     }
 
     step(cfg_.simInstructions);
@@ -636,6 +654,265 @@ Simulator::run()
     if (tracer_)
         tracer_->finalize(pb_, now());
     return buildResult();
+}
+
+std::uint64_t
+Simulator::progressInstructions() const
+{
+    return (measurePhase_ ? cfg_.warmupInstructions : 0) +
+           c_.instructions;
+}
+
+void
+Simulator::setCheckpointing(std::string path,
+                            std::uint64_t every_instructions)
+{
+    checkpointPath_ = std::move(path);
+    checkpointEvery_ =
+        checkpointPath_.empty() ? 0 : every_instructions;
+    if (checkpointEvery_ != 0)
+        nextCheckpointAt_ =
+            (progressInstructions() / checkpointEvery_ + 1) *
+            checkpointEvery_;
+}
+
+void
+Simulator::setWarmupImagePath(std::string path)
+{
+    warmupImagePath_ = std::move(path);
+}
+
+void
+Simulator::maybeCheckpoint()
+{
+    if (checkpointEvery_ == 0)
+        return;
+    std::uint64_t progress = progressInstructions();
+    if (progress < nextCheckpointAt_)
+        return;
+    while (nextCheckpointAt_ <= progress)
+        nextCheckpointAt_ += checkpointEvery_;
+    try {
+        saveCheckpoint(checkpointPath_);
+    } catch (const SnapshotError &e) {
+        // Autosave must never take the simulation down; fall back to
+        // checkpoint-less operation.
+        warn("checkpoint not written, autosave disabled: %s",
+             e.what());
+        checkpointEvery_ = 0;
+    }
+}
+
+void
+Simulator::save(SnapshotWriter &w) const
+{
+    if (checker_)
+        throw SnapshotError(
+            "differential-checker state is not snapshottable "
+            "(checkLevel > 0)");
+    if (cfg_.collectMissStream)
+        throw SnapshotError(
+            "miss-stream collection is not snapshottable");
+
+    w.section("simulator");
+
+    // Configuration fingerprint: restoring into a differently
+    // configured simulator must fail loudly, not resume quietly.
+    // The measurement length is deliberately absent: a warmup image
+    // is valid for any measurement budget (that is what makes it
+    // shareable across a sweep), and checkpoints are keyed by the
+    // full experiment key at the orchestration layer.
+    w.u64(cfg_.warmupInstructions);
+    w.u32(numThreads_);
+    w.u8(static_cast<std::uint8_t>(cfg_.icachePref));
+    w.str(prefetcher_ ? prefetcher_->name() : "none");
+    w.b(tracer_ != nullptr);
+    w.b(sampler_ != nullptr);
+
+    // Run position.
+    w.b(measurePhase_);
+    w.f64(cycles_);
+    w.f64(measureStartCycles_);
+    w.u64(sinceContextSwitch_);
+    for (unsigned tid = 0; tid < numThreads_; ++tid)
+        w.u64(lastFetchLine_[tid]);
+    w.u64(instrDemandWalkSeq_);
+    w.u64(nextSampleAt_);
+
+    // Measurement counters.
+    w.u64(c_.instructions);
+    w.u64(c_.l1iMisses);
+    w.u64(c_.itlbMisses);
+    w.u64(c_.istlbMisses);
+    w.u64(c_.dstlbMisses);
+    w.u64(c_.pbHits);
+    w.u64(c_.pbHitsIrip);
+    w.u64(c_.pbHitsSdp);
+    w.u64(c_.pbHitsICache);
+    w.f64(c_.istlbStallCycles);
+    w.f64(c_.icacheStallCycles);
+    w.f64(c_.dataStallCycles);
+    w.u64(c_.demandWalksInstr);
+    w.u64(c_.demandWalksData);
+    w.u64(c_.demandWalkRefsInstr);
+    w.u64(c_.demandWalkRefsData);
+    w.u64(c_.prefetchWalks);
+    w.u64(c_.prefetchWalkRefs);
+    for (std::uint64_t v : c_.prefetchWalkRefsByLevel)
+        w.u64(v);
+    w.f64(c_.demandWalkLatInstrSum);
+    w.f64(c_.demandWalkLatDataSum);
+    w.u64(c_.prefetchesDiscarded);
+    w.u64(c_.icachePrefetches);
+    w.u64(c_.icacheCrossPage);
+    w.u64(c_.icacheCrossPageNeedingWalk);
+    w.u64(c_.icacheCrossPagePbHits);
+    w.u64(c_.contextSwitches);
+    w.u64(c_.correctingWalks);
+    for (std::uint64_t v : c_.pbHitDistance)
+        w.u64(v);
+
+    // In-flight I-prefetch line fills (drained in readyAt order).
+    auto fills = pendingLineFills_;
+    w.u64(fills.size());
+    while (!fills.empty()) {
+        w.u64(fills.top().first);
+        w.u64(fills.top().second);
+        fills.pop();
+    }
+
+    // Components, construction order.
+    phys_.save(w);
+    pageTable_.save(w);
+    mem_.save(w);
+    walker_.save(w);
+    tlbs_.save(w);
+    pb_.save(w);
+    for (unsigned tid = 0; tid < numThreads_; ++tid)
+        workloads_[tid]->save(w);
+    if (prefetcher_)
+        prefetcher_->save(w);
+    if (icachePref_)
+        icachePref_->save(w);
+    if (tracer_)
+        tracer_->save(w);
+    if (sampler_)
+        sampler_->save(w);
+
+    // The whole stats tree last: every Counter/Histogram/Distribution
+    // registered anywhere above, restored in registration order.
+    rootStats_.saveAll(w);
+}
+
+void
+Simulator::restore(SnapshotReader &r)
+{
+    r.section("simulator");
+
+    if (r.u64() != cfg_.warmupInstructions)
+        throw SnapshotError("warmup budget mismatch");
+    if (r.u32() != numThreads_)
+        throw SnapshotError("thread count mismatch");
+    if (r.u8() != static_cast<std::uint8_t>(cfg_.icachePref))
+        throw SnapshotError("I-cache prefetcher kind mismatch");
+    std::string pf = r.str();
+    std::string live = prefetcher_ ? prefetcher_->name() : "none";
+    if (pf != live)
+        throw SnapshotError("prefetcher mismatch: snapshot has '" +
+                            pf + "', simulator has '" + live + "'");
+    if (r.b() != (tracer_ != nullptr))
+        throw SnapshotError("tracer attachment mismatch");
+    if (r.b() != (sampler_ != nullptr))
+        throw SnapshotError("interval sampler attachment mismatch");
+
+    measurePhase_ = r.b();
+    cycles_ = r.f64();
+    measureStartCycles_ = r.f64();
+    sinceContextSwitch_ = r.u64();
+    for (unsigned tid = 0; tid < numThreads_; ++tid)
+        lastFetchLine_[tid] = r.u64();
+    instrDemandWalkSeq_ = r.u64();
+    nextSampleAt_ = r.u64();
+
+    c_.instructions = r.u64();
+    c_.l1iMisses = r.u64();
+    c_.itlbMisses = r.u64();
+    c_.istlbMisses = r.u64();
+    c_.dstlbMisses = r.u64();
+    c_.pbHits = r.u64();
+    c_.pbHitsIrip = r.u64();
+    c_.pbHitsSdp = r.u64();
+    c_.pbHitsICache = r.u64();
+    c_.istlbStallCycles = r.f64();
+    c_.icacheStallCycles = r.f64();
+    c_.dataStallCycles = r.f64();
+    c_.demandWalksInstr = r.u64();
+    c_.demandWalksData = r.u64();
+    c_.demandWalkRefsInstr = r.u64();
+    c_.demandWalkRefsData = r.u64();
+    c_.prefetchWalks = r.u64();
+    c_.prefetchWalkRefs = r.u64();
+    for (std::uint64_t &v : c_.prefetchWalkRefsByLevel)
+        v = r.u64();
+    c_.demandWalkLatInstrSum = r.f64();
+    c_.demandWalkLatDataSum = r.f64();
+    c_.prefetchesDiscarded = r.u64();
+    c_.icachePrefetches = r.u64();
+    c_.icacheCrossPage = r.u64();
+    c_.icacheCrossPageNeedingWalk = r.u64();
+    c_.icacheCrossPagePbHits = r.u64();
+    c_.contextSwitches = r.u64();
+    c_.correctingWalks = r.u64();
+    for (std::uint64_t &v : c_.pbHitDistance)
+        v = r.u64();
+
+    pendingLineFills_ = {};
+    std::uint64_t fills = r.u64();
+    for (std::uint64_t i = 0; i < fills; ++i) {
+        Cycle ready = r.u64();
+        Addr paddr = r.u64();
+        pendingLineFills_.emplace(ready, paddr);
+    }
+
+    phys_.restore(r);
+    pageTable_.restore(r);
+    mem_.restore(r);
+    walker_.restore(r);
+    tlbs_.restore(r);
+    pb_.restore(r);
+    for (unsigned tid = 0; tid < numThreads_; ++tid)
+        workloads_[tid]->restore(r);
+    if (prefetcher_)
+        prefetcher_->restore(r);
+    if (icachePref_)
+        icachePref_->restore(r);
+    if (tracer_)
+        tracer_->restore(r);
+    if (sampler_)
+        sampler_->restore(r);
+
+    rootStats_.restoreAll(r);
+
+    if (checkpointEvery_ != 0)
+        nextCheckpointAt_ =
+            (progressInstructions() / checkpointEvery_ + 1) *
+            checkpointEvery_;
+}
+
+void
+Simulator::saveCheckpoint(const std::string &path) const
+{
+    SnapshotWriter w;
+    save(w);
+    w.writeToFile(path, progressInstructions(), totalInstructions());
+}
+
+void
+Simulator::restoreCheckpoint(const std::string &path)
+{
+    SnapshotReader r(path);
+    restore(r);
+    r.finish();
 }
 
 SimResult

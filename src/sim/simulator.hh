@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "check/checker.hh"
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "core/tlb_prefetcher.hh"
 #include "icache/icache_prefetcher.hh"
@@ -88,8 +89,62 @@ class Simulator
     /** The sampler, or nullptr when sampling is disabled. */
     IntervalSampler *intervalSampler() { return sampler_.get(); }
 
-    /** Run warmup + measurement; returns the measured results. */
+    /** Run warmup + measurement; returns the measured results. A
+     * simulator restored from a checkpoint continues where the image
+     * left off and produces results bit-identical to an
+     * uninterrupted run. */
     SimResult run();
+
+    // --- checkpoint / resume (see DESIGN.md §12) ---
+
+    /**
+     * Autosave a checkpoint to @p path every @p every_instructions
+     * executed instructions (warmup + measurement combined), at
+     * scheduling-round granularity. The image is published
+     * atomically; a run killed mid-write leaves the previous
+     * checkpoint intact. Pass an empty path or 0 to disable.
+     */
+    void setCheckpointing(std::string path,
+                          std::uint64_t every_instructions);
+
+    /**
+     * Also publish a snapshot to @p path at the warmup->measurement
+     * transition (the *warmup image*): restoring it skips warmup
+     * entirely, which lets a sweep warm each workload once.
+     */
+    void setWarmupImagePath(std::string path);
+
+    /**
+     * Serialize the full simulator state: every component, the
+     * workload generators, the stats tree and the run position.
+     * @throws SnapshotError for configurations whose state cannot be
+     * captured (differential checker, miss-stream collection).
+     */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore a state written by save(). The simulator must be
+     * configured identically (same SimConfig, workloads, prefetcher
+     * and observability attachments); any mismatch throws
+     * SnapshotError and leaves the caller to re-simulate.
+     */
+    void restore(SnapshotReader &r);
+
+    /** Write a snapshot image to @p path now (atomic publish). */
+    void saveCheckpoint(const std::string &path) const;
+
+    /** Restore from a snapshot file. @throws SnapshotError on any
+     * corruption, version or configuration mismatch. */
+    void restoreCheckpoint(const std::string &path);
+
+    /** Instructions executed so far, warmup included. */
+    std::uint64_t progressInstructions() const;
+
+    /** Instructions a complete run executes, warmup included. */
+    std::uint64_t totalInstructions() const
+    {
+        return cfg_.warmupInstructions + cfg_.simInstructions;
+    }
 
     /** iSTLB miss stream recorded during measurement (when
      * SimConfig::collectMissStream is set). */
@@ -162,6 +217,10 @@ class Simulator
     void drainPendingLineFills();
     void takeIntervalSample();
     SimResult buildResult() const;
+    /** The post-warmup reset: zero the measurement state. */
+    void beginMeasurementPhase();
+    /** Autosave when the checkpoint interval has elapsed. */
+    void maybeCheckpoint();
 
     SimConfig cfg_;
     StatGroup rootStats_;
@@ -204,6 +263,14 @@ class Simulator
     MissStreamStats missStream_;
     std::vector<PrefetchRequest> reqScratch_;
     std::vector<Addr> icacheScratch_;
+
+    /** False while warming up, true once measuring. Restored runs
+     * re-enter run() with this already set and skip warmup. */
+    bool measurePhase_ = false;
+    std::string checkpointPath_;
+    std::uint64_t checkpointEvery_ = 0;
+    std::uint64_t nextCheckpointAt_ = 0;
+    std::string warmupImagePath_;
 };
 
 } // namespace morrigan

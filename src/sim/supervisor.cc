@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "sim/result_cache.hh"
 
 namespace morrigan
@@ -128,9 +130,16 @@ writeJournalLine(std::ostream &os, const std::string &key,
     w.endObject();
 }
 
+/**
+ * Parse one journal line. @p stale_version is set (and false
+ * returned) when the line is a well-formed morrigan-journal record
+ * written under a different schema version: the loader reports those
+ * separately from corruption, because the fix is "rerun", not
+ * "investigate".
+ */
 bool
 parseJournalLine(const std::string &line, std::string &key,
-                 RunOutcome &out)
+                 RunOutcome &out, std::uint64_t *stale_version)
 {
     json::Value doc;
     if (!json::Reader(line).parse(doc) ||
@@ -140,10 +149,15 @@ parseJournalLine(const std::string &line, std::string &key,
     std::uint64_t version = 0, attempts = 0;
     if (!json::getString(doc, "schema", schema) ||
         schema != "morrigan-journal" ||
-        !json::getU64(doc, "version", version) ||
-        version !=
-            static_cast<std::uint64_t>(json::journalSchemaVersion) ||
-        !json::getString(doc, "key", key) ||
+        !json::getU64(doc, "version", version))
+        return false;
+    if (version !=
+        static_cast<std::uint64_t>(json::journalSchemaVersion)) {
+        if (stale_version)
+            *stale_version = version;
+        return false;
+    }
+    if (!json::getString(doc, "key", key) ||
         !json::getString(doc, "status", status_name) ||
         !json::getU64(doc, "attempts", attempts))
         return false;
@@ -213,7 +227,8 @@ writeAllFd(int fd, const std::string &s)
 }
 
 [[noreturn]] void
-runChildJob(const ExperimentJob &job, int result_fd)
+runChildJob(const ExperimentJob &job, const JobExecutionOptions &opts,
+            int result_fd)
 {
     // The forked child inherits the parent's violation count;
     // report only what this job adds.
@@ -222,7 +237,7 @@ runChildJob(const ExperimentJob &job, int result_fd)
     std::string doc;
     int code = 0;
     try {
-        ExperimentOutput out = executeJob(job);
+        ExperimentOutput out = executeJob(job, opts);
         std::ostringstream ss;
         json::Writer w(ss);
         w.beginObject();
@@ -301,6 +316,7 @@ struct ThreadAttempt
      * thread may outlive Supervisor::run() and the caller's batch
      * vector, so it must never hold a pointer into them. */
     ExperimentJob job;
+    JobExecutionOptions opts;
     std::atomic<bool> done{false};
     bool threw = false;
     std::string what;
@@ -339,6 +355,12 @@ SupervisorOptions::fromEnv()
                                 "MORRIGAN_JOB_RETRIES", e, 0, 100));
     if (const char *e = std::getenv("MORRIGAN_JOURNAL"))
         o.journalPath = e;
+    if (const char *e = std::getenv("MORRIGAN_CHECKPOINT_DIR"))
+        o.checkpointDir = e;
+    if (const char *e = std::getenv("MORRIGAN_CHECKPOINT_EVERY"))
+        o.checkpointEveryInstructions =
+            parseEnvU64("MORRIGAN_CHECKPOINT_EVERY", e, 1,
+                        std::uint64_t{1} << 40);
     return o;
 }
 
@@ -398,15 +420,19 @@ FailureManifest::writeJson(std::ostream &os) const
 }
 
 std::uint64_t
-derivedJobTimeoutMs(const ExperimentJob &job)
+derivedJobTimeoutMs(const ExperimentJob &job,
+                    std::uint64_t executed_instructions)
 {
     // A generous fixed floor (cold caches, loaded CI machines) plus
-    // time proportional to the instruction budget; the simulator
-    // sustains well over 1M instructions/s, so 50 us per 1k
-    // instructions is an order of magnitude of slack.
+    // time proportional to the instruction budget still to run; the
+    // simulator sustains well over 1M instructions/s, so 50 us per
+    // 1k instructions is an order of magnitude of slack. An attempt
+    // resuming from a checkpoint only pays for the remainder.
     const std::uint64_t budget =
         job.cfg.warmupInstructions + job.cfg.simInstructions;
-    return 60'000 + budget / 20;
+    const std::uint64_t remaining =
+        budget - std::min(executed_instructions, budget);
+    return 60'000 + remaining / 20;
 }
 
 std::uint64_t
@@ -501,19 +527,30 @@ CampaignJournal::CampaignJournal(const std::string &path)
 
     std::ifstream ifs(path);
     std::string line;
-    std::size_t bad = 0;
+    std::size_t bad = 0, stale = 0;
+    std::uint64_t stale_version = 0;
     while (std::getline(ifs, line)) {
         if (line.empty())
             continue;
         std::string key;
         RunOutcome o;
-        if (parseJournalLine(line, key, o)) {
+        std::uint64_t v = 0;
+        if (parseJournalLine(line, key, o, &v)) {
             o.fromJournal = true;
             replay_[key] = std::move(o); // last record wins
+        } else if (v != 0) {
+            ++stale;
+            stale_version = v;
         } else {
             ++bad;
         }
     }
+    if (stale > 0)
+        warn("journal '%s': %zu record(s) use journal schema v%llu "
+             "(this build writes v%d); those jobs will rerun",
+             path.c_str(), stale,
+             static_cast<unsigned long long>(stale_version),
+             json::journalSchemaVersion);
     if (bad > 0)
         warn("journal '%s': ignoring %zu unparseable line(s) "
              "(interrupted append); those jobs will rerun",
@@ -619,6 +656,58 @@ Supervisor::jobKey(const ExperimentJob &job) const
     if (!job.journalTag.empty() && !job.cfg.collectMissStream)
         return "tag:" + job.journalTag;
     return "";
+}
+
+JobExecutionOptions
+Supervisor::jobOptions(const ExperimentJob &job,
+                       const std::string &key) const
+{
+    // Only cacheable jobs snapshot: everything else either cannot be
+    // saved (checked runs, miss-stream collection) or has no stable
+    // identity to key the image by (factory prefetchers).
+    JobExecutionOptions opts;
+    if (!job.cacheable())
+        return opts;
+    char buf[24];
+    if (!opt_.checkpointDir.empty() && !key.empty()) {
+        // Best-effort: if the directory cannot be created the
+        // autosaves fail with a warning, they never fail the job.
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.checkpointDir, ec);
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(
+                          cacheKeyDigest(key)));
+        opts.checkpointPath = opt_.checkpointDir +
+                              "/morrigan-ckpt-" + buf + ".snap";
+        opts.checkpointEvery = opt_.checkpointEveryInstructions;
+    }
+    const std::string warmup_dir = RunPool::warmupImageDir();
+    if (!warmup_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(warmup_dir, ec);
+        std::snprintf(
+            buf, sizeof(buf), "%016llx",
+            static_cast<unsigned long long>(cacheKeyDigest(
+                warmupKey(job.cfg, job.kind, job.workload,
+                          job.smt ? &job.smtWorkload : nullptr))));
+        opts.warmupImagePath =
+            warmup_dir + "/morrigan-warm-" + buf + ".snap";
+    }
+    return opts;
+}
+
+std::uint64_t
+Supervisor::attemptTimeoutMs(const ExperimentJob &job,
+                             const JobExecutionOptions &opts) const
+{
+    if (opt_.jobTimeoutMs > 0)
+        return opt_.jobTimeoutMs;
+    std::uint64_t executed = 0;
+    SnapshotHeader hdr;
+    if (!opts.checkpointPath.empty() &&
+        readSnapshotHeader(opts.checkpointPath, hdr))
+        executed = hdr.progressInstructions;
+    return derivedJobTimeoutMs(job, executed);
 }
 
 std::vector<RunOutcome>
@@ -797,12 +886,13 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
             auto att = std::make_shared<ThreadAttempt>();
             att->signal = signal;
             att->job = batch[it->idx];
+            att->opts = jobOptions(att->job, keys[it->idx]);
             std::thread th([att] {
                 ExperimentOutput result;
                 bool threw = false;
                 std::string what;
                 try {
-                    result = executeJob(att->job);
+                    result = executeJob(att->job, att->opts);
                 } catch (const std::exception &e) {
                     threw = true;
                     what = e.what();
@@ -820,9 +910,7 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                 att->signal->cv.notify_all();
             });
             const std::uint64_t tmo =
-                opt_.jobTimeoutMs > 0
-                    ? opt_.jobTimeoutMs
-                    : derivedJobTimeoutMs(att->job);
+                attemptTimeoutMs(att->job, att->opts);
             active.push_back({std::move(att), std::move(th),
                               it->idx, it->attempt,
                               now + std::chrono::milliseconds(tmo),
@@ -859,6 +947,12 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                     o.output = std::move(it->att->output);
                     o.attempts = it->attempt;
                     publish(it->idx);
+                    // The finished result is durable (cache +
+                    // journal); the mid-run checkpoint is now dead
+                    // weight.
+                    if (!it->att->opts.checkpointPath.empty())
+                        ::unlink(
+                            it->att->opts.checkpointPath.c_str());
                 } else {
                     handle_failure(it->idx, it->attempt,
                                    RunStatus::Failed,
@@ -922,6 +1016,7 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         std::string stderrBuf;
         Clock::time_point deadline;
         std::uint64_t timeoutMs;
+        std::string checkpointPath;
         bool watchdogKilled = false;
     };
     std::vector<Child> children;
@@ -978,6 +1073,9 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
             o.attempts = c.attempt;
             out[c.idx] = std::move(o);
             publish(c.idx);
+            // Result is durable; drop the mid-run checkpoint.
+            if (!c.checkpointPath.empty())
+                ::unlink(c.checkpointPath.c_str());
         } else if (parsed == 2) {
             handle_failure(c, RunStatus::Failed, what, 0);
         } else {
@@ -1007,6 +1105,15 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                 fatal("pipe: %s", std::strerror(errno));
             if (::pipe(ep) != 0)
                 fatal("pipe: %s", std::strerror(errno));
+            // The deadline is sized to what is left: a retry that
+            // resumes from the previous attempt's checkpoint gets a
+            // budget for the remaining instructions, not the whole
+            // run again (read before fork so parent and child agree
+            // on which image the attempt starts from).
+            const JobExecutionOptions opts =
+                jobOptions(batch[it->idx], keys[it->idx]);
+            const std::uint64_t tmo =
+                attemptTimeoutMs(batch[it->idx], opts);
             const pid_t pid = ::fork();
             if (pid < 0)
                 fatal("fork: %s", std::strerror(errno));
@@ -1015,17 +1122,14 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                 ::close(ep[0]);
                 ::dup2(ep[1], 2);
                 ::close(ep[1]);
-                runChildJob(batch[it->idx], rp[1]);
+                runChildJob(batch[it->idx], opts, rp[1]);
             }
             ::close(rp[1]);
             ::close(ep[1]);
-            const std::uint64_t tmo =
-                opt_.jobTimeoutMs > 0
-                    ? opt_.jobTimeoutMs
-                    : derivedJobTimeoutMs(batch[it->idx]);
             children.push_back(
                 {pid, it->idx, it->attempt, rp[0], ep[0], "", "",
-                 now + std::chrono::milliseconds(tmo), tmo});
+                 now + std::chrono::milliseconds(tmo), tmo,
+                 opts.checkpointPath});
             it = pending.erase(it);
         }
 

@@ -15,6 +15,11 @@
  *    retried a bounded number of times with exponential backoff
  *    and deterministic jitter (seeded from the job key, so reruns
  *    schedule identically);
+ *  - with SupervisorOptions::checkpointDir set, cacheable jobs
+ *    autosave snapshots (see DESIGN.md §12) and a retried attempt
+ *    resumes from the last checkpoint -- with a watchdog deadline
+ *    derived from the remaining instruction budget -- instead of
+ *    re-simulating from scratch;
  *  - every final outcome is appended to an fsync'd JSONL journal,
  *    so a campaign killed at any point (Ctrl-C, CI timeout,
  *    machine loss) resumes exactly where it stopped;
@@ -110,6 +115,20 @@ struct SupervisorOptions
     /** JSONL journal path; empty disables checkpoint/resume. */
     std::string journalPath;
 
+    /**
+     * Directory for per-job snapshot checkpoints; empty disables
+     * them. Cacheable jobs autosave a snapshot (keyed by their
+     * experiment key) every checkpointEveryInstructions, and a
+     * retried attempt -- after a watchdog SIGKILL, a crash, or a
+     * whole-campaign restart -- resumes from the last checkpoint
+     * instead of starting over. The watchdog deadline of a resumed
+     * attempt is derived from the *remaining* instruction budget.
+     */
+    std::string checkpointDir;
+
+    /** Checkpoint autosave interval in executed instructions. */
+    std::uint64_t checkpointEveryInstructions = 1'000'000;
+
     /** Worker count; 0 defers to defaultJobs(). */
     unsigned jobs = 0;
 
@@ -117,8 +136,9 @@ struct SupervisorOptions
     bool useCache = true;
 
     /** Resolve MORRIGAN_ISOLATE / MORRIGAN_JOB_TIMEOUT (seconds) /
-     * MORRIGAN_JOB_RETRIES / MORRIGAN_JOURNAL on top of defaults;
-     * junk values are fatal. */
+     * MORRIGAN_JOB_RETRIES / MORRIGAN_JOURNAL /
+     * MORRIGAN_CHECKPOINT_DIR / MORRIGAN_CHECKPOINT_EVERY on top of
+     * defaults; junk values are fatal. */
     static SupervisorOptions fromEnv();
 };
 
@@ -153,9 +173,17 @@ class FailureManifest
     std::vector<Entry> entries_;
 };
 
-/** Default watchdog deadline for a job: a fixed floor plus time
- * proportional to the warmup+measure instruction budget. */
-std::uint64_t derivedJobTimeoutMs(const ExperimentJob &job);
+/**
+ * Default watchdog deadline for a job: a fixed floor plus time
+ * proportional to the warmup+measure instruction budget *still to
+ * run*. @p executed_instructions is how far a checkpoint the attempt
+ * will resume from had progressed (0 = from scratch): an attempt
+ * resuming at 90% of a long job gets a deadline sized for the last
+ * 10%, not for the whole run again.
+ */
+std::uint64_t
+derivedJobTimeoutMs(const ExperimentJob &job,
+                    std::uint64_t executed_instructions = 0);
 
 /**
  * Delay before retry attempt @p attempt (2 = first retry) of the
@@ -231,6 +259,17 @@ class Supervisor
     std::string jobKey(const ExperimentJob &job) const;
 
     unsigned jobs() const;
+
+    /** Checkpoint/warmup knobs for one execution of @p job; empty
+     * paths when checkpointing is off or the job is not eligible. */
+    JobExecutionOptions jobOptions(const ExperimentJob &job,
+                                   const std::string &key) const;
+
+    /** Watchdog deadline for an attempt, accounting for the
+     * progress recorded in the job's checkpoint (if any). */
+    std::uint64_t attemptTimeoutMs(const ExperimentJob &job,
+                                   const JobExecutionOptions &opts)
+        const;
 
     /** Called by the schedulers the moment a job's outcome is
      * final, so the journal checkpoints progress incrementally (a

@@ -152,6 +152,11 @@ class PrefetchBuffer
     /** Attach (or detach with nullptr) the lifecycle observer. */
     void setObserver(PbObserver *obs) { obs_ = obs; }
 
+    /** Serialize buffered entries + producer-hit accounting (the
+     * observer pointer is runtime wiring and is not saved). */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
     /** Apply @p fn to every resident entry (tracer finalisation). */
     template <typename Fn>
     void

@@ -96,6 +96,11 @@ class Tlb
     /** Remove everything (context switch). */
     void flush();
 
+    /** Serialize translations + LRU state (counters are restored by
+     * the stats-tree pass, not here). */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
     const TlbParams &params() const { return params_; }
 
     std::uint64_t accesses(AccessType t) const

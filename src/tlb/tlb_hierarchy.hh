@@ -67,6 +67,9 @@ class TlbHierarchy
     /** Flush everything (context switch). */
     void flush();
 
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
     Tlb &itlb() { return itlb_; }
     Tlb &dtlb() { return dtlb_; }
     Tlb &stlb() { return stlb_; }

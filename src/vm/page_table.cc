@@ -1,5 +1,6 @@
 #include "page_table.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -313,6 +314,126 @@ PageTable::lineNeighbors(Vpn vpn, unsigned *count) const
     }
     *count = n;
     return out;
+}
+
+namespace
+{
+
+/** Emit an unordered u32 -> u64 map in sorted-key order. */
+template <typename Map>
+void
+saveIndexMap(SnapshotWriter &w, const Map &map)
+{
+    std::vector<std::pair<std::uint32_t, Pfn>> entries(map.begin(),
+                                                       map.end());
+    std::sort(entries.begin(), entries.end());
+    w.u64(entries.size());
+    for (const auto &[idx, pfn] : entries) {
+        w.u32(idx);
+        w.u64(pfn);
+    }
+}
+
+template <typename Map>
+void
+loadIndexMap(SnapshotReader &r, Map &map)
+{
+    map.clear();
+    std::uint64_t n = r.u64();
+    map.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint32_t idx = r.u32();
+        map[idx] = r.u64();
+    }
+}
+
+} // namespace
+
+void
+PageTable::saveNode(SnapshotWriter &w, const Node &node) const
+{
+    w.u64(node.frame);
+    saveIndexMap(w, node.leaves);
+    saveIndexMap(w, node.largeLeaves);
+    std::vector<std::uint32_t> child_idx;
+    child_idx.reserve(node.children.size());
+    for (const auto &[idx, child] : node.children)
+        child_idx.push_back(idx);
+    std::sort(child_idx.begin(), child_idx.end());
+    w.u64(child_idx.size());
+    for (std::uint32_t idx : child_idx) {
+        w.u32(idx);
+        saveNode(w, *node.children.at(idx));
+    }
+}
+
+void
+PageTable::restoreNode(SnapshotReader &r, Node &node)
+{
+    node.frame = r.u64();
+    loadIndexMap(r, node.leaves);
+    loadIndexMap(r, node.largeLeaves);
+    node.children.clear();
+    std::uint64_t n = r.u64();
+    node.children.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint32_t idx = r.u32();
+        auto child = std::make_unique<Node>();
+        restoreNode(r, *child);
+        node.children[idx] = std::move(child);
+    }
+}
+
+void
+PageTable::save(SnapshotWriter &w) const
+{
+    w.section("page_table");
+    w.u8(static_cast<std::uint8_t>(format_));
+    w.u32(levels_);
+    if (format_ == PageTableFormat::Radix) {
+        saveNode(w, root_);
+    } else {
+        w.u64(hashBase_);
+        w.u64(buckets_.size());
+        for (Vpn b : buckets_)
+            w.u64(b);
+        std::vector<std::pair<Vpn, Pfn>> leaves(hashedLeaves_.begin(),
+                                                hashedLeaves_.end());
+        std::sort(leaves.begin(), leaves.end());
+        w.u64(leaves.size());
+        for (const auto &[vpn, pfn] : leaves) {
+            w.u64(vpn);
+            w.u64(pfn);
+        }
+    }
+    w.u64(hashProbes_);
+}
+
+void
+PageTable::restore(SnapshotReader &r)
+{
+    r.section("page_table");
+    if (static_cast<PageTableFormat>(r.u8()) != format_ ||
+        r.u32() != levels_)
+        throw SnapshotError("page table format/levels mismatch");
+    if (format_ == PageTableFormat::Radix) {
+        restoreNode(r, root_);
+    } else {
+        hashBase_ = r.u64();
+        std::uint64_t nbuckets = r.u64();
+        if (nbuckets != buckets_.size())
+            throw SnapshotError("hashed page table size mismatch");
+        for (Vpn &b : buckets_)
+            b = r.u64();
+        hashedLeaves_.clear();
+        std::uint64_t n = r.u64();
+        hashedLeaves_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Vpn vpn = r.u64();
+            hashedLeaves_[vpn] = r.u64();
+        }
+    }
+    hashProbes_ = r.u64();
 }
 
 } // namespace morrigan

@@ -163,6 +163,12 @@ class PageTable
      */
     void setObserver(PageTableObserver *obs) { observer_ = obs; }
 
+    /** Serialize the whole table (radix tree or hashed array); node
+     * maps are emitted in sorted-index order so the image does not
+     * depend on unordered_map iteration order. */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
   private:
     struct Node
     {
@@ -177,6 +183,8 @@ class PageTable
     };
 
     Node *findLeafNode(Vpn vpn) const;
+    void saveNode(SnapshotWriter &w, const Node &node) const;
+    void restoreNode(SnapshotReader &r, Node &node);
     WalkPath walkHashed(Vpn vpn, bool allocate);
     /** Bucket index for a group, probing linearly from its hash;
      * returns the capacity if absent and allocate is false. */

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace morrigan
@@ -37,6 +38,26 @@ class PhysMem
 
     std::uint64_t framesAllocated() const { return next_; }
     std::uint64_t totalFrames() const { return totalFrames_; }
+
+    /** Only the allocation cursor is mutable; the scatter permutation
+     * is a pure function of (seed, index) and needs no saving. */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.section("phys_mem");
+        w.u64(totalFrames_);
+        w.u64(scatterSeed_);
+        w.u64(next_);
+    }
+
+    void
+    restore(SnapshotReader &r)
+    {
+        r.section("phys_mem");
+        if (r.u64() != totalFrames_ || r.u64() != scatterSeed_)
+            throw SnapshotError("phys mem configuration mismatch");
+        next_ = r.u64();
+    }
 
   private:
     std::uint64_t totalFrames_;

@@ -60,6 +60,9 @@ class PageStructureCache
     /** Clear all three levels. Used on context-switch tests. */
     void flush();
 
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
     Cycle latency() const { return params_.latency; }
 
     std::uint64_t lookups() const { return lookups_.value(); }

@@ -132,6 +132,11 @@ class PageTableWalker
 
     unsigned ports() const { return params_.ports; }
 
+    /** Serialize port occupancy + PSC + raw per-level accounting
+     * (the page table saves itself; counters ride the stats tree). */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
   private:
     WalkerParams params_;
     PageTable &table_;

@@ -353,6 +353,81 @@ ServerWorkload::tierOfVpn(Vpn vpn) const
     return -1;
 }
 
+void
+ServerWorkload::save(SnapshotWriter &w) const
+{
+    w.section("server_workload");
+    w.str(params_.name);
+    rng_.save(w);
+
+    // Paths mutate at phase changes, so they are position state.
+    w.u32(static_cast<std::uint32_t>(paths_.size()));
+    for (const auto &path : paths_) {
+        w.u32(static_cast<std::uint32_t>(path.size()));
+        for (std::uint32_t page : path)
+            w.u32(page);
+    }
+
+    w.u32(currentType_);
+    w.u64(pathPos_);
+    w.u32(currentPage_);
+    w.u64(currentOffset_);
+    w.u64(runRemaining_);
+    w.u64(instrCount_);
+    w.u64(nextPhaseAt_);
+    w.u64(phaseChanges_);
+    w.b(deviating_);
+    w.u64(streamPos_);
+}
+
+void
+ServerWorkload::restore(SnapshotReader &r)
+{
+    r.section("server_workload");
+    std::string name = r.str();
+    if (name != params_.name)
+        throw SnapshotError("workload name mismatch: snapshot has '" +
+                            name + "', expected '" + params_.name +
+                            "'");
+    rng_.restore(r);
+
+    std::uint32_t num_paths = r.u32();
+    if (num_paths != params_.numRequestTypes)
+        throw SnapshotError("workload '" + params_.name +
+                            "': request-type count mismatch");
+    paths_.clear();
+    paths_.reserve(num_paths);
+    for (std::uint32_t t = 0; t < num_paths; ++t) {
+        std::uint32_t len = r.u32();
+        std::vector<std::uint32_t> path;
+        path.reserve(len);
+        for (std::uint32_t i = 0; i < len; ++i) {
+            std::uint32_t page = r.u32();
+            if (page >= params_.codePages)
+                throw SnapshotError("workload '" + params_.name +
+                                    "': path page out of range");
+            path.push_back(page);
+        }
+        paths_.push_back(std::move(path));
+    }
+
+    currentType_ = r.u32();
+    pathPos_ = r.u64();
+    currentPage_ = r.u32();
+    currentOffset_ = r.u64();
+    runRemaining_ = r.u64();
+    instrCount_ = r.u64();
+    nextPhaseAt_ = r.u64();
+    phaseChanges_ = r.u64();
+    deviating_ = r.b();
+    streamPos_ = r.u64();
+    if (currentType_ >= paths_.size() ||
+        pathPos_ >= paths_[currentType_].size() ||
+        currentPage_ >= params_.codePages)
+        throw SnapshotError("workload '" + params_.name +
+                            "': run state out of range");
+}
+
 std::uint32_t
 ServerWorkload::successorCount(std::uint32_t index) const
 {

@@ -154,6 +154,15 @@ class ServerWorkload : public TraceSource
      * the VPN is not a code page (tests / analysis). */
     int tierOfVpn(Vpn vpn) const;
 
+    /**
+     * Serialize the generator's position: RNG, the request paths
+     * (phase changes regenerate them at runtime) and the run/data
+     * state. The page layout is a pure function of the parameters and
+     * is rebuilt by the constructor, not saved.
+     */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     void layoutPages();
     std::vector<std::uint32_t> buildPath(std::uint32_t type);

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace morrigan
@@ -64,6 +65,31 @@ class TraceSource
     largeMappedRegions() const
     {
         return {};
+    }
+
+    /**
+     * Serialize the source's stream position so a resumed simulation
+     * replays the exact remaining instruction sequence. Sources that
+     * cannot express their position (e.g. a non-seekable recorded
+     * trace) keep these defaults, which reject snapshotting; the
+     * simulator degrades to checkpoint-less operation rather than
+     * resuming a silently different stream.
+     */
+    virtual void
+    save(SnapshotWriter &w) const
+    {
+        (void)w;
+        throw SnapshotError("trace source '" + name() +
+                            "' does not support snapshots");
+    }
+
+    /** Restore a position written by save(). */
+    virtual void
+    restore(SnapshotReader &r)
+    {
+        (void)r;
+        throw SnapshotError("trace source '" + name() +
+                            "' does not support snapshots");
     }
 };
 

@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Snapshot subsystem tests (DESIGN.md §12).
+ *
+ * Covers the serialization framework itself (round trips, atomic
+ * publication, corruption/truncation/version rejection), mid-stream
+ * save/restore determinism of the stochastic primitives (PCG32, the
+ * Zipf sampler, RLFU victim selection), and the headline guarantee:
+ * an interrupted-and-resumed simulation is bit-identical to an
+ * uninterrupted one -- standalone, under the thread-mode supervisor,
+ * under the sandbox (--isolate) supervisor, and through the
+ * warmup-image cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/snapshot.hh"
+#include "common/zipf.hh"
+#include "core/frequency_stack.hh"
+#include "core/prediction_table.hh"
+#include "sim/result_cache.hh"
+#include "sim/run_pool.hh"
+#include "sim/simulator.hh"
+#include "sim/supervisor.hh"
+#include "workload/workload_factory.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "morrigan-snaptest-" +
+           std::to_string(::getpid()) + "-" + name;
+}
+
+std::string
+resultJson(const SimResult &r)
+{
+    std::ostringstream os;
+    writeSimResultJson(os, r);
+    return os.str();
+}
+
+/** A small but non-trivial job: warmup + measurement, Morrigan. */
+ExperimentJob
+smallJob(PrefetcherKind kind = PrefetcherKind::Morrigan)
+{
+    SimConfig cfg;
+    cfg.warmupInstructions = 20'000;
+    cfg.simInstructions = 60'000;
+    return ExperimentJob::of(cfg, kind, qmmWorkloadParams(0));
+}
+
+class FileGuard
+{
+  public:
+    explicit FileGuard(std::string path) : path_(std::move(path)) {}
+    ~FileGuard() { ::unlink(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Framework: round trip, header, atomicity, rejection.
+// ---------------------------------------------------------------
+
+TEST(Snapshot, PayloadRoundTrip)
+{
+    SnapshotWriter w;
+    w.section("alpha");
+    w.u8(7);
+    w.b(true);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFULL);
+    w.i64(-42);
+    w.f64(3.141592653589793);
+    w.str("hello");
+    w.section("beta");
+    w.u64(99);
+
+    SnapshotReader r = SnapshotReader::fromPayload(w.payload());
+    r.section("alpha");
+    EXPECT_EQ(r.u8(), 7u);
+    EXPECT_TRUE(r.b());
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 3.141592653589793);
+    EXPECT_EQ(r.str(), "hello");
+    r.section("beta");
+    EXPECT_EQ(r.u64(), 99u);
+    EXPECT_NO_THROW(r.finish());
+}
+
+TEST(Snapshot, SectionMismatchThrows)
+{
+    SnapshotWriter w;
+    w.section("alpha");
+    w.u64(1);
+    SnapshotReader r = SnapshotReader::fromPayload(w.payload());
+    EXPECT_THROW(r.section("beta"), SnapshotError);
+}
+
+TEST(Snapshot, OverrunThrows)
+{
+    SnapshotWriter w;
+    w.u32(5);
+    SnapshotReader r = SnapshotReader::fromPayload(w.payload());
+    (void)r.u32();
+    EXPECT_THROW(r.u32(), SnapshotError);
+}
+
+TEST(Snapshot, FilePublishAndHeader)
+{
+    FileGuard f(tempPath("publish.snap"));
+    SnapshotWriter w;
+    w.section("s");
+    w.u64(123);
+    w.writeToFile(f.path(), /*progress=*/500, /*total=*/1000);
+
+    SnapshotHeader hdr;
+    ASSERT_TRUE(readSnapshotHeader(f.path(), hdr));
+    EXPECT_EQ(hdr.progressInstructions, 500u);
+    EXPECT_EQ(hdr.totalInstructions, 1000u);
+
+    // No leftover temp file from the atomic-rename publish.
+    for (const auto &e : std::filesystem::directory_iterator(
+             ::testing::TempDir()))
+        EXPECT_EQ(e.path().string().find(f.path() + ".tmp"),
+                  std::string::npos);
+
+    SnapshotReader r(f.path());
+    r.section("s");
+    EXPECT_EQ(r.u64(), 123u);
+    r.finish();
+}
+
+TEST(Snapshot, MissingFileRejected)
+{
+    SnapshotHeader hdr;
+    EXPECT_FALSE(readSnapshotHeader(tempPath("absent.snap"), hdr));
+    EXPECT_THROW(SnapshotReader r(tempPath("absent.snap")),
+                 SnapshotError);
+}
+
+TEST(Snapshot, CorruptPayloadRejected)
+{
+    FileGuard f(tempPath("corrupt.snap"));
+    SnapshotWriter w;
+    w.section("s");
+    for (int i = 0; i < 64; ++i)
+        w.u64(static_cast<std::uint64_t>(i));
+    w.writeToFile(f.path(), 0, 0);
+
+    // Flip one payload byte; the payload CRC must catch it.
+    std::fstream fs(f.path(),
+                    std::ios::in | std::ios::out | std::ios::binary);
+    fs.seekp(64);
+    char b = 0;
+    fs.seekg(64);
+    fs.get(b);
+    fs.seekp(64);
+    fs.put(static_cast<char>(b ^ 0x40));
+    fs.close();
+
+    EXPECT_THROW(SnapshotReader r(f.path()), SnapshotError);
+}
+
+TEST(Snapshot, TruncatedRejected)
+{
+    FileGuard f(tempPath("trunc.snap"));
+    SnapshotWriter w;
+    w.section("s");
+    for (int i = 0; i < 64; ++i)
+        w.u64(static_cast<std::uint64_t>(i));
+    w.writeToFile(f.path(), 0, 0);
+
+    const auto size = std::filesystem::file_size(f.path());
+    std::filesystem::resize_file(f.path(), size / 2);
+
+    EXPECT_THROW(SnapshotReader r(f.path()), SnapshotError);
+    SnapshotHeader hdr;
+    // Header itself may still parse or not depending on where the
+    // cut landed; what matters is the reader never accepts it.
+    (void)readSnapshotHeader(f.path(), hdr);
+}
+
+TEST(Snapshot, TamperedHeaderRejected)
+{
+    FileGuard f(tempPath("header.snap"));
+    SnapshotWriter w;
+    w.section("s");
+    w.u64(1);
+    w.writeToFile(f.path(), 0, 0);
+
+    // Bump the version field (offset 8, after the 8-byte magic):
+    // the header CRC no longer matches, so both the cheap header
+    // probe and the full reader must reject the image.
+    std::fstream fs(f.path(),
+                    std::ios::in | std::ios::out | std::ios::binary);
+    fs.seekp(8);
+    fs.put(static_cast<char>(0x7F));
+    fs.close();
+
+    SnapshotHeader hdr;
+    EXPECT_FALSE(readSnapshotHeader(f.path(), hdr));
+    EXPECT_THROW(SnapshotReader r(f.path()), SnapshotError);
+}
+
+// ---------------------------------------------------------------
+// Stochastic primitives: mid-stream save/restore determinism.
+// ---------------------------------------------------------------
+
+TEST(Snapshot, RngMidStreamResume)
+{
+    Rng rng(12345, 77);
+    for (int i = 0; i < 1000; ++i)
+        (void)rng.next32();
+
+    SnapshotWriter w;
+    rng.save(w);
+
+    std::vector<std::uint64_t> expect;
+    for (int i = 0; i < 1000; ++i)
+        expect.push_back(rng.next64());
+
+    Rng resumed(1, 2); // deliberately different seed
+    SnapshotReader r = SnapshotReader::fromPayload(w.payload());
+    resumed.restore(r);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(resumed.next64(), expect[i]) << "draw " << i;
+}
+
+TEST(Snapshot, ZipfSamplerMidStreamResume)
+{
+    ZipfSampler zipf(5000, 0.7);
+    Rng rng(99, 3);
+    for (int i = 0; i < 500; ++i)
+        (void)zipf.sample(rng);
+
+    SnapshotWriter w;
+    rng.save(w);
+
+    std::vector<std::size_t> expect;
+    for (int i = 0; i < 500; ++i)
+        expect.push_back(zipf.sample(rng));
+
+    // The sampler's CDF is a pure function of (n, theta); only the
+    // RNG carries stream position.
+    ZipfSampler zipf2(5000, 0.7);
+    Rng rng2;
+    SnapshotReader r = SnapshotReader::fromPayload(w.payload());
+    rng2.restore(r);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(zipf2.sample(rng2), expect[i]) << "draw " << i;
+}
+
+TEST(Snapshot, RlfuVictimSelectionMidStreamResume)
+{
+    // A tiny table forces constant evictions; RLFU victims depend on
+    // the frequency stack and the RNG, so all three components must
+    // resume in lockstep for the victim sequence to match.
+    PrtGeometry geom;
+    geom.entries = 16;
+    geom.ways = 4;
+    geom.slots = 1;
+
+    FrequencyStack freq(512);
+    Rng rng(7, 7);
+    PredictionTable prt(geom, ReplacementPolicy::Rlfu, freq, rng);
+
+    Rng drive(1234, 1); // address stream generator, also saved
+    auto step = [](PredictionTable &t, FrequencyStack &f, Rng &d,
+                   std::vector<Vpn> &victims) {
+        Vpn vpn = 0x1000 + d.below(256);
+        f.recordMiss(vpn);
+        Vpn evicted = 0;
+        if (t.install(vpn, {}, &evicted))
+            victims.push_back(evicted);
+    };
+
+    std::vector<Vpn> warm;
+    for (int i = 0; i < 2000; ++i)
+        step(prt, freq, drive, warm);
+
+    SnapshotWriter w;
+    rng.save(w);
+    freq.save(w);
+    prt.save(w);
+    drive.save(w);
+
+    std::vector<Vpn> expect;
+    for (int i = 0; i < 2000; ++i)
+        step(prt, freq, drive, expect);
+
+    FrequencyStack freq2(512);
+    Rng rng2;
+    PredictionTable prt2(geom, ReplacementPolicy::Rlfu, freq2, rng2);
+    Rng drive2;
+    SnapshotReader r = SnapshotReader::fromPayload(w.payload());
+    rng2.restore(r);
+    freq2.restore(r);
+    prt2.restore(r);
+    drive2.restore(r);
+
+    std::vector<Vpn> got;
+    for (int i = 0; i < 2000; ++i)
+        step(prt2, freq2, drive2, got);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], expect[i]) << "victim " << i;
+}
+
+// ---------------------------------------------------------------
+// Simulator: interrupted + resumed == uninterrupted.
+// ---------------------------------------------------------------
+
+TEST(Snapshot, SimulatorResumeBitIdentical)
+{
+    const ExperimentJob job = smallJob();
+    const std::string ref = resultJson(executeJob(job).result);
+
+    FileGuard f(tempPath("sim-resume.snap"));
+    JobExecutionOptions save_opts;
+    save_opts.checkpointPath = f.path();
+    save_opts.checkpointEvery = 30'000; // last autosave mid-measure
+
+    // Autosaving must not perturb the run it rides on...
+    EXPECT_EQ(resultJson(executeJob(job, save_opts).result), ref);
+
+    SnapshotHeader hdr;
+    ASSERT_TRUE(readSnapshotHeader(f.path(), hdr));
+    EXPECT_GT(hdr.progressInstructions, 0u);
+    EXPECT_LT(hdr.progressInstructions, hdr.totalInstructions);
+
+    // ...and resuming from its checkpoint must finish identically.
+    JobExecutionOptions resume_opts;
+    resume_opts.checkpointPath = f.path();
+    EXPECT_EQ(resultJson(executeJob(job, resume_opts).result), ref);
+}
+
+TEST(Snapshot, ResumeFromWarmupCheckpointBitIdentical)
+{
+    const ExperimentJob job = smallJob();
+    const std::string ref = resultJson(executeJob(job).result);
+
+    // Autosave interval below the warmup budget: the first autosave
+    // happens mid-warmup; overwrite-by-later-autosaves is prevented
+    // by stopping the producer run at the warmup boundary. Easiest
+    // deterministic way: a producer whose *total* run is warmup-only
+    // cannot exist (simInstructions >= 1), so instead snapshot once
+    // with a huge interval -- the first autosave lands at the first
+    // round past 5000 instructions, well inside warmup.
+    FileGuard f(tempPath("sim-warm-resume.snap"));
+    JobExecutionOptions save_opts;
+    save_opts.checkpointPath = f.path();
+    save_opts.checkpointEvery = 5'000;
+
+    ExperimentJob producer = job;
+    producer.cfg.simInstructions = 1;
+    (void)executeJob(producer, save_opts);
+
+    SnapshotHeader hdr;
+    ASSERT_TRUE(readSnapshotHeader(f.path(), hdr));
+
+    // The checkpoint (wherever its last autosave landed, warmup or
+    // the first measured instruction) restores into the *real* job
+    // only if the warmup budget matches -- and then finishes
+    // bit-identically.
+    JobExecutionOptions resume_opts;
+    resume_opts.checkpointPath = f.path();
+    EXPECT_EQ(resultJson(executeJob(job, resume_opts).result), ref);
+}
+
+TEST(Snapshot, CorruptCheckpointFallsBackToFreshRun)
+{
+    const ExperimentJob job = smallJob();
+    const std::string ref = resultJson(executeJob(job).result);
+
+    FileGuard f(tempPath("sim-garbage.snap"));
+    {
+        std::ofstream ofs(f.path(), std::ios::binary);
+        ofs << "this is not a snapshot";
+    }
+    JobExecutionOptions opts;
+    opts.checkpointPath = f.path();
+    EXPECT_EQ(resultJson(executeJob(job, opts).result), ref);
+}
+
+TEST(Snapshot, MismatchedConfigurationRejected)
+{
+    FileGuard f(tempPath("sim-mismatch.snap"));
+    const ExperimentJob job = smallJob(PrefetcherKind::Morrigan);
+    JobExecutionOptions save_opts;
+    save_opts.checkpointPath = f.path();
+    save_opts.checkpointEvery = 30'000;
+    (void)executeJob(job, save_opts);
+
+    // Restoring a Morrigan image into a Distance-prefetcher
+    // simulator must throw (and executeJob must fall back to a
+    // fresh, correct run instead of crashing or mixing state).
+    SimConfig cfg = job.cfg;
+    auto pf = makePrefetcher(PrefetcherKind::Distance);
+    ServerWorkload trace(qmmWorkloadParams(0));
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace, 0);
+    sim.attachPrefetcher(pf.get());
+    EXPECT_THROW(sim.restoreCheckpoint(f.path()), SnapshotError);
+
+    const ExperimentJob other = smallJob(PrefetcherKind::Distance);
+    const std::string ref = resultJson(executeJob(other).result);
+    JobExecutionOptions resume_opts;
+    resume_opts.checkpointPath = f.path();
+    EXPECT_EQ(resultJson(executeJob(other, resume_opts).result), ref);
+}
+
+TEST(Snapshot, CheckedRunsRefuseToSnapshot)
+{
+    SimConfig cfg;
+    cfg.warmupInstructions = 1'000;
+    cfg.simInstructions = 1'000;
+    cfg.checkLevel = 1;
+    ServerWorkload trace(qmmWorkloadParams(0));
+    Simulator sim(cfg);
+    sim.attachWorkload(&trace, 0);
+    SnapshotWriter w;
+    EXPECT_THROW(sim.save(w), SnapshotError);
+}
+
+// ---------------------------------------------------------------
+// Supervisor: a job with a mid-run checkpoint resumes and matches
+// the uninterrupted run -- thread mode and sandbox (--isolate)
+// mode -- with identical result-cache keys and values.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+void
+supervisorResumeCase(bool isolate)
+{
+    const ExperimentJob job = smallJob();
+    const std::string ref = resultJson(executeJob(job).result);
+    const std::string key =
+        experimentKey(job.cfg, job.kind, job.workload);
+
+    // Plant the checkpoint a killed attempt would have left, at the
+    // exact path the supervisor derives for this job.
+    const std::string dir = ::testing::TempDir() +
+                            "morrigan-snaptest-supervisor-" +
+                            std::to_string(::getpid()) +
+                            (isolate ? "-sbx" : "-thr");
+    std::filesystem::create_directories(dir);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      cacheKeyDigest(key)));
+    const std::string ckpt =
+        dir + "/morrigan-ckpt-" + buf + ".snap";
+    JobExecutionOptions plant;
+    plant.checkpointPath = ckpt;
+    plant.checkpointEvery = 30'000;
+    (void)executeJob(job, plant);
+    ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+    ResultCache::global().clear();
+    SupervisorOptions opt;
+    opt.isolate = isolate;
+    opt.checkpointDir = dir;
+    opt.jobs = 1;
+    Supervisor sup(opt);
+    std::vector<RunOutcome> outcomes = sup.run({job});
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok())
+        << outcomes[0].failure.what;
+
+    // Bit-identical result, identical cache key/value, checkpoint
+    // cleaned up after the durable publish.
+    EXPECT_EQ(resultJson(outcomes[0].output.result), ref);
+    SimResult cached;
+    ASSERT_TRUE(ResultCache::global().lookup(key, cached));
+    EXPECT_EQ(resultJson(cached), ref);
+    EXPECT_FALSE(std::filesystem::exists(ckpt));
+
+    std::filesystem::remove_all(dir);
+    ResultCache::global().clear();
+}
+
+} // namespace
+
+TEST(Snapshot, SupervisorThreadModeResumesFromCheckpoint)
+{
+    supervisorResumeCase(/*isolate=*/false);
+}
+
+TEST(Snapshot, SupervisorSandboxModeResumesFromCheckpoint)
+{
+    supervisorResumeCase(/*isolate=*/true);
+}
+
+// ---------------------------------------------------------------
+// Warmup-image cache: sharing a warmed snapshot across a sweep
+// changes nothing.
+// ---------------------------------------------------------------
+
+TEST(Snapshot, WarmupImageReuseBitIdentical)
+{
+    ExperimentJob short_job = smallJob();
+    ExperimentJob long_job = smallJob();
+    long_job.cfg.simInstructions = 120'000;
+
+    const std::string ref_short =
+        resultJson(executeJob(short_job).result);
+    const std::string ref_long =
+        resultJson(executeJob(long_job).result);
+
+    const std::string dir = ::testing::TempDir() +
+                            "morrigan-snaptest-warm-" +
+                            std::to_string(::getpid());
+    std::filesystem::create_directories(dir);
+    RunPool::setWarmupImageDir(dir);
+
+    // Cold pass populates the image; both measurement lengths share
+    // one warmup key, and neither result moves.
+    RunPool pool(2, /*use_cache=*/false);
+    std::vector<SimResult> cold =
+        pool.run({short_job, long_job});
+    EXPECT_EQ(resultJson(cold[0]), ref_short);
+    EXPECT_EQ(resultJson(cold[1]), ref_long);
+
+    bool image_found = false;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        image_found |= e.path().string().find("morrigan-warm-") !=
+                       std::string::npos;
+    EXPECT_TRUE(image_found);
+
+    // Warm pass restores the image instead of re-simulating warmup;
+    // results still must not move.
+    std::vector<SimResult> warm =
+        pool.run({short_job, long_job});
+    EXPECT_EQ(resultJson(warm[0]), ref_short);
+    EXPECT_EQ(resultJson(warm[1]), ref_long);
+
+    RunPool::setWarmupImageDir("");
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// Journal schema versioning: records from another schema version
+// are reported and rerun, not trusted and not "corrupt".
+// ---------------------------------------------------------------
+
+TEST(Snapshot, JournalOtherSchemaVersionRecordsRerun)
+{
+    const std::string path = tempPath("journal.jsonl");
+    FileGuard f(path);
+    {
+        std::ofstream ofs(path);
+        ofs << "{\"schema\":\"morrigan-journal\",\"version\":99,"
+               "\"key\":\"tag:x\",\"status\":\"ok\",\"attempts\":1,"
+               "\"result\":{},\"check_report\":\"\","
+               "\"structural\":0}\n";
+    }
+    CampaignJournal journal(path);
+    EXPECT_TRUE(journal.enabled());
+    // The stale record must not replay...
+    EXPECT_EQ(journal.loadedRecords(), 0u);
+    RunOutcome o;
+    EXPECT_FALSE(journal.lookup("tag:x", o));
+}
+
+TEST(Snapshot, DerivedTimeoutScalesWithRemainingBudget)
+{
+    ExperimentJob job = smallJob();
+    job.cfg.warmupInstructions = 1'000'000;
+    job.cfg.simInstructions = 9'000'000;
+    const std::uint64_t full = derivedJobTimeoutMs(job);
+    const std::uint64_t half = derivedJobTimeoutMs(job, 5'000'000);
+    const std::uint64_t done = derivedJobTimeoutMs(job, 10'000'000);
+    const std::uint64_t past = derivedJobTimeoutMs(job, 99'000'000);
+    EXPECT_EQ(full, 60'000 + 10'000'000 / 20);
+    EXPECT_EQ(half, 60'000 + 5'000'000 / 20);
+    EXPECT_EQ(done, 60'000u);
+    EXPECT_EQ(past, 60'000u); // clamped, never underflows
+    EXPECT_LT(half, full);
+}

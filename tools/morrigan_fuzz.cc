@@ -62,7 +62,10 @@ usage()
         "  --job-timeout SECS  per-run watchdog deadline (default: "
         "derived from the instruction budget)\n"
         "  --journal FILE      campaign journal (JSONL); rerunning "
-        "with the same parameters resumes completed runs\n");
+        "with the same parameters resumes completed runs\n"
+        "  --no-m5             skip the checkpoint/restore "
+        "bit-identity invariant (M5), saving one extra run per "
+        "seed\n");
 }
 
 std::uint64_t
@@ -134,6 +137,8 @@ main(int argc, char **argv)
                 parseU64(arg, next(), 1, 86'400) * 1000;
         } else if (arg == "--journal") {
             opt.journalPath = next();
+        } else if (arg == "--no-m5") {
+            opt.checkpointInvariant = false;
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();

@@ -17,6 +17,8 @@
  *                --pt-depth 5 --stats --miss-stream
  */
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,8 @@
 #include <iostream>
 #include <optional>
 #include <string>
+
+#include "common/snapshot.hh"
 
 #include "check/invariants.hh"
 #include "common/json.hh"
@@ -100,7 +104,18 @@ usage()
         "ones under --isolate) up to N times with backoff "
         "(default 1; MORRIGAN_JOB_RETRIES)\n"
         "  --journal FILE        append per-job outcomes to FILE "
-        "and resume completed jobs from it (MORRIGAN_JOURNAL)\n");
+        "and resume completed jobs from it (MORRIGAN_JOURNAL)\n"
+        "  --checkpoint FILE     autosave a snapshot to FILE and, "
+        "when FILE already holds a valid snapshot, resume the run "
+        "from it (single-run mode)\n"
+        "  --checkpoint-every N  snapshot autosave interval in "
+        "instructions (default 1000000; MORRIGAN_CHECKPOINT_EVERY)\n"
+        "  --checkpoint-dir DIR  batch mode: per-job checkpoints in "
+        "DIR so killed/timed-out jobs resume on retry "
+        "(MORRIGAN_CHECKPOINT_DIR)\n"
+        "  --warmup-cache DIR    reuse warmed-up snapshots keyed by "
+        "(workload, prefetcher, system) across batch jobs "
+        "(MORRIGAN_WARMUP_CACHE)\n");
 }
 
 /**
@@ -298,6 +313,11 @@ main(int argc, char **argv)
     std::string interval_out_path;
     std::uint64_t interval = 0;
     bool interval_csv = false;
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_every = 1'000'000;
+    if (const char *e = std::getenv("MORRIGAN_CHECKPOINT_EVERY"))
+        checkpoint_every = parseU64("MORRIGAN_CHECKPOINT_EVERY", e, 1,
+                                    std::uint64_t{1} << 40);
     // Campaign resilience policy: env defaults, overridden by the
     // flags below, installed process-wide for every batch.
     SupervisorOptions sup = Supervisor::defaultOptions();
@@ -399,6 +419,15 @@ main(int argc, char **argv)
                                       parseU64(arg, next(), 0, 100));
         } else if (arg == "--journal") {
             sup.journalPath = next();
+        } else if (arg == "--checkpoint") {
+            checkpoint_path = next();
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every =
+                parseU64(arg, next(), 1, std::uint64_t{1} << 40);
+        } else if (arg == "--checkpoint-dir") {
+            sup.checkpointDir = next();
+        } else if (arg == "--warmup-cache") {
+            RunPool::setWarmupImageDir(next());
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -406,6 +435,7 @@ main(int argc, char **argv)
         }
     }
 
+    sup.checkpointEveryInstructions = checkpoint_every;
     Supervisor::setDefaultOptions(sup);
 
     cfg.checkLevel = check_level;
@@ -641,8 +671,41 @@ main(int argc, char **argv)
         fatal("--interval-out/--interval-csv require --interval N");
     }
 
+    // Checkpoint/resume (single-run mode): a valid snapshot at the
+    // given path means a previous invocation of this command was
+    // interrupted -- resume it; a corrupt, stale or mismatched one
+    // is discarded and the run starts over. Either way the run
+    // autosaves so the *next* interruption also resumes. The final
+    // result is bit-identical to an uninterrupted run.
+    if (!checkpoint_path.empty()) {
+        if (::access(checkpoint_path.c_str(), F_OK) == 0) {
+            try {
+                sim.restoreCheckpoint(checkpoint_path);
+                std::fprintf(
+                    stderr,
+                    "resuming from checkpoint %s (%llu / %llu "
+                    "instructions)\n",
+                    checkpoint_path.c_str(),
+                    static_cast<unsigned long long>(
+                        sim.progressInstructions()),
+                    static_cast<unsigned long long>(
+                        sim.totalInstructions()));
+            } catch (const SnapshotError &e) {
+                warn("discarding checkpoint %s: %s",
+                     checkpoint_path.c_str(), e.what());
+            }
+        }
+        sim.setCheckpointing(checkpoint_path, checkpoint_every);
+    }
+
     SimResult r = sim.run();
     printResult(r);
+
+    // The run finished; the checkpoint would only make a rerun of
+    // this command replay the tail of *this* run instead of
+    // simulating afresh.
+    if (!checkpoint_path.empty())
+        ::unlink(checkpoint_path.c_str());
 
     if (!stats_json_path.empty()) {
         std::ofstream ofs(stats_json_path);
