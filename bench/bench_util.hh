@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "sim/experiment.hh"
 #include "workload/workload_factory.hh"
@@ -143,6 +144,10 @@ class BenchArtifact
             w.beginObject();
             w.kv("schema", "morrigan-bench");
             w.kv("version", json::benchSchemaVersion);
+            w.key("build_info").rawValue([](std::ostream &ro) {
+                json::Writer bw(ro);
+                writeBuildInfoJson(bw);
+            });
             w.key("sections").beginArray();
             for (const Section &s : sections_) {
                 w.beginObject();

@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/snapshot.hh"
+#include "common/telemetry.hh"
 #include "sim/result_cache.hh"
 #include "sim/run_pool.hh"
 #include "sim/supervisor.hh"
@@ -331,34 +332,48 @@ evaluateSeedInvariants(const SeedRunSet &rs, bool inject_expected)
     return fails;
 }
 
+namespace
+{
+
+/**
+ * The seed's base configuration with checking and fault injection
+ * stripped -- the simulator-proper job M5 and M6 replay. Checking
+ * is stripped because snapshots refuse checked runs (the golden
+ * reference model is deliberately not serialized) and because both
+ * invariants are properties of the simulator proper.
+ */
+ExperimentJob
+strippedBaseJob(const FuzzCase &fc)
+{
+    SimConfig cfg = fc.cfg;
+    cfg.checkLevel = 0;
+    cfg.injectWalkerBugPeriod = 0;
+    if (fc.customMorrigan) {
+        auto factory = [p = fc.morrigan]()
+            -> std::unique_ptr<TlbPrefetcher> {
+            return std::make_unique<MorriganPrefetcher>(p);
+        };
+        return fc.smt ? ExperimentJob::smtPairWith(
+                            cfg, factory, fc.workload,
+                            fc.smtWorkload)
+                      : ExperimentJob::with(cfg, factory,
+                                            fc.workload);
+    }
+    return fc.smt ? ExperimentJob::smtPair(cfg, fc.kind, fc.workload,
+                                           fc.smtWorkload)
+                  : ExperimentJob::of(cfg, fc.kind, fc.workload);
+}
+
+} // namespace
+
 std::vector<std::string>
 evaluateCheckpointInvariant(const FuzzCase &fc, std::uint64_t seed,
                             const std::string &scratch_dir)
 {
     std::vector<std::string> fails;
 
-    // The seed's base configuration with checking and fault
-    // injection stripped: snapshots refuse checked runs (the golden
-    // reference model is deliberately not serialized), and M5 is a
-    // property of the simulator proper.
-    SimConfig cfg = fc.cfg;
-    cfg.checkLevel = 0;
-    cfg.injectWalkerBugPeriod = 0;
-    ExperimentJob job;
-    if (fc.customMorrigan) {
-        auto factory = [p = fc.morrigan]()
-            -> std::unique_ptr<TlbPrefetcher> {
-            return std::make_unique<MorriganPrefetcher>(p);
-        };
-        job = fc.smt ? ExperimentJob::smtPairWith(
-                           cfg, factory, fc.workload, fc.smtWorkload)
-                     : ExperimentJob::with(cfg, factory, fc.workload);
-    } else {
-        job = fc.smt ? ExperimentJob::smtPair(cfg, fc.kind,
-                                              fc.workload,
-                                              fc.smtWorkload)
-                     : ExperimentJob::of(cfg, fc.kind, fc.workload);
-    }
+    const ExperimentJob job = strippedBaseJob(fc);
+    const SimConfig &cfg = job.cfg;
 
     // Autosave interval hashed from the seed: the straight-through
     // run leaves its last checkpoint at an effectively random
@@ -408,6 +423,36 @@ evaluateCheckpointInvariant(const FuzzCase &fc, std::uint64_t seed,
         fails.push_back(csprintf("M5: %s", e.what()));
     }
     ::unlink(path.c_str());
+    return fails;
+}
+
+std::vector<std::string>
+evaluateTelemetryInvariant(const FuzzCase &fc)
+{
+    std::vector<std::string> fails;
+    const ExperimentJob job = strippedBaseJob(fc);
+
+    // The pair must differ in exactly one bit of process state: the
+    // telemetry flag. Whatever state the campaign armed is restored
+    // afterwards.
+    const bool was_enabled = telemetry::enabled();
+    try {
+        telemetry::setEnabled(false);
+        const ExperimentOutput off = executeJob(job);
+        telemetry::setEnabled(true);
+        const ExperimentOutput on = executeJob(job);
+        std::ostringstream a, b;
+        writeSimResultJson(a, off.result);
+        writeSimResultJson(b, on.result);
+        if (a.str() != b.str())
+            fails.push_back(csprintf(
+                "M6: enabling telemetry changed the simulated "
+                "result\n  off: %s\n  on:  %s",
+                a.str().c_str(), b.str().c_str()));
+    } catch (const std::exception &e) {
+        fails.push_back(csprintf("M6: %s", e.what()));
+    }
+    telemetry::setEnabled(was_enabled);
     return fails;
 }
 
@@ -639,6 +684,12 @@ runCampaign(const FuzzOptions &opt, std::ostream *log)
                         ec ? std::string(".") : tmp.string());
                 so.failures.insert(so.failures.end(), m5.begin(),
                                    m5.end());
+            }
+            if (opt.telemetryInvariant) {
+                std::vector<std::string> m6 =
+                    evaluateTelemetryInvariant(cases[i]);
+                so.failures.insert(so.failures.end(), m6.begin(),
+                                   m6.end());
             }
         }
         so.passed = so.failures.empty();

@@ -34,7 +34,11 @@
  *       via a snapshot checkpoint and resuming in a fresh process
  *       image produces a bit-identical result to running straight
  *       through (checking is disabled for this pair: snapshots
- *       refuse checked runs by design).
+ *       refuse checked runs by design);
+ *   M6  running with self-profiling telemetry enabled
+ *       (common/telemetry.hh) produces a bit-identical result to
+ *       running with it disabled -- observation must never perturb
+ *       simulation.
  *
  * Every run also carries the differential checker (checkLevel >= 1),
  * so any translation the fast simulator resolves to the wrong frame
@@ -92,6 +96,9 @@ struct FuzzOptions
     /** Evaluate M5 (checkpoint/restore bit-identity) per seed; it
      * costs roughly one extra base-sized run per seed. */
     bool checkpointInvariant = true;
+    /** Evaluate M6 (telemetry on/off bit-identity) per seed; costs
+     * roughly two extra base-sized runs per seed. */
+    bool telemetryInvariant = true;
 };
 
 /** One sampled configuration point. */
@@ -151,6 +158,17 @@ evaluateSeedInvariants(const SeedRunSet &rs, bool inject_expected);
 std::vector<std::string>
 evaluateCheckpointInvariant(const FuzzCase &fc, std::uint64_t seed,
                             const std::string &scratch_dir);
+
+/**
+ * Evaluate M6 for one sampled configuration: run the seed's base
+ * configuration (checking and fault injection stripped) once with
+ * telemetry disabled and once enabled, and compare the two
+ * SimResults bit-for-bit. The process-wide telemetry flag is
+ * restored before returning. Returns one message per divergence
+ * (empty == invariant held).
+ */
+std::vector<std::string>
+evaluateTelemetryInvariant(const FuzzCase &fc);
 
 /** Outcome of one fuzzed seed. */
 struct FuzzSeedOutcome

@@ -1,0 +1,66 @@
+#include "common/build_info.hh"
+
+#include "common/json.hh"
+
+// Definitions come from src/common/CMakeLists.txt (configure-time
+// git/toolchain introspection); the fallbacks keep odd build setups
+// compiling.
+#ifndef MORRIGAN_GIT_SHA
+#define MORRIGAN_GIT_SHA "unknown"
+#endif
+#ifndef MORRIGAN_CXX_COMPILER
+#define MORRIGAN_CXX_COMPILER "unknown"
+#endif
+#ifndef MORRIGAN_CXX_FLAGS
+#define MORRIGAN_CXX_FLAGS ""
+#endif
+#ifndef MORRIGAN_BUILD_TYPE
+#define MORRIGAN_BUILD_TYPE "unknown"
+#endif
+
+namespace morrigan
+{
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = {
+        MORRIGAN_GIT_SHA,
+        MORRIGAN_CXX_COMPILER,
+        MORRIGAN_CXX_FLAGS,
+        MORRIGAN_BUILD_TYPE,
+    };
+    return info;
+}
+
+void
+writeBuildInfoJson(json::Writer &w)
+{
+    const BuildInfo &b = buildInfo();
+    w.beginObject();
+    w.kv("git_sha", b.gitSha);
+    w.kv("compiler", b.compiler);
+    w.kv("flags", b.flags);
+    w.kv("build_type", b.buildType);
+    w.endObject();
+}
+
+std::string
+buildInfoLine()
+{
+    const BuildInfo &b = buildInfo();
+    std::string line = "morrigan ";
+    line += b.gitSha;
+    line += " (";
+    line += b.compiler;
+    line += ", ";
+    line += b.buildType;
+    if (b.flags[0] != '\0') {
+        line += ", ";
+        line += b.flags;
+    }
+    line += ")";
+    return line;
+}
+
+} // namespace morrigan

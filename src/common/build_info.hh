@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Build provenance record: which binary produced this number?
+ *
+ * Throughput measurements (BENCH_Throughput.json, --stats-json
+ * telemetry sections) are meaningless without knowing the producing
+ * binary's git revision, compiler and optimization level, so every
+ * artifact embeds this record and `morrigan-sim --version` prints
+ * it. Values are baked in at *configure* time by
+ * src/common/CMakeLists.txt; a stale build tree can therefore lag
+ * the working tree by one configure (documented in DESIGN §13).
+ */
+
+#ifndef MORRIGAN_COMMON_BUILD_INFO_HH
+#define MORRIGAN_COMMON_BUILD_INFO_HH
+
+#include <string>
+
+namespace morrigan::json
+{
+class Writer;
+}
+
+namespace morrigan
+{
+
+/** Static description of the running binary. */
+struct BuildInfo
+{
+    const char *gitSha;    //!< short commit hash, or "unknown"
+    const char *compiler;  //!< e.g. "GNU 13.2.0"
+    const char *flags;     //!< CXX flags incl. build-type flags
+    const char *buildType; //!< e.g. "RelWithDebInfo"
+};
+
+/** The record baked into this binary. */
+const BuildInfo &buildInfo();
+
+/** Write the record as one JSON object through @p w (caller has
+ * positioned the writer, e.g. after key("build_info")). */
+void writeBuildInfoJson(json::Writer &w);
+
+/** One-line human-readable form (`morrigan-sim --version`). */
+std::string buildInfoLine();
+
+} // namespace morrigan
+
+#endif // MORRIGAN_COMMON_BUILD_INFO_HH

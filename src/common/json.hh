@@ -27,14 +27,19 @@
 namespace morrigan::json
 {
 
-/** Version of the --stats-json document schema. */
-inline constexpr int statsSchemaVersion = 1;
+/** Version of the --stats-json document schema.
+ * v2: build_info object; optional telemetry section (--telemetry). */
+inline constexpr int statsSchemaVersion = 2;
 /** Version of the JSONL prefetch-trace event schema. */
 inline constexpr int traceSchemaVersion = 1;
-/** Version of the interval time-series record schema. */
-inline constexpr int intervalSchemaVersion = 1;
-/** Version of the BENCH_*.json artifact schema. */
-inline constexpr int benchSchemaVersion = 1;
+/** Version of the interval time-series record schema.
+ * v2: streamed rows gain wall_ms and delta_instrs_per_sec (absent
+ * from the deterministic in-memory ring mirrored into --stats-json;
+ * readers must treat both as optional). */
+inline constexpr int intervalSchemaVersion = 2;
+/** Version of the BENCH_*.json artifact schema.
+ * v2: top-level build_info provenance object. */
+inline constexpr int benchSchemaVersion = 2;
 /** Version of the on-disk result-cache file schema (also baked into
  * experiment cache keys, so bumping it invalidates old caches).
  * v2: differential-check fields (checked_translations,
@@ -42,7 +47,9 @@ inline constexpr int benchSchemaVersion = 1;
  * injectWalkerBugPeriod key components. */
 inline constexpr int resultCacheSchemaVersion = 2;
 /** Version of the campaign-journal JSONL record schema
- * (sim/supervisor.hh). */
+ * (sim/supervisor.hh). Still v1 after the optional duration_ms key
+ * was added: the reader tolerates its absence, and a bump would
+ * force every resumed campaign to rerun finished jobs. */
 inline constexpr int journalSchemaVersion = 1;
 
 /** Write @p s as a quoted, escaped JSON string. */

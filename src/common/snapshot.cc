@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstdio>
 
+#include "common/telemetry.hh"
+
 namespace morrigan
 {
 
@@ -211,6 +213,7 @@ SnapshotWriter::writeToFile(const std::string &path,
                             std::uint64_t progress,
                             std::uint64_t total) const
 {
+    telemetry::ScopedSpan span(telemetry::Phase::SnapshotWrite);
     // The temp name must be unique per *writer*, not just per
     // process: two pool threads publishing the same warmup image
     // concurrently would otherwise truncate each other's half-written
@@ -242,6 +245,10 @@ SnapshotWriter::writeToFile(const std::string &path,
     bool ok = writeAll(header) && writeAll(buf_) && ::fsync(fd) == 0;
     int saved = errno;
     ::close(fd);
+    telemetry::add(telemetry::Counter::Fsyncs);
+    if (ok)
+        telemetry::add(telemetry::Counter::SnapshotBytesWritten,
+                       header.size() + buf_.size());
     if (!ok) {
         ::unlink(tmp.c_str());
         throw SnapshotError("cannot write " + tmp + ": " +
@@ -257,8 +264,11 @@ SnapshotWriter::writeToFile(const std::string &path,
 
 SnapshotReader::SnapshotReader(const std::string &path)
 {
+    telemetry::ScopedSpan span(telemetry::Phase::SnapshotRead);
     bool missing = false;
     std::string image = readWholeFile(path, missing);
+    telemetry::add(telemetry::Counter::SnapshotBytesRead,
+                   image.size());
     if (missing)
         throw SnapshotError("cannot read snapshot " + path + ": " +
                             std::strerror(errno));

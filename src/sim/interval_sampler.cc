@@ -6,6 +6,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/telemetry.hh"
 
 namespace morrigan
 {
@@ -32,6 +33,8 @@ IntervalSampler::beginMeasurement()
     prev_ = IntervalInputs{};
     epochs_ = 0;
     ring_.clear();
+    wallAnchorNs_ = telemetry::nowNs();
+    lastEmitNs_ = wallAnchorNs_;
 }
 
 const IntervalSample &
@@ -82,8 +85,17 @@ IntervalSampler::record(const IntervalInputs &in)
 namespace
 {
 
+/** Wall-clock columns appended to streamed rows only; the ring and
+ * its JSON mirror stay deterministic. */
+struct WallCols
+{
+    double wallMs;
+    double deltaInstrsPerSec;
+};
+
 void
-writeSampleJson(json::Writer &w, const IntervalSample &s)
+writeSampleJson(json::Writer &w, const IntervalSample &s,
+                const WallCols *wall = nullptr)
 {
     w.beginObject();
     w.kv("epoch", s.epoch);
@@ -98,6 +110,10 @@ writeSampleJson(json::Writer &w, const IntervalSample &s)
     w.kv("prefetch_walks", s.prefetchWalks);
     w.kv("freq_resets", s.freqResets);
     w.kv("walker_occupancy", s.walkerOccupancy);
+    if (wall) {
+        w.kv("wall_ms", wall->wallMs);
+        w.kv("delta_instrs_per_sec", wall->deltaInstrsPerSec);
+    }
     w.key("components").beginObject();
     for (unsigned c = 0; c < PrefetchTracer::numComponents; ++c) {
         if (s.issued[c] == 0 && s.hits[c] == 0)
@@ -128,9 +144,28 @@ sumRange(const IntervalSample &s, unsigned lo, unsigned hi)
 void
 IntervalSampler::emit(const IntervalSample &s)
 {
+    // Normally anchored by beginMeasurement(); the lazy fallback
+    // covers restored runs, where record() resumes without another
+    // beginMeasurement() (the anchors are host state and are never
+    // snapshotted) -- the first streamed row of the resumed process
+    // restarts the throughput baseline.
+    std::uint64_t now = telemetry::nowNs();
+    if (wallAnchorNs_ == 0) {
+        wallAnchorNs_ = now;
+        lastEmitNs_ = now;
+    }
+    WallCols wall;
+    wall.wallMs = 1e-6 * static_cast<double>(now - wallAnchorNs_);
+    std::uint64_t elapsed = now - lastEmitNs_;
+    wall.deltaInstrsPerSec =
+        elapsed > 0 ? static_cast<double>(s.instrDelta) /
+                          (1e-9 * static_cast<double>(elapsed))
+                    : 0.0;
+    lastEmitNs_ = now;
+
     if (format_ == IntervalFormat::Jsonl) {
         json::Writer w(*sink_);
-        writeSampleJson(w, s);
+        writeSampleJson(w, s, &wall);
         *sink_ << '\n';
         return;
     }
@@ -141,7 +176,8 @@ IntervalSampler::emit(const IntervalSample &s)
                   "istlb_misses,istlb_mpki,pb_hits,pb_hit_rate,"
                   "demand_walks_instr,prefetch_walks,freq_resets,"
                   "walker_occupancy,irip_issued,irip_hits,"
-                  "sdp_issued,sdp_hits,icache_issued,icache_hits\n";
+                  "sdp_issued,sdp_hits,icache_issued,icache_hits,"
+                  "wall_ms,delta_instrs_per_sec\n";
         wroteCsvHeader_ = true;
     }
     auto [irip_issued, irip_hits] =
@@ -164,7 +200,10 @@ IntervalSampler::emit(const IntervalSample &s)
     std::snprintf(buf, sizeof(buf), "%.4f", s.walkerOccupancy);
     *sink_ << buf << ',' << irip_issued << ',' << irip_hits << ','
            << sdp_issued << ',' << sdp_hits << ',' << ic_issued
-           << ',' << ic_hits << '\n';
+           << ',' << ic_hits << ',';
+    std::snprintf(buf, sizeof(buf), "%.3f,%.0f", wall.wallMs,
+                  wall.deltaInstrsPerSec);
+    *sink_ << buf << '\n';
 }
 
 void

@@ -14,6 +14,14 @@
  * programmatic access (tests, the --stats-json "intervals" array),
  * and optionally streams each epoch to a sink as JSONL or CSV so no
  * epoch is lost when the ring wraps.
+ *
+ * Streamed rows (schema v2) additionally carry host wall-clock
+ * columns -- wall_ms since measurement start and the interval's
+ * delta_instrs_per_sec -- so a live tail of the JSONL/CSV shows
+ * simulator throughput as it runs. The ring (and therefore the
+ * --stats-json "intervals" array and snapshot images) deliberately
+ * omits them: everything that feeds result artifacts compared for
+ * bit-identity must stay deterministic.
  */
 
 #ifndef MORRIGAN_SIM_INTERVAL_SAMPLER_HH
@@ -124,6 +132,11 @@ class IntervalSampler
     IntervalInputs prev_{};
     std::uint64_t epochs_ = 0;
     std::deque<IntervalSample> ring_;
+
+    // Wall-clock anchors for the streamed throughput columns; host
+    // time only, never serialized and never part of the ring.
+    std::uint64_t wallAnchorNs_ = 0;
+    std::uint64_t lastEmitNs_ = 0;
 };
 
 } // namespace morrigan

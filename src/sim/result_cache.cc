@@ -14,6 +14,7 @@
 #include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace morrigan
 {
@@ -414,26 +415,31 @@ ResultCache::global()
 bool
 ResultCache::lookup(const std::string &key, SimResult &out)
 {
+    telemetry::ScopedSpan span(telemetry::Phase::CacheLookup);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         ++counts_.hits;
+        telemetry::add(telemetry::Counter::ResultCacheHits);
         out = it->second;
         return true;
     }
     if (!diskDir_.empty() && diskLookup(key, out)) {
         ++counts_.hits;
         ++counts_.diskHits;
+        telemetry::add(telemetry::Counter::ResultCacheHits);
         entries_.emplace(key, out);
         return true;
     }
     ++counts_.misses;
+    telemetry::add(telemetry::Counter::ResultCacheMisses);
     return false;
 }
 
 void
 ResultCache::insert(const std::string &key, const SimResult &result)
 {
+    telemetry::ScopedSpan span(telemetry::Phase::CacheInsert);
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, fresh] = entries_.try_emplace(key, result);
     if (!fresh)

@@ -15,6 +15,7 @@
 
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/telemetry.hh"
 #include "sim/result_cache.hh"
 #include "sim/simulator.hh"
 
@@ -117,6 +118,7 @@ buildJob(const ExperimentJob &job)
 ExperimentOutput
 executeJob(const ExperimentJob &job, const JobExecutionOptions &opts)
 {
+    telemetry::ScopedSpan job_span(telemetry::Phase::WorkerRun);
     JobAssembly a = buildJob(job);
 
     // Restore chain: a checkpoint (mid-run, furthest along) beats a
@@ -125,30 +127,38 @@ executeJob(const ExperimentJob &job, const JobExecutionOptions &opts)
     // mismatch -- discards it: the assembly is rebuilt and the job
     // re-simulates. Snapshots accelerate; they never gate.
     bool resumed = false;
-    if (!opts.checkpointPath.empty() &&
-        ::access(opts.checkpointPath.c_str(), F_OK) == 0) {
-        try {
-            a.sim->restoreCheckpoint(opts.checkpointPath);
-            resumed = true;
-        } catch (const SnapshotError &e) {
-            warn("discarding checkpoint %s: %s",
-                 opts.checkpointPath.c_str(), e.what());
-            a = buildJob(job);
-        }
-    }
-    if (!resumed && !opts.warmupImagePath.empty()) {
-        if (::access(opts.warmupImagePath.c_str(), F_OK) == 0) {
+    {
+        telemetry::ScopedSpan span(telemetry::Phase::SimRestore);
+        if (!opts.checkpointPath.empty() &&
+            ::access(opts.checkpointPath.c_str(), F_OK) == 0) {
             try {
-                a.sim->restoreCheckpoint(opts.warmupImagePath);
+                a.sim->restoreCheckpoint(opts.checkpointPath);
                 resumed = true;
             } catch (const SnapshotError &e) {
-                warn("discarding warmup image %s: %s",
-                     opts.warmupImagePath.c_str(), e.what());
+                warn("discarding checkpoint %s: %s",
+                     opts.checkpointPath.c_str(), e.what());
                 a = buildJob(job);
             }
         }
-        if (!resumed)
-            a.sim->setWarmupImagePath(opts.warmupImagePath);
+        if (!resumed && !opts.warmupImagePath.empty()) {
+            if (::access(opts.warmupImagePath.c_str(), F_OK) == 0) {
+                try {
+                    a.sim->restoreCheckpoint(opts.warmupImagePath);
+                    resumed = true;
+                    telemetry::add(
+                        telemetry::Counter::WarmupImageHits);
+                } catch (const SnapshotError &e) {
+                    warn("discarding warmup image %s: %s",
+                         opts.warmupImagePath.c_str(), e.what());
+                    a = buildJob(job);
+                }
+            }
+            if (!resumed) {
+                telemetry::add(
+                    telemetry::Counter::WarmupImageMisses);
+                a.sim->setWarmupImagePath(opts.warmupImagePath);
+            }
+        }
     }
     if (!opts.checkpointPath.empty() && opts.checkpointEvery != 0)
         a.sim->setCheckpointing(opts.checkpointPath,

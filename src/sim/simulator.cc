@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "icache/fnl_mma.hh"
 
 namespace morrigan
@@ -178,6 +179,7 @@ Simulator::pbInsert(Vpn vpn, const PbEntry &entry)
 void
 Simulator::issueTlbPrefetch(const PrefetchRequest &req)
 {
+    telemetry::ScopedSpan span(telemetry::Phase::PrefetchWalk);
     std::uint64_t trace_id =
         tracer_ ? tracer_->onIssued(req.tag, req.vpn, now()) : 0;
 
@@ -238,6 +240,7 @@ Simulator::engagePrefetcher(Vpn vpn, Addr pc, unsigned tid)
 {
     if (!prefetcher_)
         return;
+    telemetry::ScopedSpan span(telemetry::Phase::PrefetcherEngage);
     reqScratch_.clear();
     prefetcher_->onInstrStlbMiss(vpn, pc, tid, reqScratch_);
     for (const PrefetchRequest &req : reqScratch_)
@@ -335,6 +338,7 @@ Simulator::resolveInstrTranslation(Vpn vpn, Addr pc, unsigned tid)
     }
 
     if (!covered) {
+        telemetry::ScopedSpan span(telemetry::Phase::DemandWalk);
         WalkResult wr =
             walker_.walk(vpn, WalkKind::Demand, now(), true);
         ++c_.demandWalksInstr;
@@ -411,6 +415,8 @@ Simulator::handleICachePrefetches(Addr pc, bool l1i_miss, Pfn cur_pfn,
                 // The I-cache prefetcher triggers its own prefetch
                 // page walk and stores the PTE in the PB
                 // (Section 3.5's extended IPC-1 configuration).
+                telemetry::ScopedSpan span(
+                    telemetry::Phase::PrefetchWalk);
                 ++c_.icacheCrossPageNeedingWalk;
                 PbEntry entry;
                 entry.tag.producer = PrefetchProducer::ICache;
@@ -498,6 +504,7 @@ Simulator::handleData(Addr va, unsigned tid)
         cycles_ += stall;
         c_.dataStallCycles += stall;
     } else if (tr.level == TlbHitLevel::Miss) {
+        telemetry::ScopedSpan span(telemetry::Phase::DataWalk);
         ++c_.dstlbMisses;
         WalkResult wr = walker_.walk(vpn, WalkKind::Demand, now(),
                                      true);
@@ -570,6 +577,7 @@ Simulator::simulateInstruction(const TraceRecord &rec, unsigned tid)
 void
 Simulator::takeIntervalSample()
 {
+    telemetry::ScopedSpan span(telemetry::Phase::IntervalSample);
     IntervalInputs in;
     in.instructions = c_.instructions;
     in.cycles = cycles_ - measureStartCycles_;
@@ -612,6 +620,10 @@ SimResult
 Simulator::run()
 {
     fatal_if(numThreads_ == 0, "no workload attached");
+    // Everything per-instruction (workload generation, TLB/PSC hit
+    // lookups) lands in this span's *self* time; miss-path events
+    // below carry their own child spans (see common/telemetry.hh).
+    telemetry::ScopedSpan span(telemetry::Phase::SimRun);
 
     // Basic-block-grained round robin between SMT threads. Progress
     // within the phase is c_.instructions (it starts from zero at
@@ -902,6 +914,7 @@ Simulator::restore(SnapshotReader &r)
 void
 Simulator::saveCheckpoint(const std::string &path) const
 {
+    telemetry::ScopedSpan span(telemetry::Phase::CheckpointSave);
     SnapshotWriter w;
     save(w);
     w.writeToFile(path, progressInstructions(), totalInstructions());

@@ -25,6 +25,7 @@
 #include "common/json_reader.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/telemetry.hh"
 #include "sim/result_cache.hh"
 
 namespace morrigan
@@ -115,6 +116,7 @@ writeJournalLine(std::ostream &os, const std::string &key,
     w.kv("key", key);
     w.kv("status", runStatusName(o.status));
     w.kv("attempts", std::uint64_t{o.attempts});
+    w.kv("duration_ms", o.durationMs);
     if (o.ok()) {
         w.key("result").rawValue([&](std::ostream &ro) {
             writeSimResultJson(ro, o.output.result);
@@ -168,6 +170,9 @@ parseJournalLine(const std::string &line, std::string &key,
     RunOutcome o;
     o.status = *status;
     o.attempts = static_cast<unsigned>(attempts);
+    // Optional since journal schema v1 records predate it; absent
+    // keys simply leave the replayed duration at 0.
+    json::getU64(doc, "duration_ms", o.durationMs);
     if (o.ok()) {
         const json::Value *res = doc.find("result");
         if (!res || !simResultFromJson(*res, o.output.result))
@@ -327,6 +332,84 @@ struct ThreadAttempt
 std::mutex defaultOptionsMutex;
 std::optional<SupervisorOptions> defaultOptionsOverride;
 
+/**
+ * Rate-limited campaign progress line (stderr). Purely
+ * observational; every member is touched only from the single
+ * scheduler thread that owns the campaign, so no locking. The
+ * instrs/sec figure counts *simulated* instructions of finalized
+ * jobs (warmup + measure budget) per wall second -- a throughput
+ * number comparable across campaigns, not a per-attempt profile.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::uint64_t every_ms, std::size_t total_jobs)
+        : everyMs_(every_ms), total_(total_jobs),
+          start_(Clock::now()), nextPrint_(start_)
+    {
+    }
+
+    void jobDone(std::uint64_t simulated_instructions)
+    {
+        ++done_;
+        instructions_ += simulated_instructions;
+    }
+
+    void retryScheduled() { ++retries_; }
+
+    void maybePrint(std::size_t running)
+    {
+        if (everyMs_ == 0 || total_ == 0)
+            return;
+        const Clock::time_point now = Clock::now();
+        if (now < nextPrint_)
+            return;
+        nextPrint_ = now + std::chrono::milliseconds(everyMs_);
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        const ResultCache::Counts cc = ResultCache::global().counts();
+        const std::uint64_t probes = cc.hits + cc.misses;
+        const double hit_rate =
+            probes > 0 ? 100.0 * static_cast<double>(cc.hits) /
+                             static_cast<double>(probes)
+                       : 0.0;
+        const double mips =
+            elapsed > 0.0
+                ? static_cast<double>(instructions_) / elapsed / 1e6
+                : 0.0;
+        std::string eta = "?";
+        if (done_ > 0 && elapsed > 0.0) {
+            const double per_job = elapsed / static_cast<double>(done_);
+            eta = csprintf(
+                "%.0fs",
+                per_job * static_cast<double>(total_ - done_));
+        }
+        std::fprintf(stderr,
+                     "[supervisor] %zu/%zu done, %zu running, "
+                     "%zu retried, cache %.0f%% hit, "
+                     "%.1fM instr/s, ETA %s\n",
+                     done_, total_, running, retries_, hit_rate,
+                     mips, eta.c_str());
+    }
+
+  private:
+    std::uint64_t everyMs_;
+    std::size_t total_;
+    Clock::time_point start_;
+    Clock::time_point nextPrint_;
+    std::size_t done_ = 0;
+    std::size_t retries_ = 0;
+    std::uint64_t instructions_ = 0;
+};
+
+/** Simulated-instruction budget a finalized job contributes to the
+ * campaign throughput figure. */
+std::uint64_t
+jobInstructionBudget(const ExperimentJob &job)
+{
+    return job.cfg.warmupInstructions + job.cfg.simInstructions;
+}
+
 } // namespace
 
 const char *
@@ -361,6 +444,9 @@ SupervisorOptions::fromEnv()
         o.checkpointEveryInstructions =
             parseEnvU64("MORRIGAN_CHECKPOINT_EVERY", e, 1,
                         std::uint64_t{1} << 40);
+    if (const char *e = std::getenv("MORRIGAN_PROGRESS_MS"))
+        o.progressEveryMs =
+            parseEnvU64("MORRIGAN_PROGRESS_MS", e, 1, 3'600'000);
     return o;
 }
 
@@ -373,10 +459,11 @@ FailureManifest::global()
 
 void
 FailureManifest::add(const std::string &label,
-                     const RunFailure &failure, unsigned attempts)
+                     const RunFailure &failure, unsigned attempts,
+                     std::uint64_t duration_ms)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.push_back({label, failure, attempts});
+    entries_.push_back({label, failure, attempts, duration_ms});
 }
 
 std::vector<FailureManifest::Entry>
@@ -414,6 +501,7 @@ FailureManifest::writeJson(std::ostream &os) const
         w.kv("signal", e.failure.signal);
         w.kv("repro", e.failure.repro);
         w.kv("attempts", std::uint64_t{e.attempts});
+        w.kv("duration_ms", e.durationMs);
         w.endObject();
     }
     w.endArray();
@@ -579,6 +667,7 @@ CampaignJournal::record(const std::string &key,
 {
     if (fd_ < 0)
         return;
+    telemetry::ScopedSpan span(telemetry::Phase::JournalAppend);
     std::ostringstream ss;
     writeJournalLine(ss, key, outcome);
     ss << '\n';
@@ -597,6 +686,7 @@ CampaignJournal::record(const std::string &key,
         } while (n < 0 && errno == EINTR);
         if (n == static_cast<ssize_t>(line.size())) {
             ::fsync(fd_);
+            telemetry::add(telemetry::Counter::Fsyncs);
             return;
         }
         if (n < 0) {
@@ -613,6 +703,7 @@ CampaignJournal::record(const std::string &key,
     warn("journal: short write persists; record dropped (that job "
          "will rerun on resume)");
     ::fsync(fd_);
+    telemetry::add(telemetry::Counter::Fsyncs);
 }
 
 Supervisor::Supervisor(SupervisorOptions opt) : opt_(std::move(opt))
@@ -787,7 +878,8 @@ Supervisor::run(const std::vector<ExperimentJob> &batch)
         if (!out[i].ok() && !is_copy[i])
             FailureManifest::global().add(jobLabel(batch[i]),
                                           out[i].failure,
-                                          out[i].attempts);
+                                          out[i].attempts,
+                                          out[i].durationMs);
     return out;
 }
 
@@ -799,13 +891,24 @@ Supervisor::superviseInline(const ExperimentJob &job,
     RunOutcome o;
     for (unsigned attempt = 1; attempt <= opt_.maxAttempts;
          ++attempt) {
-        if (attempt > 1)
+        if (attempt > 1) {
+            telemetry::ScopedSpan span(
+                telemetry::Phase::RetryBackoff);
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 retryDelayMs(retry_key, attempt, opt_)));
+        }
+        const Clock::time_point began = Clock::now();
+        auto attempt_ms = [&] {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - began)
+                    .count());
+        };
         try {
             o.output = executeJob(job);
             o.status = RunStatus::Ok;
             o.attempts = attempt;
+            o.durationMs = attempt_ms();
             return o;
         } catch (const std::exception &e) {
             o.failure.what = e.what();
@@ -816,6 +919,7 @@ Supervisor::superviseInline(const ExperimentJob &job,
         o.failure.status = RunStatus::Failed;
         o.failure.repro = jobReproCommand(job);
         o.attempts = attempt;
+        o.durationMs = attempt_ms();
     }
     return o;
 }
@@ -839,6 +943,8 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
     for (std::size_t w : work)
         pending.push_back({w, 1, start});
 
+    ProgressMeter meter(opt_.progressEveryMs, work.size());
+
     struct Active
     {
         std::shared_ptr<ThreadAttempt> att;
@@ -847,13 +953,22 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
         unsigned attempt;
         Clock::time_point deadline;
         std::uint64_t timeoutMs;
+        Clock::time_point launched;
     };
     std::vector<Active> active;
+
+    auto elapsed_ms = [](Clock::time_point since) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - since)
+                .count());
+    };
 
     auto handle_failure = [&](std::size_t idx, unsigned attempt,
                               RunStatus status,
                               const std::string &what,
-                              bool allow_retry) {
+                              bool allow_retry,
+                              std::uint64_t duration_ms) {
         if (allow_retry && attempt < opt_.maxAttempts) {
             const std::string retry_key =
                 keys[idx].empty() ? jobLabel(batch[idx]) : keys[idx];
@@ -862,15 +977,18 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                  Clock::now() +
                      std::chrono::milliseconds(retryDelayMs(
                          retry_key, attempt + 1, opt_))});
+            meter.retryScheduled();
             return;
         }
         RunOutcome &o = out[idx];
         o.status = status;
         o.attempts = attempt;
+        o.durationMs = duration_ms;
         o.failure.status = status;
         o.failure.what = what;
         o.failure.repro = jobReproCommand(batch[idx]);
         publish(idx);
+        meter.jobDone(jobInstructionBudget(batch[idx]));
     };
 
     while (!pending.empty() || !active.empty()) {
@@ -914,7 +1032,7 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
             active.push_back({std::move(att), std::move(th),
                               it->idx, it->attempt,
                               now + std::chrono::milliseconds(tmo),
-                              tmo});
+                              tmo, now});
             it = pending.erase(it);
         }
 
@@ -946,7 +1064,10 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                     o.status = RunStatus::Ok;
                     o.output = std::move(it->att->output);
                     o.attempts = it->attempt;
+                    o.durationMs = elapsed_ms(it->launched);
                     publish(it->idx);
+                    meter.jobDone(
+                        jobInstructionBudget(batch[it->idx]));
                     // The finished result is durable (cache +
                     // journal); the mid-run checkpoint is now dead
                     // weight.
@@ -956,7 +1077,8 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                 } else {
                     handle_failure(it->idx, it->attempt,
                                    RunStatus::Failed,
-                                   it->att->what, true);
+                                   it->att->what, true,
+                                   elapsed_ms(it->launched));
                 }
                 it = active.erase(it);
             } else if (now >= it->deadline) {
@@ -978,12 +1100,13 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
                              "--isolate for hard kills and retries)",
                              static_cast<unsigned long long>(
                                  it->timeoutMs)),
-                    false);
+                    false, elapsed_ms(it->launched));
                 it = active.erase(it);
             } else {
                 ++it;
             }
         }
+        meter.maybePrint(active.size());
     }
 }
 
@@ -1005,6 +1128,8 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
     for (std::size_t w : work)
         pending.push_back({w, 1, start});
 
+    ProgressMeter meter(opt_.progressEveryMs, work.size());
+
     struct Child
     {
         pid_t pid;
@@ -1017,9 +1142,17 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         Clock::time_point deadline;
         std::uint64_t timeoutMs;
         std::string checkpointPath;
+        Clock::time_point launched;
         bool watchdogKilled = false;
     };
     std::vector<Child> children;
+
+    auto elapsed_ms = [](Clock::time_point since) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - since)
+                .count());
+    };
 
     auto handle_failure = [&](const Child &c, RunStatus status,
                               const std::string &what, int sig) {
@@ -1032,17 +1165,20 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                  Clock::now() +
                      std::chrono::milliseconds(retryDelayMs(
                          retry_key, c.attempt + 1, opt_))});
+            meter.retryScheduled();
             return;
         }
         RunOutcome &o = out[c.idx];
         o.status = status;
         o.attempts = c.attempt;
+        o.durationMs = elapsed_ms(c.launched);
         o.failure.status = status;
         o.failure.what = what;
         o.failure.signal = sig;
         o.failure.stderrTail = tailOf(c.stderrBuf);
         o.failure.repro = jobReproCommand(batch[c.idx]);
         publish(c.idx);
+        meter.jobDone(jobInstructionBudget(batch[c.idx]));
     };
 
     auto classify = [&](Child &c, int status) {
@@ -1071,8 +1207,10 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         if (code == 0 && parsed == 1) {
             o.status = RunStatus::Ok;
             o.attempts = c.attempt;
+            o.durationMs = elapsed_ms(c.launched);
             out[c.idx] = std::move(o);
             publish(c.idx);
+            meter.jobDone(jobInstructionBudget(batch[c.idx]));
             // Result is durable; drop the mid-run checkpoint.
             if (!c.checkpointPath.empty())
                 ::unlink(c.checkpointPath.c_str());
@@ -1101,20 +1239,26 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                 continue;
             }
             int rp[2], ep[2];
-            if (::pipe(rp) != 0)
-                fatal("pipe: %s", std::strerror(errno));
-            if (::pipe(ep) != 0)
-                fatal("pipe: %s", std::strerror(errno));
-            // The deadline is sized to what is left: a retry that
-            // resumes from the previous attempt's checkpoint gets a
-            // budget for the remaining instructions, not the whole
-            // run again (read before fork so parent and child agree
-            // on which image the attempt starts from).
-            const JobExecutionOptions opts =
-                jobOptions(batch[it->idx], keys[it->idx]);
-            const std::uint64_t tmo =
-                attemptTimeoutMs(batch[it->idx], opts);
-            const pid_t pid = ::fork();
+            JobExecutionOptions opts;
+            std::uint64_t tmo = 0;
+            pid_t pid = -1;
+            {
+                telemetry::ScopedSpan span(
+                    telemetry::Phase::SandboxSpawn);
+                if (::pipe(rp) != 0)
+                    fatal("pipe: %s", std::strerror(errno));
+                if (::pipe(ep) != 0)
+                    fatal("pipe: %s", std::strerror(errno));
+                // The deadline is sized to what is left: a retry
+                // that resumes from the previous attempt's
+                // checkpoint gets a budget for the remaining
+                // instructions, not the whole run again (read before
+                // fork so parent and child agree on which image the
+                // attempt starts from).
+                opts = jobOptions(batch[it->idx], keys[it->idx]);
+                tmo = attemptTimeoutMs(batch[it->idx], opts);
+                pid = ::fork();
+            }
             if (pid < 0)
                 fatal("fork: %s", std::strerror(errno));
             if (pid == 0) {
@@ -1129,7 +1273,7 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
             children.push_back(
                 {pid, it->idx, it->attempt, rp[0], ep[0], "", "",
                  now + std::chrono::milliseconds(tmo), tmo,
-                 opts.checkpointPath});
+                 opts.checkpointPath, now});
             it = pending.erase(it);
         }
 
@@ -1164,7 +1308,12 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                           : static_cast<int>(std::min<long long>(
                                 delta + 1, 60'000));
         }
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
+        {
+            telemetry::ScopedSpan span(
+                telemetry::Phase::SandboxWait);
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   poll_ms);
+        }
 
         for (std::size_t fi = 0; fi < fds.size(); ++fi) {
             if (!(fds[fi].revents & (POLLIN | POLLHUP | POLLERR)))
@@ -1200,6 +1349,7 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                 ++it;
             }
         }
+        meter.maybePrint(children.size());
     }
 }
 

@@ -84,6 +84,10 @@ struct RunOutcome
     /** Executions performed: 0 for cache hits; journal replays
      * keep the recording campaign's count. */
     unsigned attempts = 1;
+    /** Wall-clock time of the *final* attempt in ms (0 for cache
+     * hits; journal replays keep the recording campaign's value), so
+     * post-mortems can tell slow jobs from hung ones. */
+    std::uint64_t durationMs = 0;
     bool fromJournal = false;
     bool fromCache = false;
     /** Structural invariant violations observed inside a sandboxed
@@ -129,6 +133,14 @@ struct SupervisorOptions
     /** Checkpoint autosave interval in executed instructions. */
     std::uint64_t checkpointEveryInstructions = 1'000'000;
 
+    /**
+     * Emit a campaign progress line to stderr at most every this
+     * many ms (jobs done/running/retried, result-cache hit rate,
+     * aggregate simulated instrs/sec, ETA); 0 disables. Observation
+     * only -- never affects scheduling or results.
+     */
+    std::uint64_t progressEveryMs = 0;
+
     /** Worker count; 0 defers to defaultJobs(). */
     unsigned jobs = 0;
 
@@ -137,8 +149,9 @@ struct SupervisorOptions
 
     /** Resolve MORRIGAN_ISOLATE / MORRIGAN_JOB_TIMEOUT (seconds) /
      * MORRIGAN_JOB_RETRIES / MORRIGAN_JOURNAL /
-     * MORRIGAN_CHECKPOINT_DIR / MORRIGAN_CHECKPOINT_EVERY on top of
-     * defaults; junk values are fatal. */
+     * MORRIGAN_CHECKPOINT_DIR / MORRIGAN_CHECKPOINT_EVERY /
+     * MORRIGAN_PROGRESS_MS on top of defaults; junk values are
+     * fatal. */
     static SupervisorOptions fromEnv();
 };
 
@@ -154,18 +167,21 @@ class FailureManifest
         std::string label; //!< human-readable job identity
         RunFailure failure;
         unsigned attempts = 0;
+        /** Final attempt's wall-clock ms (see
+         * RunOutcome::durationMs). */
+        std::uint64_t durationMs = 0;
     };
 
     static FailureManifest &global();
 
     void add(const std::string &label, const RunFailure &failure,
-             unsigned attempts);
+             unsigned attempts, std::uint64_t duration_ms = 0);
     std::vector<Entry> entries() const;
     std::size_t size() const;
     void clear();
 
     /** JSON array of {label, status, what, signal, repro,
-     * attempts}. */
+     * attempts, duration_ms}. */
     void writeJson(std::ostream &os) const;
 
   private:

@@ -18,8 +18,18 @@ A candidate produced by a campaign that lost jobs (crashes, timeouts
 artifact never passes, and the manifest is echoed so CI logs say
 *which* jobs died rather than just "rows disappeared".
 
+Two gating modes:
+
+  - default (figure regression): each row must match the golden
+    within --rtol/--atol, both directions.
+  - --min-ratio R (throughput): one-sided -- a row passes when
+    candidate >= R * golden. Throughput varies with machine load, so
+    a symmetric tolerance would be flaky; only a real slowdown below
+    the ratio floor fails, and faster-than-golden always passes.
+
 Usage:
   compare_bench_json.py --rtol 0.02 CANDIDATE GOLDEN
+  compare_bench_json.py --min-ratio 0.7 CANDIDATE GOLDEN
 """
 
 import argparse
@@ -109,6 +119,11 @@ def main():
                     help="relative tolerance per row (default 0.02)")
     ap.add_argument("--atol", type=float, default=1e-9,
                     help="absolute floor for near-zero rows")
+    ap.add_argument("--min-ratio", type=float, default=None,
+                    help="one-sided throughput gate: pass a row when "
+                         "candidate >= MIN_RATIO * golden (replaces "
+                         "the rtol check; 0.7 is the CI default for "
+                         "BENCH_Throughput.json)")
     args = ap.parse_args()
 
     cand_doc = load_doc(args.candidate)
@@ -119,8 +134,12 @@ def main():
     failures = report_failure_manifest(cand_doc, args.candidate)
     missing = 0
     width = max(len(label) for _, label in (cand.keys() | gold.keys()))
-    print(f"comparing {args.candidate} vs {args.golden} "
-          f"(rtol {args.rtol:g})")
+    if args.min_ratio is not None:
+        print(f"comparing {args.candidate} vs {args.golden} "
+              f"(min-ratio {args.min_ratio:g}, one-sided)")
+    else:
+        print(f"comparing {args.candidate} vs {args.golden} "
+              f"(rtol {args.rtol:g})")
     print(f"  {'row':<{width}} {'golden':>12} {'candidate':>12} "
           f"{'delta':>10}  verdict")
 
@@ -147,8 +166,16 @@ def main():
             continue
         delta = cv - gv
         rel = delta / gv if gv else math.inf if delta else 0.0
-        ok = within(cv, gv, args.rtol, args.atol)
-        verdict = "ok" if ok else f"FAIL (rel {rel:+.2%})"
+        if args.min_ratio is not None:
+            ratio = (cv / gv) if gv else math.inf
+            ok = (not math.isnan(cv) and not math.isnan(gv)
+                  and cv >= args.min_ratio * gv)
+            verdict = ("ok" if ok else
+                       f"FAIL (ratio {ratio:.2f} < "
+                       f"{args.min_ratio:g})")
+        else:
+            ok = within(cv, gv, args.rtol, args.atol)
+            verdict = "ok" if ok else f"FAIL (rel {rel:+.2%})"
         print(f"  {label:<{width}} {gv:>12.4f} {cv:>12.4f} "
               f"{delta:>+10.4f}  {verdict}")
         failures += 0 if ok else 1

@@ -65,6 +65,9 @@ usage()
         "with the same parameters resumes completed runs\n"
         "  --no-m5             skip the checkpoint/restore "
         "bit-identity invariant (M5), saving one extra run per "
+        "seed\n"
+        "  --no-m6             skip the telemetry on/off "
+        "bit-identity invariant (M6), saving two extra runs per "
         "seed\n");
 }
 
@@ -139,6 +142,8 @@ main(int argc, char **argv)
             opt.journalPath = next();
         } else if (arg == "--no-m5") {
             opt.checkpointInvariant = false;
+        } else if (arg == "--no-m6") {
+            opt.telemetryInvariant = false;
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();

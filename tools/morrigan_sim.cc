@@ -31,8 +31,10 @@
 #include "common/snapshot.hh"
 
 #include "check/invariants.hh"
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "core/morrigan.hh"
 #include "core/prefetcher_factory.hh"
 #include "sim/experiment.hh"
@@ -115,7 +117,18 @@ usage()
         "(MORRIGAN_CHECKPOINT_DIR)\n"
         "  --warmup-cache DIR    reuse warmed-up snapshots keyed by "
         "(workload, prefetcher, system) across batch jobs "
-        "(MORRIGAN_WARMUP_CACHE)\n");
+        "(MORRIGAN_WARMUP_CACHE)\n"
+        "  --telemetry           collect self-profiling phase "
+        "timers/counters; adds a telemetry section (with "
+        "instrs_per_sec) to --stats-json\n"
+        "  --trace-events FILE   record every span and export Chrome "
+        "trace-event JSON to FILE at exit (chrome://tracing, "
+        "Perfetto); implies --telemetry\n"
+        "  --progress MS         periodic campaign progress line on "
+        "stderr, at most every MS ms (batch modes; "
+        "MORRIGAN_PROGRESS_MS)\n"
+        "  --version             print build identity (git SHA, "
+        "compiler, flags) and exit\n");
 }
 
 /**
@@ -261,12 +274,17 @@ writeResultJson(std::ostream &os, const SimResult &r)
  */
 void
 writeStatsJsonDocument(std::ostream &os, Simulator &sim,
-                       const SimResult &r)
+                       const SimResult &r, double run_seconds)
 {
     json::Writer w(os);
     w.beginObject();
     w.kv("schema", "morrigan-stats");
     w.kv("version", json::statsSchemaVersion);
+    // Deterministic per binary, so safe in byte-compared documents.
+    w.key("build_info").rawValue([](std::ostream &o) {
+        json::Writer bw(o);
+        writeBuildInfoJson(bw);
+    });
     w.kv("workload", r.workload);
     w.kv("prefetcher", r.prefetcher);
     w.key("result").rawValue(
@@ -281,6 +299,27 @@ writeStatsJsonDocument(std::ostream &os, Simulator &sim,
         w.key("intervals").rawValue([&](std::ostream &o) {
             sim.intervalSampler()->writeRingJson(o);
         });
+    // Wall-clock figures are nondeterministic, so this section only
+    // appears when the user armed --telemetry: byte-comparing
+    // documents (the CI resume-identity check) stays valid by
+    // default.
+    if (telemetry::enabled())
+        w.key("telemetry").rawValue([&](std::ostream &o) {
+            json::Writer tw(o);
+            tw.beginObject();
+            tw.kv("run_seconds", run_seconds);
+            tw.kv("instrs_per_sec",
+                  run_seconds > 0.0
+                      ? static_cast<double>(r.instructions) /
+                            run_seconds
+                      : 0.0);
+            tw.key("report").rawValue([](std::ostream &ro) {
+                json::Writer rw(ro);
+                telemetry::writeReportJson(rw,
+                                           telemetry::snapshot());
+            });
+            tw.endObject();
+        });
     // Batch jobs (--baseline) that failed permanently: degraded
     // campaigns must say what is missing.
     if (FailureManifest::global().size() > 0)
@@ -289,6 +328,22 @@ writeStatsJsonDocument(std::ostream &os, Simulator &sim,
         });
     w.endObject();
     os << '\n';
+}
+
+/** Export the span buffer as Chrome trace-event JSON (all exits). */
+void
+exportTraceEvents(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string err;
+    if (!telemetry::writeChromeTrace(path, &err))
+        warn("cannot write --trace-events file: %s", err.c_str());
+    else
+        std::fprintf(stderr,
+                     "trace events written to %s (load in "
+                     "chrome://tracing or Perfetto)\n",
+                     path.c_str());
 }
 
 } // namespace
@@ -314,6 +369,8 @@ main(int argc, char **argv)
     std::uint64_t interval = 0;
     bool interval_csv = false;
     std::string checkpoint_path;
+    bool telemetry_on = false;
+    std::string trace_events_path;
     std::uint64_t checkpoint_every = 1'000'000;
     if (const char *e = std::getenv("MORRIGAN_CHECKPOINT_EVERY"))
         checkpoint_every = parseU64("MORRIGAN_CHECKPOINT_EVERY", e, 1,
@@ -344,6 +401,17 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
+        } else if (arg == "--version") {
+            std::printf("%s\n", buildInfoLine().c_str());
+            return 0;
+        } else if (arg == "--telemetry") {
+            telemetry_on = true;
+        } else if (arg == "--trace-events") {
+            trace_events_path = next();
+            telemetry_on = true;
+        } else if (arg == "--progress") {
+            sup.progressEveryMs =
+                parseU64(arg, next(), 1, 3'600'000);
         } else if (arg == "--workload") {
             workload_name = next();
         } else if (arg == "--smt-with") {
@@ -437,6 +505,11 @@ main(int argc, char **argv)
 
     sup.checkpointEveryInstructions = checkpoint_every;
     Supervisor::setDefaultOptions(sup);
+
+    if (telemetry_on)
+        telemetry::setEnabled(true);
+    if (!trace_events_path.empty())
+        telemetry::setTracing(true);
 
     cfg.checkLevel = check_level;
     if (check_level > 0) {
@@ -555,6 +628,10 @@ main(int argc, char **argv)
             w.beginObject();
             w.kv("schema", "morrigan-stats");
             w.kv("version", json::statsSchemaVersion);
+            w.key("build_info").rawValue([](std::ostream &o) {
+                json::Writer bw(o);
+                writeBuildInfoJson(bw);
+            });
             w.kv("mode", "sweep");
             w.kv("prefetcher", prefetcher_name);
             w.key("rows").beginArray();
@@ -575,6 +652,12 @@ main(int argc, char **argv)
             }
             w.endArray();
             w.kv("geomean_speedup_pct", geomean_pct);
+            if (telemetry::enabled())
+                w.key("telemetry").rawValue([](std::ostream &o) {
+                    json::Writer tw(o);
+                    telemetry::writeReportJson(
+                        tw, telemetry::snapshot());
+                });
             if (FailureManifest::global().size() > 0)
                 w.key("failures").rawValue([&](std::ostream &o) {
                     FailureManifest::global().writeJson(o);
@@ -582,6 +665,8 @@ main(int argc, char **argv)
             w.endObject();
             ofs << '\n';
         }
+
+        exportTraceEvents(trace_events_path);
 
         if (check_level > 0) {
             std::uint64_t checked = 0, mismatched = 0;
@@ -698,8 +783,18 @@ main(int argc, char **argv)
         sim.setCheckpointing(checkpoint_path, checkpoint_every);
     }
 
+    const std::uint64_t run_begin_ns = telemetry::nowNs();
     SimResult r = sim.run();
+    const double run_seconds =
+        1e-9 *
+        static_cast<double>(telemetry::nowNs() - run_begin_ns);
     printResult(r);
+    if (telemetry_on && run_seconds > 0.0)
+        std::printf("sim throughput      %.2fM instr/s "
+                    "(%.2fs wall)\n",
+                    static_cast<double>(r.instructions) /
+                        run_seconds / 1e6,
+                    run_seconds);
 
     // The run finished; the checkpoint would only make a rerun of
     // this command replay the tail of *this* run instead of
@@ -712,7 +807,7 @@ main(int argc, char **argv)
         if (!ofs)
             fatal("cannot open --stats-json file '%s'",
                   stats_json_path.c_str());
-        writeStatsJsonDocument(ofs, sim, r);
+        writeStatsJsonDocument(ofs, sim, r, run_seconds);
     }
 
     if (with_baseline) {
@@ -753,6 +848,8 @@ main(int argc, char **argv)
         std::printf("\n-- component statistics --\n");
         sim.rootStats().dump(std::cout);
     }
+
+    exportTraceEvents(trace_events_path);
 
     if (cfg.checkLevel > 0) {
         std::printf("diff-check          %llu translations, "
