@@ -5,6 +5,16 @@
  * Shared by the TLBs, the prefetch buffer, and the page structure
  * caches. The key is hashed to a set by its low-order bits, matching
  * hardware index functions for page-grained keys.
+ *
+ * Storage is struct-of-arrays: contiguous key / valid / lastUse /
+ * payload lanes indexed by (set * ways + way). A lookup touches only
+ * the key and valid lanes -- one short contiguous slice per probe --
+ * instead of striding through full Entry records, and the LRU victim
+ * scan reduces over the contiguous lastUse slice. Semantics (way
+ * scan order, victim choice, LRU updates, snapshot byte order) are
+ * identical to the original array-of-structs layout; the
+ * differential tests in tests/test_hotpath_diff.cc drive both
+ * layouts through identical op sequences to prove it.
  */
 
 #ifndef MORRIGAN_COMMON_ASSOC_TABLE_HH
@@ -43,17 +53,23 @@ class SetAssocTable
         numSets_ = entries / ways;
         fatal_if((numSets_ & (numSets_ - 1)) != 0,
                  "set count %u is not a power of two", numSets_);
-        sets_.assign(numSets_, std::vector<Entry>(ways_));
+        setMask_ = numSets_ - 1;
+        keys_.assign(entries, KeyT{});
+        values_.assign(entries, ValueT{});
+        valid_.assign(entries, 0);
+        lastUse_.assign(entries, 0);
     }
 
     /** Look up a key, updating LRU. @return payload or nullptr. */
     ValueT *
     find(KeyT key)
     {
-        for (Entry &e : setOf(key)) {
-            if (e.valid && e.key == key) {
-                e.lastUse = ++useClock_;
-                return &e.value;
+        const std::uint32_t base = baseOf(key);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint32_t i = base + w;
+            if (valid_[i] && keys_[i] == key) {
+                lastUse_[i] = ++useClock_;
+                return &values_[i];
             }
         }
         return nullptr;
@@ -63,9 +79,11 @@ class SetAssocTable
     const ValueT *
     probe(KeyT key) const
     {
-        for (const Entry &e : setOf(key)) {
-            if (e.valid && e.key == key)
-                return &e.value;
+        const std::uint32_t base = baseOf(key);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint32_t i = base + w;
+            if (valid_[i] && keys_[i] == key)
+                return &values_[i];
         }
         return nullptr;
     }
@@ -74,9 +92,11 @@ class SetAssocTable
     ValueT *
     probe(KeyT key)
     {
-        for (Entry &e : setOf(key)) {
-            if (e.valid && e.key == key)
-                return &e.value;
+        const std::uint32_t base = baseOf(key);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint32_t i = base + w;
+            if (valid_[i] && keys_[i] == key)
+                return &values_[i];
         }
         return nullptr;
     }
@@ -118,37 +138,45 @@ class SetAssocTable
                KeyT *evicted_key, ValueT *evicted_value,
                bool *installed = nullptr)
     {
-        auto &set = setOf(key);
-        for (Entry &e : set) {
-            if (e.valid && e.key == key) {
-                e.value = std::move(value);
-                e.lastUse = ++useClock_;
+        const std::uint32_t base = baseOf(key);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint32_t i = base + w;
+            if (valid_[i] && keys_[i] == key) {
+                values_[i] = std::move(value);
+                lastUse_[i] = ++useClock_;
                 return false;
             }
         }
-        Entry *victim = nullptr;
-        for (Entry &e : set) {
-            if (!e.valid) {
-                victim = &e;
+        // Victim: first invalid way, else the minimum-lastUse way
+        // (first one wins ties via the strict < comparison).
+        std::uint32_t victim = base;
+        bool have_victim = false;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint32_t i = base + w;
+            if (!valid_[i]) {
+                victim = i;
+                have_victim = true;
                 break;
             }
-            if (!victim || e.lastUse < victim->lastUse)
-                victim = &e;
+            if (!have_victim || lastUse_[i] < lastUse_[victim]) {
+                victim = i;
+                have_victim = true;
+            }
         }
-        if (no_evict && victim->valid) {
+        if (no_evict && valid_[victim]) {
             if (installed)
                 *installed = false;
             return false;
         }
-        bool evicted = victim->valid;
+        const bool evicted = valid_[victim] != 0;
         if (evicted && evicted_key)
-            *evicted_key = victim->key;
+            *evicted_key = keys_[victim];
         if (evicted && evicted_value)
-            *evicted_value = victim->value;
-        victim->key = key;
-        victim->value = std::move(value);
-        victim->valid = true;
-        victim->lastUse = ++useClock_;
+            *evicted_value = values_[victim];
+        keys_[victim] = key;
+        values_[victim] = std::move(value);
+        valid_[victim] = 1;
+        lastUse_[victim] = ++useClock_;
         if (!evicted)
             ++population_;
         return evicted;
@@ -160,9 +188,11 @@ class SetAssocTable
     bool
     erase(KeyT key)
     {
-        for (Entry &e : setOf(key)) {
-            if (e.valid && e.key == key) {
-                e.valid = false;
+        const std::uint32_t base = baseOf(key);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint32_t i = base + w;
+            if (valid_[i] && keys_[i] == key) {
+                valid_[i] = 0;
                 --population_;
                 return true;
             }
@@ -174,9 +204,8 @@ class SetAssocTable
     void
     flush()
     {
-        for (auto &set : sets_)
-            for (Entry &e : set)
-                e.valid = false;
+        std::fill(valid_.begin(), valid_.end(),
+                  static_cast<std::uint8_t>(0));
         population_ = 0;
     }
 
@@ -185,10 +214,10 @@ class SetAssocTable
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &set : sets_)
-            for (const Entry &e : set)
-                if (e.valid)
-                    fn(e.key, e.value);
+        const std::uint32_t n = numSets_ * ways_;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (valid_[i])
+                fn(keys_[i], values_[i]);
     }
 
     std::uint32_t capacity() const { return numSets_ * ways_; }
@@ -213,15 +242,14 @@ class SetAssocTable
         w.u32(ways_);
         w.u32(numSets_);
         w.u64(useClock_);
-        for (const auto &set : sets_) {
-            for (const Entry &e : set) {
-                w.b(e.valid);
-                if (!e.valid)
-                    continue;
-                w.u64(static_cast<std::uint64_t>(e.key));
-                w.u64(e.lastUse);
-                save_value(w, e.value);
-            }
+        const std::uint32_t n = numSets_ * ways_;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            w.b(valid_[i] != 0);
+            if (!valid_[i])
+                continue;
+            w.u64(static_cast<std::uint64_t>(keys_[i]));
+            w.u64(lastUse_[i]);
+            save_value(w, values_[i]);
         }
     }
 
@@ -246,45 +274,36 @@ class SetAssocTable
                 std::to_string(ways_));
         useClock_ = r.u64();
         population_ = 0;
-        for (auto &set : sets_) {
-            for (Entry &e : set) {
-                e.valid = r.b();
-                if (!e.valid) {
-                    e = Entry{};
-                    continue;
-                }
-                e.key = static_cast<KeyT>(r.u64());
-                e.lastUse = r.u64();
-                load_value(r, e.value);
-                ++population_;
+        const std::uint32_t n = numSets_ * ways_;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            valid_[i] = r.b() ? 1 : 0;
+            if (!valid_[i]) {
+                keys_[i] = KeyT{};
+                values_[i] = ValueT{};
+                lastUse_[i] = 0;
+                continue;
             }
+            keys_[i] = static_cast<KeyT>(r.u64());
+            lastUse_[i] = r.u64();
+            load_value(r, values_[i]);
+            ++population_;
         }
     }
 
   private:
-    struct Entry
+    std::uint32_t
+    baseOf(KeyT key) const
     {
-        KeyT key{};
-        ValueT value{};
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
-
-    std::vector<Entry> &
-    setOf(KeyT key)
-    {
-        return sets_[static_cast<std::uint32_t>(key) & (numSets_ - 1)];
-    }
-
-    const std::vector<Entry> &
-    setOf(KeyT key) const
-    {
-        return sets_[static_cast<std::uint32_t>(key) & (numSets_ - 1)];
+        return (static_cast<std::uint32_t>(key) & setMask_) * ways_;
     }
 
     std::uint32_t ways_;
     std::uint32_t numSets_;
-    std::vector<std::vector<Entry>> sets_;
+    std::uint32_t setMask_;
+    std::vector<KeyT> keys_;
+    std::vector<ValueT> values_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint64_t> lastUse_;
     std::uint64_t useClock_ = 0;
     std::uint32_t population_ = 0;
 };

@@ -62,6 +62,9 @@ constexpr unsigned maxPageTableLevels = 5;
 /** Number of index bits consumed by each radix level. */
 constexpr unsigned radixBits = 9;
 
+/** Entries per radix node (one physical frame of PTEs). */
+constexpr unsigned radixFanout = 1u << radixBits;
+
 /** Extract the virtual page number of a virtual address. */
 constexpr Vpn
 pageOf(Addr va)

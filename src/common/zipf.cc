@@ -19,16 +19,24 @@ ZipfSampler::ZipfSampler(std::size_t n, double theta)
     }
     for (std::size_t i = 0; i < n; ++i)
         cdf_[i] /= acc;
-}
 
-std::size_t
-ZipfSampler::sample(Rng &rng) const
-{
-    double u = rng.uniform();
-    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    if (it == cdf_.end())
-        return cdf_.size() - 1;
-    return static_cast<std::size_t>(it - cdf_.begin());
+    // Power-of-two bucket count >= 2n keeps most buckets covering at
+    // most one CDF entry (so the guided search is one or two
+    // comparisons) and, crucially, makes u * numBuckets_ an exact
+    // exponent shift: the bucket of u is floor(u * K) with no
+    // floating rounding at the b / K boundaries.
+    numBuckets_ = 1;
+    while (numBuckets_ < 2 * n)
+        numBuckets_ <<= 1;
+    bucketScale_ = static_cast<double>(numBuckets_);
+    guide_.resize(numBuckets_ + 1);
+    for (std::size_t b = 0; b <= numBuckets_; ++b) {
+        double threshold = static_cast<double>(b) / bucketScale_;
+        auto it =
+            std::lower_bound(cdf_.begin(), cdf_.end(), threshold);
+        guide_[b] = static_cast<std::uint32_t>(
+            it == cdf_.end() ? n - 1 : it - cdf_.begin());
+    }
 }
 
 double

@@ -6,12 +6,21 @@
  * skewed distribution: 400-800 instruction pages cause 90% of all
  * misses. The synthetic workload generators reproduce that skew by
  * drawing hot code pages from a Zipf distribution.
+ *
+ * Sampling inverts the CDF. A quantized guide table narrows the
+ * binary search to the few CDF entries a given uniform draw can
+ * resolve to -- the final lower_bound comparisons run on the same CDF
+ * values, so the chosen rank is bit-identical to a full-range search
+ * while the hot path touches a handful of elements instead of
+ * log2(n) scattered ones.
  */
 
 #ifndef MORRIGAN_COMMON_ZIPF_HH
 #define MORRIGAN_COMMON_ZIPF_HH
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "rng.hh"
@@ -32,8 +41,31 @@ class ZipfSampler
      */
     ZipfSampler(std::size_t n, double theta);
 
-    /** Draw one rank (0 is the most popular). */
-    std::size_t sample(Rng &rng) const;
+    /** Draw one rank (0 is the most popular). Defined inline: the
+     * workload generators draw several times per instruction. */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniform();
+        std::size_t b = static_cast<std::size_t>(u * bucketScale_);
+        if (b >= numBuckets_)
+            b = numBuckets_ - 1;
+        // A draw in [b/K, (b+1)/K) resolves to a rank in
+        // [guide_[b], guide_[b+1]]: lower_bound is monotone in u and
+        // guide_ brackets the bucket endpoints, so searching only
+        // that slice runs the same comparisons a full-range search
+        // would.
+        auto first = cdf_.begin() + guide_[b];
+        auto last = cdf_.begin() + guide_[b + 1];
+        auto it = std::lower_bound(first, last, u);
+        // it == last means everything below guide_[b+1] is < u, so
+        // the answer is guide_[b+1] itself -- which the constructor
+        // already clamped to n - 1, matching the unguided search's
+        // end() clamp.
+        if (it == last)
+            return guide_[b + 1];
+        return static_cast<std::size_t>(it - cdf_.begin());
+    }
 
     /** Probability mass of a given rank. */
     double probability(std::size_t rank) const;
@@ -42,6 +74,13 @@ class ZipfSampler
 
   private:
     std::vector<double> cdf_;
+    /** guide_[b] = first rank whose CDF value is >= b / numBuckets;
+     * a draw u in bucket b resolves within
+     * [guide_[b], guide_[b + 1]]. */
+    std::vector<std::uint32_t> guide_;
+    /** Bucket count (power of two) and its double multiplier. */
+    std::size_t numBuckets_ = 0;
+    double bucketScale_ = 0.0;
 };
 
 } // namespace morrigan

@@ -19,7 +19,7 @@ namespace
  */
 bool
 promotionPreservedSuccessors(PredictionTable &dst, Vpn vpn,
-                             const std::vector<PrtSlot> &expect)
+                             const PrtSlotList &expect)
 {
     PrtEntry *e = dst.probe(vpn);
     if (!e || e->vpn != vpn)
@@ -138,18 +138,18 @@ Irip::updatePreviousEntry(Vpn prev_vpn, int prev_table, PageDelta dist)
 
     // Figure 12 steps 19-23: transfer the entry, with the new
     // distance appended, into the next larger table.
-    std::vector<PrtSlot> slots = entry->slots;
+    PrtSlotList slots = entry->slots;
     PrtSlot fresh;
     fresh.valid = true;
     fresh.distance = dist;
     fresh.confidence = 0;
     slots.push_back(fresh);
 
-    std::vector<PrtSlot> expect;
+    PrtSlotList expect;
     if (check::invariantCheckLevel() >= 2)
         expect = slots;
     table.erase(prev_vpn);
-    tables_[prev_table + 1]->install(prev_vpn, std::move(slots));
+    tables_[prev_table + 1]->install(prev_vpn, slots);
     MORRIGAN_CHECK_INVARIANT(
         2,
         promotionPreservedSuccessors(*tables_[prev_table + 1],

@@ -7,6 +7,13 @@
 namespace morrigan
 {
 
+namespace
+{
+
+constexpr std::uint32_t noIdx = ~std::uint32_t{0};
+
+} // anonymous namespace
+
 const char *
 replacementPolicyName(ReplacementPolicy p)
 {
@@ -38,19 +45,26 @@ PredictionTable::PredictionTable(const PrtGeometry &geom,
              geom_.name.c_str(), numSets_);
     fatal_if(geom_.slots == 0, "%s: zero prediction slots",
              geom_.name.c_str());
+    fatal_if(geom_.slots > PrtSlotList::maxSlots,
+             "%s: %u slots exceeds the inline capacity of %zu",
+             geom_.name.c_str(), geom_.slots, PrtSlotList::maxSlots);
     setShift_ = 0;
     while ((1u << setShift_) < numSets_)
         ++setShift_;
-    sets_.assign(numSets_, std::vector<PrtEntry>(geom_.ways));
-    for (auto &set : sets_)
-        for (PrtEntry &e : set)
-            e.slots.resize(geom_.slots);
+    entries_.assign(geom_.entries, PrtEntry{});
+    tags_.assign(geom_.entries, 0);
+    valid_.assign(geom_.entries, 0);
+    for (PrtEntry &e : entries_)
+        e.slots.resize(geom_.slots);
+    freqScratch_.assign(geom_.ways, 0);
+    orderScratch_.assign(geom_.ways, 0);
 }
 
-std::vector<PrtEntry> &
-PredictionTable::setOf(Vpn vpn)
+std::uint32_t
+PredictionTable::baseOf(Vpn vpn) const
 {
-    return sets_[static_cast<std::uint32_t>(vpn) & (numSets_ - 1)];
+    return (static_cast<std::uint32_t>(vpn) & (numSets_ - 1)) *
+           geom_.ways;
 }
 
 std::uint16_t
@@ -62,146 +76,167 @@ PredictionTable::tagOf(Vpn vpn) const
     return static_cast<std::uint16_t>(v ^ (v >> 16) ^ (v >> 32));
 }
 
-PrtEntry *
-PredictionTable::findIn(std::vector<PrtEntry> &set, std::uint16_t tag)
+std::uint32_t
+PredictionTable::findIdx(std::uint32_t base, std::uint16_t tag) const
 {
-    for (PrtEntry &e : set)
-        if (e.valid && e.tag == tag)
-            return &e;
-    return nullptr;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        const std::uint32_t i = base + w;
+        if (valid_[i] && tags_[i] == tag)
+            return i;
+    }
+    return noIdx;
 }
 
 PrtEntry *
 PredictionTable::lookup(Vpn vpn)
 {
-    PrtEntry *e = findIn(setOf(vpn), tagOf(vpn));
-    if (e)
-        e->lastUse = ++useClock_;
-    return e;
+    std::uint32_t i = findIdx(baseOf(vpn), tagOf(vpn));
+    if (i == noIdx)
+        return nullptr;
+    entries_[i].lastUse = ++useClock_;
+    return &entries_[i];
 }
 
 PrtEntry *
 PredictionTable::probe(Vpn vpn)
 {
-    return findIn(setOf(vpn), tagOf(vpn));
+    std::uint32_t i = findIdx(baseOf(vpn), tagOf(vpn));
+    return i == noIdx ? nullptr : &entries_[i];
 }
 
 const PrtEntry *
 PredictionTable::probe(Vpn vpn) const
 {
-    auto *self = const_cast<PredictionTable *>(this);
-    return self->findIn(self->setOf(vpn), tagOf(vpn));
+    std::uint32_t i = findIdx(baseOf(vpn), tagOf(vpn));
+    return i == noIdx ? nullptr : &entries_[i];
 }
 
-PrtEntry *
-PredictionTable::selectVictim(std::vector<PrtEntry> &set)
+std::uint32_t
+PredictionTable::selectVictim(std::uint32_t base)
 {
+    const std::uint32_t ways = geom_.ways;
+
     // Invalid ways first.
-    for (PrtEntry &e : set)
-        if (!e.valid)
-            return &e;
+    for (std::uint32_t w = 0; w < ways; ++w)
+        if (!valid_[base + w])
+            return base + w;
 
     switch (policy_) {
       case ReplacementPolicy::Lru: {
-        PrtEntry *victim = &set[0];
-        for (PrtEntry &e : set)
-            if (e.lastUse < victim->lastUse)
-                victim = &e;
+        std::uint32_t victim = base;
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (entries_[base + w].lastUse < entries_[victim].lastUse)
+                victim = base + w;
         return victim;
       }
       case ReplacementPolicy::Random:
-        return &set[rng_.below(static_cast<std::uint32_t>(set.size()))];
+        return base + rng_.below(ways);
       case ReplacementPolicy::Lfu: {
-        PrtEntry *victim = &set[0];
-        std::uint32_t best = freq_.frequency(victim->vpn);
-        for (PrtEntry &e : set) {
-            std::uint32_t f = freq_.frequency(e.vpn);
-            if (f < best ||
-                (f == best && e.lastUse < victim->lastUse)) {
-                victim = &e;
-                best = f;
+        // Gather the per-way frequencies once, then reduce; this
+        // replaces a hash probe per comparison with one per way.
+        std::uint32_t *f = freqScratch_.data();
+        for (std::uint32_t w = 0; w < ways; ++w)
+            f[w] = freq_.frequency(entries_[base + w].vpn);
+        std::uint32_t victim = 0;
+        std::uint32_t best = f[0];
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (f[w] < best ||
+                (f[w] == best && entries_[base + w].lastUse <
+                                     entries_[base + victim].lastUse)) {
+                victim = w;
+                best = f[w];
             }
         }
-        return victim;
+        return base + victim;
       }
       case ReplacementPolicy::Rlfu: {
         // Order ways by frequency and pick uniformly among the
         // least-frequent quartile (at least two candidates). A
         // recently installed entry with a low count can thereby
         // survive a conflict it would always lose under pure LFU.
-        std::vector<PrtEntry *> order;
-        order.reserve(set.size());
-        for (PrtEntry &e : set)
-            order.push_back(&e);
-        std::sort(order.begin(), order.end(),
-                  [this](const PrtEntry *a, const PrtEntry *b) {
-                      return freq_.frequency(a->vpn) <
-                             freq_.frequency(b->vpn);
+        // Sorting way indices over a pre-gathered frequency array
+        // produces the exact permutation the pointer sort over live
+        // frequency() calls did (same initial order, same comparator
+        // outcomes), so the victim choice -- and the RNG draw that
+        // follows -- is bit-identical.
+        std::uint32_t *f = freqScratch_.data();
+        std::uint32_t *order = orderScratch_.data();
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            f[w] = freq_.frequency(entries_[base + w].vpn);
+            order[w] = w;
+        }
+        std::sort(order, order + ways,
+                  [f](std::uint32_t a, std::uint32_t b) {
+                      return f[a] < f[b];
                   });
-        std::size_t candidates =
-            std::max<std::size_t>(2, order.size() / 4);
-        candidates = std::min(candidates, order.size());
-        return order[rng_.below(
-            static_cast<std::uint32_t>(candidates))];
+        std::uint32_t candidates = std::max<std::uint32_t>(2, ways / 4);
+        candidates = std::min(candidates, ways);
+        return base + order[rng_.below(candidates)];
       }
     }
-    return &set[0];
+    return base;
 }
 
 bool
-PredictionTable::install(Vpn vpn, std::vector<PrtSlot> slots,
-                         Vpn *evicted_vpn)
+PredictionTable::install(Vpn vpn, PrtSlotList slots, Vpn *evicted_vpn)
 {
-    auto &set = setOf(vpn);
-    std::uint16_t tag = tagOf(vpn);
+    const std::uint32_t base = baseOf(vpn);
+    const std::uint16_t tag = tagOf(vpn);
 
     slots.resize(geom_.slots);
 
-    if (PrtEntry *existing = findIn(set, tag)) {
-        existing->vpn = vpn;
-        existing->slots = std::move(slots);
-        existing->lastUse = ++useClock_;
+    std::uint32_t i = findIdx(base, tag);
+    if (i != noIdx) {
+        PrtEntry &e = entries_[i];
+        e.vpn = vpn;
+        e.slots = slots;
+        e.lastUse = ++useClock_;
         return false;
     }
 
-    PrtEntry *victim = selectVictim(set);
-    bool evicted = victim->valid;
+    const std::uint32_t v = selectVictim(base);
+    PrtEntry &victim = entries_[v];
+    bool evicted = victim.valid;
     if (evicted && evicted_vpn)
-        *evicted_vpn = victim->vpn;
+        *evicted_vpn = victim.vpn;
     if (!evicted)
         ++population_;
 
-    victim->tag = tag;
-    victim->vpn = vpn;
-    victim->slots = std::move(slots);
-    victim->lastUse = ++useClock_;
-    victim->valid = true;
+    victim.tag = tag;
+    victim.vpn = vpn;
+    victim.slots = slots;
+    victim.lastUse = ++useClock_;
+    victim.valid = true;
+    tags_[v] = tag;
+    valid_[v] = 1;
     return evicted;
 }
 
 bool
 PredictionTable::erase(Vpn vpn)
 {
-    if (PrtEntry *e = probe(vpn)) {
-        e->valid = false;
-        for (PrtSlot &s : e->slots)
-            s = PrtSlot{};
-        --population_;
-        return true;
-    }
-    return false;
+    std::uint32_t i = findIdx(baseOf(vpn), tagOf(vpn));
+    if (i == noIdx)
+        return false;
+    PrtEntry &e = entries_[i];
+    e.valid = false;
+    for (PrtSlot &s : e.slots)
+        s = PrtSlot{};
+    valid_[i] = 0;
+    --population_;
+    return true;
 }
 
 void
 PredictionTable::flush()
 {
-    for (auto &set : sets_) {
-        for (PrtEntry &e : set) {
-            e.valid = false;
-            for (PrtSlot &s : e.slots)
-                s = PrtSlot{};
-        }
+    for (PrtEntry &e : entries_) {
+        e.valid = false;
+        for (PrtSlot &s : e.slots)
+            s = PrtSlot{};
     }
+    std::fill(valid_.begin(), valid_.end(),
+              static_cast<std::uint8_t>(0));
     population_ = 0;
 }
 
@@ -273,20 +308,18 @@ PredictionTable::save(SnapshotWriter &w) const
     w.u32(geom_.ways);
     w.u32(geom_.slots);
     w.u64(useClock_);
-    for (const auto &set : sets_) {
-        for (const PrtEntry &e : set) {
-            w.b(e.valid);
-            if (!e.valid)
-                continue;
-            w.u32(e.tag);
-            w.u64(e.vpn);
-            w.u64(e.lastUse);
-            w.u64(e.slots.size());
-            for (const PrtSlot &s : e.slots) {
-                w.b(s.valid);
-                w.i64(s.distance);
-                w.u8(s.confidence);
-            }
+    for (const PrtEntry &e : entries_) {
+        w.b(e.valid);
+        if (!e.valid)
+            continue;
+        w.u32(e.tag);
+        w.u64(e.vpn);
+        w.u64(e.lastUse);
+        w.u64(e.slots.size());
+        for (const PrtSlot &s : e.slots) {
+            w.b(s.valid);
+            w.i64(s.distance);
+            w.u8(s.confidence);
         }
     }
 }
@@ -306,25 +339,32 @@ PredictionTable::restore(SnapshotReader &r)
                             "')");
     useClock_ = r.u64();
     population_ = 0;
-    for (auto &set : sets_) {
-        for (PrtEntry &e : set) {
-            e.valid = r.b();
-            if (!e.valid) {
-                e = PrtEntry{};
-                continue;
-            }
-            e.tag = static_cast<std::uint16_t>(r.u32());
-            e.vpn = r.u64();
-            e.lastUse = r.u64();
-            e.slots.assign(static_cast<std::size_t>(r.u64()),
-                           PrtSlot{});
-            for (PrtSlot &s : e.slots) {
-                s.valid = r.b();
-                s.distance = r.i64();
-                s.confidence = r.u8();
-            }
-            ++population_;
+    for (std::uint32_t i = 0; i < geom_.entries; ++i) {
+        PrtEntry &e = entries_[i];
+        bool live = r.b();
+        if (!live) {
+            e = PrtEntry{};
+            tags_[i] = 0;
+            valid_[i] = 0;
+            continue;
         }
+        e.valid = true;
+        e.tag = static_cast<std::uint16_t>(r.u32());
+        e.vpn = r.u64();
+        e.lastUse = r.u64();
+        std::uint64_t nslots = r.u64();
+        if (nslots > PrtSlotList::maxSlots)
+            throw SnapshotError("prediction table '" + geom_.name +
+                                "': slot count out of range");
+        e.slots.resize(static_cast<std::size_t>(nslots));
+        for (PrtSlot &s : e.slots) {
+            s.valid = r.b();
+            s.distance = r.i64();
+            s.confidence = r.u8();
+        }
+        tags_[i] = e.tag;
+        valid_[i] = 1;
+        ++population_;
     }
 }
 

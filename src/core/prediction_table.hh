@@ -13,15 +13,26 @@
  * a victim at random among the least-frequently-missing entries of
  * the set -- the randomness acts as a second chance for recently
  * installed entries that have not yet accumulated misses.
+ *
+ * Hot-path layout: entries live in one flat set-major array whose
+ * prediction slots are inline fixed-capacity storage (no per-entry
+ * heap vector), and the tag/valid pair of every way is mirrored into
+ * contiguous search lanes so a lookup touches two small arrays
+ * instead of striding through full entries. The lanes are an
+ * implementation detail kept in sync by the mutating methods; the
+ * PrtEntry view handed to callers is authoritative for everything
+ * else (slots, vpn, lastUse).
  */
 
 #ifndef MORRIGAN_CORE_PREDICTION_TABLE_HH
 #define MORRIGAN_CORE_PREDICTION_TABLE_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "core/frequency_stack.hh"
@@ -48,6 +59,54 @@ struct PrtSlot
     bool valid = false;
 };
 
+/**
+ * Inline fixed-capacity slot list. The IRIP ensemble tops out at
+ * PRT-S8 (ascending slot counts, enforced in Irip), so eight slots
+ * inline covers every geometry and every transfer without a heap
+ * allocation per entry.
+ */
+class PrtSlotList
+{
+  public:
+    static constexpr std::size_t maxSlots = 8;
+
+    PrtSlot *begin() { return data_.data(); }
+    PrtSlot *end() { return data_.data() + size_; }
+    const PrtSlot *begin() const { return data_.data(); }
+    const PrtSlot *end() const { return data_.data() + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    PrtSlot &operator[](std::size_t i) { return data_[i]; }
+    const PrtSlot &operator[](std::size_t i) const { return data_[i]; }
+
+    void
+    push_back(const PrtSlot &s)
+    {
+        fatal_if(size_ >= maxSlots, "prt slot list overflow");
+        data_[size_++] = s;
+    }
+
+    /** Grow (zero-filled) or shrink to exactly @p n slots. */
+    void
+    resize(std::size_t n)
+    {
+        fatal_if(n > maxSlots, "prt slot list resize beyond capacity");
+        for (std::size_t i = size_; i < n; ++i)
+            data_[i] = PrtSlot{};
+        for (std::size_t i = n; i < size_; ++i)
+            data_[i] = PrtSlot{};
+        size_ = static_cast<std::uint8_t>(n);
+    }
+
+    void clear() { resize(0); }
+
+  private:
+    std::array<PrtSlot, maxSlots> data_{};
+    std::uint8_t size_ = 0;
+};
+
 /** Geometry of one prediction table. */
 struct PrtGeometry
 {
@@ -65,7 +124,7 @@ struct PrtEntry
      * indexed by page. Hardware would pair the stack with the same
      * partial tags. */
     Vpn vpn = 0;
-    std::vector<PrtSlot> slots;
+    PrtSlotList slots;
     std::uint64_t lastUse = 0;
     bool valid = false;
 };
@@ -100,7 +159,7 @@ class PredictionTable
      * evicted.
      * @return true if a valid entry was evicted.
      */
-    bool install(Vpn vpn, std::vector<PrtSlot> slots,
+    bool install(Vpn vpn, PrtSlotList slots,
                  Vpn *evicted_vpn = nullptr);
 
     /** Remove the entry for @p vpn. @return true if present. */
@@ -144,10 +203,9 @@ class PredictionTable
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &set : sets_)
-            for (const PrtEntry &e : set)
-                if (e.valid)
-                    fn(e);
+        for (const PrtEntry &e : entries_)
+            if (e.valid)
+                fn(e);
     }
 
     static constexpr unsigned tagBits = 16;
@@ -160,10 +218,11 @@ class PredictionTable
         (PageDelta{1} << (distanceBits - 1)) - 1;
 
   private:
-    std::vector<PrtEntry> &setOf(Vpn vpn);
+    std::uint32_t baseOf(Vpn vpn) const;
     std::uint16_t tagOf(Vpn vpn) const;
-    PrtEntry *findIn(std::vector<PrtEntry> &set, std::uint16_t tag);
-    PrtEntry *selectVictim(std::vector<PrtEntry> &set);
+    /** Way-lane scan from @p base. @return flat index or UINT32_MAX. */
+    std::uint32_t findIdx(std::uint32_t base, std::uint16_t tag) const;
+    std::uint32_t selectVictim(std::uint32_t base);
 
     PrtGeometry geom_;
     ReplacementPolicy policy_;
@@ -171,7 +230,15 @@ class PredictionTable
     Rng &rng_;
     std::uint32_t numSets_;
     unsigned setShift_;
-    std::vector<std::vector<PrtEntry>> sets_;
+    /** Flat set-major entry storage. */
+    std::vector<PrtEntry> entries_;
+    /** Contiguous search lanes mirroring entries_[i].tag / .valid. */
+    std::vector<std::uint16_t> tags_;
+    std::vector<std::uint8_t> valid_;
+    /** Per-way victim-selection scratch (gathered freqs, sort order),
+     * sized once so selectVictim never allocates. */
+    std::vector<std::uint32_t> freqScratch_;
+    std::vector<std::uint32_t> orderScratch_;
     std::uint64_t useClock_ = 0;
     std::uint32_t population_ = 0;
 };

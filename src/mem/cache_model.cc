@@ -36,89 +36,34 @@ CacheModel::CacheModel(const CacheParams &params, StatGroup *parent)
     fatal_if(!isPowerOfTwo(numSets_),
              "%s: set count %u is not a power of two",
              params_.name.c_str(), numSets_);
-    sets_.assign(numSets_, std::vector<Way>(params_.ways));
-}
-
-bool
-CacheModel::lookup(Addr line)
-{
-    ++accesses_;
-    auto &set = sets_[setIndex(line)];
-    for (Way &w : set) {
-        if (w.valid && w.tag == line) {
-            w.lastUse = ++useClock_;
-            w.prefetched = false;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
-}
-
-bool
-CacheModel::contains(Addr line) const
-{
-    const auto &set = sets_[setIndex(line)];
-    return std::any_of(set.begin(), set.end(), [line](const Way &w) {
-        return w.valid && w.tag == line;
-    });
-}
-
-bool
-CacheModel::insert(Addr line, bool is_prefetch)
-{
-    auto &set = sets_[setIndex(line)];
-
-    // Refresh in place if already resident (e.g. racing fills).
-    for (Way &w : set) {
-        if (w.valid && w.tag == line) {
-            w.lastUse = ++useClock_;
-            return false;
-        }
-    }
-
-    Way *victim = nullptr;
-    for (Way &w : set) {
-        if (!w.valid) {
-            victim = &w;
-            break;
-        }
-        if (!victim || w.lastUse < victim->lastUse)
-            victim = &w;
-    }
-
-    bool evicted = victim->valid;
-    if (evicted)
-        ++evictions_;
-    if (is_prefetch)
-        ++prefetchFills_;
-
-    victim->tag = line;
-    victim->valid = true;
-    victim->prefetched = is_prefetch;
-    victim->lastUse = ++useClock_;
-    return evicted;
+    tagStride_ =
+        (params_.ways + tagLanes - 1) / tagLanes * tagLanes;
+    tags_.assign(std::size_t{numSets_} * tagStride_, noLine);
+    rec_.assign(std::size_t{numSets_} * tagStride_, 0);
 }
 
 bool
 CacheModel::invalidate(Addr line)
 {
-    auto &set = sets_[setIndex(line)];
-    for (Way &w : set) {
-        if (w.valid && w.tag == line) {
-            w.valid = false;
-            return true;
-        }
-    }
-    return false;
+    std::uint32_t base = baseOf(line);
+    int w = findWay(base, checkedTag(line));
+    if (w < 0)
+        return false;
+    tags_[base + w] = noLine;
+    rec_[base + w] = 0;
+    return true;
 }
 
 void
 CacheModel::flush()
 {
-    for (auto &set : sets_)
-        for (Way &w : set)
-            w.valid = false;
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::size_t base = std::size_t{set} * tagStride_;
+        for (std::uint32_t w = 0; w < params_.ways; ++w) {
+            tags_[base + w] = noLine;
+            rec_[base + w] = 0;
+        }
+    }
 }
 
 void
@@ -129,14 +74,18 @@ CacheModel::save(SnapshotWriter &w) const
     w.u32(numSets_);
     w.u32(params_.ways);
     w.u64(useClock_);
-    for (const auto &set : sets_) {
-        for (const Way &way : set) {
-            w.b(way.valid);
-            if (!way.valid)
+    // Set-major way-minor order matches the old nested layout byte
+    // for byte.
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::size_t base = std::size_t{set} * tagStride_;
+        for (std::uint32_t way = 0; way < params_.ways; ++way) {
+            bool valid = tags_[base + way] != noLine;
+            w.b(valid);
+            if (!valid)
                 continue;
-            w.u64(way.tag);
-            w.b(way.prefetched);
-            w.u64(way.lastUse);
+            w.u64(tags_[base + way]);
+            w.b((rec_[base + way] & 1) != 0);
+            w.u64(rec_[base + way] >> 1);
         }
     }
 }
@@ -152,16 +101,22 @@ CacheModel::restore(SnapshotReader &r)
                             "': snapshot geometry mismatch ('" + name +
                             "')");
     useClock_ = r.u64();
-    for (auto &set : sets_) {
-        for (Way &way : set) {
-            way.valid = r.b();
-            if (!way.valid) {
-                way = Way{};
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::size_t base = std::size_t{set} * tagStride_;
+        for (std::uint32_t way = 0; way < params_.ways; ++way) {
+            if (!r.b()) {
+                tags_[base + way] = noLine;
+                rec_[base + way] = 0;
                 continue;
             }
-            way.tag = r.u64();
-            way.prefetched = r.b();
-            way.lastUse = r.u64();
+            std::uint64_t tag = r.u64();
+            if (tag >= noLine)
+                throw SnapshotError(
+                    "cache '" + params_.name +
+                    "': snapshot line exceeds the 32-bit tag lane");
+            tags_[base + way] = static_cast<std::uint32_t>(tag);
+            bool pf = r.b();
+            rec_[base + way] = (r.u64() << 1) | (pf ? 1 : 0);
         }
     }
 }

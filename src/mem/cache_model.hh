@@ -7,6 +7,19 @@
  * replacement, true-LRU via a per-set sequence counter. MSHR capacity
  * is recorded for configuration fidelity (Table 1) and exposed to the
  * timing model, which uses it to bound the data-side overlap window.
+ *
+ * Hot-path layout: the model is physically addressed and physical
+ * memory is bounded well below 2^32 lines, so way tags live in a flat
+ * 32-bit lane (set rows padded to the SIMD width) -- a whole set is
+ * one or two vector compares under AVX2, and at most a 64-byte scan
+ * otherwise. Invalid ways hold the sentinel tag noLine, folding the
+ * validity check into the tag compare. Recency words in a parallel
+ * lane pack (lastUse << 1) | prefetched: clock values are unique, so
+ * comparing packed words orders ways exactly like comparing lastUse,
+ * and an invalid way's 0 always loses -- victim selection is a single
+ * min-scan that lands on the first invalid way when one exists and on
+ * the true LRU way otherwise, exactly the old first-invalid-else-LRU
+ * policy.
  */
 
 #ifndef MORRIGAN_MEM_CACHE_MODEL_HH
@@ -16,6 +29,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/logging.hh"
 #include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -48,13 +66,33 @@ class CacheModel
      * install on miss; callers install explicitly once the fill
      * returns, which lets prefetch fills be distinguished.
      *
+     * Defined inline: this and insert() run a couple of times per
+     * simulated instruction, and inlining the short lane scan into
+     * the hierarchy's traversal loop is worth real wall clock.
+     *
      * @param line Line address.
      * @return true on hit.
      */
-    bool lookup(Addr line);
+    bool
+    lookup(Addr line)
+    {
+        ++accesses_;
+        std::uint32_t base = baseOf(line);
+        int w = findWay(base, checkedTag(line));
+        if (w >= 0) {
+            rec_[base + w] = ++useClock_ << 1;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
 
     /** Probe without LRU update or stats side effects. */
-    bool contains(Addr line) const;
+    bool
+    contains(Addr line) const
+    {
+        return findWay(baseOf(line), checkedTag(line)) >= 0;
+    }
 
     /**
      * Install a line, evicting the LRU way if the set is full.
@@ -63,7 +101,58 @@ class CacheModel
      * @param is_prefetch Fill caused by a prefetch rather than demand.
      * @return true if a valid line was evicted.
      */
-    bool insert(Addr line, bool is_prefetch = false);
+    bool
+    insert(Addr line, bool is_prefetch = false)
+    {
+        std::uint32_t base = baseOf(line);
+        std::uint32_t tag = checkedTag(line);
+
+        // Refresh in place if already resident (e.g. racing fills),
+        // keeping the way's prefetched bit, as before.
+        int hit = findWay(base, tag);
+        if (hit >= 0) {
+            std::uint64_t pf = rec_[base + hit] & 1;
+            rec_[base + hit] = (++useClock_ << 1) | pf;
+            return false;
+        }
+
+        // Min-recency victim scan (padding lanes are excluded: they
+        // would otherwise masquerade as invalid ways).
+        std::uint32_t victim = 0;
+        std::uint64_t bestUse = rec_[base];
+        for (std::uint32_t w = 1; w < params_.ways; ++w) {
+            if (rec_[base + w] < bestUse) {
+                victim = w;
+                bestUse = rec_[base + w];
+            }
+        }
+
+        bool evicted = tags_[base + victim] != noLine;
+        if (evicted)
+            ++evictions_;
+        if (is_prefetch)
+            ++prefetchFills_;
+
+        tags_[base + victim] = tag;
+        rec_[base + victim] =
+            (++useClock_ << 1) | (is_prefetch ? 1 : 0);
+        return evicted;
+    }
+
+    /**
+     * Hint the host to pull this line's set rows into its own cache.
+     * No architectural effect; callers issue it for the levels a
+     * traversal is about to scan so the row fetches overlap instead
+     * of serialising one level at a time.
+     */
+    void
+    prefetchSet(Addr line) const
+    {
+        std::uint32_t base = baseOf(line);
+        __builtin_prefetch(tags_.data() + base);
+        for (std::uint32_t w = 0; w < params_.ways; w += 8)
+            __builtin_prefetch(rec_.data() + base + w);
+    }
 
     /** Drop a line if present. @return true if it was present. */
     bool invalidate(Addr line);
@@ -81,22 +170,70 @@ class CacheModel
     std::uint64_t demandMisses() const { return misses_.value(); }
 
   private:
-    struct Way
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool prefetched = false;
-        std::uint64_t lastUse = 0;
-    };
+    /** Sentinel tag of an invalid way. The model is physically
+     * addressed and physical memory tops out well below 2^32 lines,
+     * so all-ones cannot occur (enforced by checkedTag). */
+    static constexpr std::uint32_t noLine = ~std::uint32_t{0};
 
-    std::uint32_t setIndex(Addr line) const
+    /** Tag-row padding so a set is whole SIMD vectors. */
+    static constexpr std::uint32_t tagLanes = 8;
+
+    /** First lane index of the set holding @p line. */
+    std::uint32_t baseOf(Addr line) const
     {
-        return static_cast<std::uint32_t>(line) & (numSets_ - 1);
+        return (static_cast<std::uint32_t>(line) & (numSets_ - 1)) *
+               tagStride_;
+    }
+
+    /** Narrow a line address to its 32-bit tag, rejecting lines the
+     * narrow lane cannot represent (impossible for physical lines;
+     * the check is one never-taken branch). */
+    static std::uint32_t
+    checkedTag(Addr line)
+    {
+        fatal_if(line >= noLine,
+                 "cache line address 0x%llx exceeds the 32-bit tag "
+                 "lane",
+                 static_cast<unsigned long long>(line));
+        return static_cast<std::uint32_t>(line);
+    }
+
+    /** Way holding @p tag in the set at @p base, or -1. At most one
+     * way can match: insert() refreshes instead of duplicating. */
+    int
+    findWay(std::uint32_t base, std::uint32_t tag) const
+    {
+#if defined(__AVX2__)
+        const __m256i needle =
+            _mm256_set1_epi32(static_cast<int>(tag));
+        for (std::uint32_t w = 0; w < tagStride_; w += tagLanes) {
+            __m256i row = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(tags_.data() +
+                                                  base + w));
+            int m = _mm256_movemask_epi8(
+                _mm256_cmpeq_epi32(row, needle));
+            if (m)
+                return static_cast<int>(w) +
+                       (__builtin_ctz(static_cast<unsigned>(m)) >> 2);
+        }
+        return -1;
+#else
+        for (std::uint32_t w = 0; w < params_.ways; ++w)
+            if (tags_[base + w] == tag)
+                return static_cast<int>(w);
+        return -1;
+#endif
     }
 
     CacheParams params_;
     std::uint32_t numSets_;
-    std::vector<std::vector<Way>> sets_;
+    /** Lane words per set: ways rounded up to the SIMD width. */
+    std::uint32_t tagStride_;
+    /** 32-bit way tags; padding lanes stay noLine forever. */
+    std::vector<std::uint32_t> tags_;
+    /** Packed recency, (lastUse << 1) | prefetched; same indexing as
+     * tags_, padding lanes stay 0 and are never scanned. */
+    std::vector<std::uint64_t> rec_;
     std::uint64_t useClock_ = 0;
 
     StatGroup stats_;

@@ -20,6 +20,13 @@ MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyParams &params,
 MemAccessResult
 MemoryHierarchy::accessThrough(Addr line, CacheModel &l1)
 {
+    // Warm the host's cache with the set rows the miss path will
+    // scan; the L1 model usually misses (the data footprint dwarfs
+    // it), so these loads are almost always needed and otherwise
+    // serialise level by level.
+    l2_.prefetchSet(line);
+    llc_.prefetchSet(line);
+
     MemAccessResult res;
     res.latency = l1.params().latency;
     if (l1.lookup(line)) {
@@ -92,6 +99,8 @@ Cycle
 MemoryHierarchy::prefetchInstructionLine(Addr paddr)
 {
     Addr line = lineOf(paddr);
+    l2_.prefetchSet(line);
+    llc_.prefetchSet(line);
     if (l1i_.contains(line))
         return 0;
 

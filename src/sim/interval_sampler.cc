@@ -13,7 +13,8 @@ namespace morrigan
 
 IntervalSampler::IntervalSampler(std::uint64_t interval,
                                  std::size_t ring_capacity)
-    : interval_(interval), ringCapacity_(ring_capacity)
+    : interval_(interval), ringCapacity_(ring_capacity),
+      ring_(ring_capacity == 0 ? 1 : ring_capacity)
 {
     fatal_if(interval_ == 0, "interval sampler needs a nonzero epoch");
     fatal_if(ringCapacity_ == 0, "interval ring needs capacity");
@@ -74,12 +75,10 @@ IntervalSampler::record(const IntervalInputs &in)
     }
     prev_ = in;
 
-    if (ring_.size() == ringCapacity_)
-        ring_.pop_front();
-    ring_.push_back(s);
+    const IntervalSample &stored = ring_.push(s);
     if (sink_)
-        emit(s);
-    return ring_.back();
+        emit(stored);
+    return stored;
 }
 
 namespace
@@ -315,7 +314,7 @@ IntervalSampler::restore(SnapshotReader &r)
             v = r.u64();
         for (std::uint64_t &v : s.hits)
             v = r.u64();
-        ring_.push_back(std::move(s));
+        ring_.push(s);
     }
 }
 

@@ -29,8 +29,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <ostream>
+#include <vector>
 
 #include "common/types.hh"
 #include "sim/prefetch_tracer.hh"
@@ -76,6 +76,110 @@ struct IntervalSample
     std::array<std::uint64_t, PrefetchTracer::numComponents> hits{};
 };
 
+/**
+ * Fixed-capacity ring of epoch records.
+ *
+ * Replaces a std::deque: storage is a single flat allocation made at
+ * construction (no per-node churn while the simulation runs), push()
+ * overwrites the oldest epoch once full, and iteration yields
+ * oldest-first logical order -- exactly the order the deque exposed,
+ * so the JSON mirror and the snapshot byte stream are unchanged.
+ */
+class SampleRing
+{
+  public:
+    explicit SampleRing(std::size_t capacity) : buf_(capacity) {}
+
+    /** Forward iterator over logical (oldest-first) order. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const SampleRing *ring, std::size_t index)
+            : ring_(ring), index_(index)
+        {
+        }
+
+        const IntervalSample &operator*() const
+        {
+            return ring_->at(index_);
+        }
+        const IntervalSample *operator->() const
+        {
+            return &ring_->at(index_);
+        }
+        const_iterator &
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+        bool operator==(const const_iterator &o) const
+        {
+            return index_ == o.index_;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return index_ != o.index_;
+        }
+
+      private:
+        const SampleRing *ring_;
+        std::size_t index_;
+    };
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** i-th record in logical order (0 = oldest retained). */
+    const IntervalSample &
+    at(std::size_t i) const
+    {
+        std::size_t j = head_ + i;
+        if (j >= buf_.size())
+            j -= buf_.size();
+        return buf_[j];
+    }
+
+    const IntervalSample &front() const { return at(0); }
+    const IntervalSample &back() const { return at(size_ - 1); }
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size_}; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Append, overwriting the oldest record when full.
+     * @return the stored record. */
+    const IntervalSample &
+    push(const IntervalSample &s)
+    {
+        std::size_t slot;
+        if (size_ == buf_.size()) {
+            slot = head_;
+            if (++head_ == buf_.size())
+                head_ = 0;
+        } else {
+            slot = head_ + size_;
+            if (slot >= buf_.size())
+                slot -= buf_.size();
+            ++size_;
+        }
+        buf_[slot] = s;
+        return buf_[slot];
+    }
+
+  private:
+    std::vector<IntervalSample> buf_;
+    std::size_t head_ = 0;  //!< index of the oldest record
+    std::size_t size_ = 0;
+};
+
 /** Output encoding for the streaming sink. */
 enum class IntervalFormat : std::uint8_t
 {
@@ -106,10 +210,7 @@ class IntervalSampler
     /** Record one epoch from cumulative counters. */
     const IntervalSample &record(const IntervalInputs &in);
 
-    const std::deque<IntervalSample> &samples() const
-    {
-        return ring_;
-    }
+    const SampleRing &samples() const { return ring_; }
     std::uint64_t epochsRecorded() const { return epochs_; }
 
     /** Write the retained ring as a JSON array. */
@@ -131,7 +232,7 @@ class IntervalSampler
 
     IntervalInputs prev_{};
     std::uint64_t epochs_ = 0;
-    std::deque<IntervalSample> ring_;
+    SampleRing ring_;
 
     // Wall-clock anchors for the streamed throughput columns; host
     // time only, never serialized and never part of the ring.

@@ -18,7 +18,8 @@ Simulator::Simulator(const SimConfig &cfg)
       mem_(cfg.mem, &rootStats_),
       walker_(cfg.walker, pageTable_, mem_, &rootStats_),
       tlbs_(cfg.tlb, &rootStats_),
-      pb_(cfg.pbEntries, cfg.pbLatency, &rootStats_)
+      pb_(cfg.pbEntries, cfg.pbLatency, &rootStats_),
+      invWidth_(1.0 / cfg.width)
 {
     switch (cfg_.icachePref) {
       case ICachePrefKind::None:
@@ -134,7 +135,7 @@ Simulator::issueSpatialFills(Vpn target, Cycle ready_at,
         Vpn n = neighbors[i];
         if (n == target || pb_.contains(n))
             continue;
-        WalkPath p = pageTable_.walk(n, false);
+        TranslateResult p = pageTable_.translate(n);
         if (!p.mapped)
             continue;
         PbEntry entry;
@@ -399,7 +400,7 @@ Simulator::handleICachePrefetches(Addr pc, bool l1i_miss, Pfn cur_pfn,
             } else if (!cfg_.icacheTranslationCost) {
                 ++c_.icacheCrossPageNeedingWalk;
                 // IPC-1 idealisation: translations are free.
-                WalkPath p = pageTable_.walk(tvpn, false);
+                TranslateResult p = pageTable_.translate(tvpn);
                 if (!p.mapped)
                     continue;
                 tpfn = p.pfn;
@@ -550,7 +551,7 @@ Simulator::contextSwitch()
 void
 Simulator::simulateInstruction(const TraceRecord &rec, unsigned tid)
 {
-    cycles_ += 1.0 / cfg_.width;
+    cycles_ += invWidth_;
     ++c_.instructions;
     if (cfg_.contextSwitchInterval != 0 &&
         ++sinceContextSwitch_ >= cfg_.contextSwitchInterval) {
@@ -632,11 +633,18 @@ Simulator::run()
     // continues with the same round boundaries.
     constexpr unsigned blockSize = 8;
 
+    // One decoded block of trace records, reused across rounds. The
+    // batched nextBlock() call replaces blockSize virtual round-trips
+    // per thread with one, and lets the source keep its generator
+    // state in registers for the whole block.
+    TraceRecord block[blockSize];
+
     auto step = [&](std::uint64_t target) {
         while (c_.instructions < target) {
             for (unsigned tid = 0; tid < numThreads_; ++tid) {
+                workloads_[tid]->nextBlock(block, blockSize);
                 for (unsigned i = 0; i < blockSize; ++i)
-                    simulateInstruction(workloads_[tid]->next(), tid);
+                    simulateInstruction(block[i], tid);
             }
             maybeCheckpoint();
         }

@@ -18,64 +18,6 @@ Tlb::Tlb(const TlbParams &params, StatGroup *parent)
 {
 }
 
-namespace
-{
-
-/** Distinguished key space for 2MB entries in the shared table. */
-constexpr Vpn largeKeyBit = Vpn{1} << 62;
-
-Vpn
-largeKey(Vpn vpn)
-{
-    return (largePageBase(vpn) >> radixBits) | largeKeyBit;
-}
-
-} // anonymous namespace
-
-TlbHit
-Tlb::lookupAny(Vpn vpn, AccessType type)
-{
-    TlbHit hit;
-    if (type == AccessType::Instruction)
-        ++instrAccesses_;
-    else
-        ++dataAccesses_;
-
-    if (const TlbEntry *e = table_.find(vpn)) {
-        hit.entry = e;
-        hit.pagePfn = e->pfn;
-        return hit;
-    }
-    if (const TlbEntry *e = table_.find(largeKey(vpn))) {
-        hit.entry = e;
-        hit.pagePfn = e->pfn + (vpn & (pagesPerLargePage - 1));
-        return hit;
-    }
-    if (type == AccessType::Instruction)
-        ++instrMisses_;
-    else
-        ++dataMisses_;
-    return hit;
-}
-
-const TlbEntry *
-Tlb::lookup(Vpn vpn, AccessType type)
-{
-    if (type == AccessType::Instruction)
-        ++instrAccesses_;
-    else
-        ++dataAccesses_;
-
-    const TlbEntry *entry = table_.find(vpn);
-    if (!entry) {
-        if (type == AccessType::Instruction)
-            ++instrMisses_;
-        else
-            ++dataMisses_;
-    }
-    return entry;
-}
-
 bool
 Tlb::contains(Vpn vpn) const
 {
@@ -104,6 +46,7 @@ void
 Tlb::fillLarge(Vpn vpn, Pfn base_pfn, AccessType type)
 {
     ++fills_;
+    everLarge_ = true;
     TlbEntry victim;
     Vpn victim_vpn = 0;
     TlbEntry entry{base_pfn, type, true};
@@ -145,10 +88,12 @@ Tlb::restore(SnapshotReader &r)
     if (name != params_.name)
         throw SnapshotError("TLB mismatch: snapshot has '" + name +
                             "', live is '" + params_.name + "'");
-    table_.restore(r, [](SnapshotReader &sr, TlbEntry &e) {
+    table_.restore(r, [this](SnapshotReader &sr, TlbEntry &e) {
         e.pfn = sr.u64();
         e.filledBy = static_cast<AccessType>(sr.u8());
         e.large = sr.b();
+        if (e.large)
+            everLarge_ = true;
     });
 }
 

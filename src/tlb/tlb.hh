@@ -64,17 +64,63 @@ class Tlb
     /**
      * Demand lookup; updates LRU and stats.
      *
+     * Defined inline (with lookupAny): TLB probes run on every
+     * fetched line and every data access, and inlining the lane scan
+     * into the hierarchy's probe loop is worth real wall clock.
+     *
      * @param vpn Page to translate.
      * @param type Side of the access (stats split).
      * @return the entry, or nullptr on miss.
      */
-    const TlbEntry *lookup(Vpn vpn, AccessType type);
+    const TlbEntry *
+    lookup(Vpn vpn, AccessType type)
+    {
+        if (type == AccessType::Instruction)
+            ++instrAccesses_;
+        else
+            ++dataAccesses_;
+
+        const TlbEntry *entry = table_.find(vpn);
+        if (!entry) {
+            if (type == AccessType::Instruction)
+                ++instrMisses_;
+            else
+                ++dataMisses_;
+        }
+        return entry;
+    }
 
     /**
      * Dual-size demand lookup: probes the 4KB entry and, failing
      * that, the 2MB entry covering @p vpn. Counts a single access.
      */
-    TlbHit lookupAny(Vpn vpn, AccessType type);
+    TlbHit
+    lookupAny(Vpn vpn, AccessType type)
+    {
+        TlbHit hit;
+        if (type == AccessType::Instruction)
+            ++instrAccesses_;
+        else
+            ++dataAccesses_;
+
+        if (const TlbEntry *e = table_.find(vpn)) {
+            hit.entry = e;
+            hit.pagePfn = e->pfn;
+            return hit;
+        }
+        if (everLarge_) {
+            if (const TlbEntry *e = table_.find(largeKey(vpn))) {
+                hit.entry = e;
+                hit.pagePfn = e->pfn + (vpn & (pagesPerLargePage - 1));
+                return hit;
+            }
+        }
+        if (type == AccessType::Instruction)
+            ++instrMisses_;
+        else
+            ++dataMisses_;
+        return hit;
+    }
 
     /** Probe without LRU or stats side effects. */
     bool contains(Vpn vpn) const;
@@ -129,8 +175,21 @@ class Tlb
     }
 
   private:
+    /** Distinguished key space for 2MB entries in the shared table. */
+    static constexpr Vpn largeKeyBit = Vpn{1} << 62;
+
+    static Vpn
+    largeKey(Vpn vpn)
+    {
+        return (largePageBase(vpn) >> radixBits) | largeKeyBit;
+    }
+
     TlbParams params_;
     SetAssocTable<Vpn, TlbEntry> table_;
+    /** Whether a 2MB entry was ever installed. Monotone; lets
+     * lookupAny skip the always-missing large-key probe for the
+     * (common) all-4KB configurations. */
+    bool everLarge_ = false;
 
     StatGroup stats_;
     Counter instrAccesses_;

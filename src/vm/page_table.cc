@@ -20,7 +20,9 @@ PageTable::PageTable(PhysMem &phys, StatGroup *parent,
 {
     fatal_if(levels_ < 2 || levels_ > maxPageTableLevels,
              "unsupported page table depth %u", levels_);
-    root_.frame = phys_.allocFrame();
+    arena_.reserve(64);
+    arena_.emplace_back();
+    arena_[0].frame = phys_.allocFrame();
     ++tableFrames_;
     if (format_ == PageTableFormat::Hashed) {
         // One bucket (64 bytes) per aligned 8-page group; size the
@@ -34,6 +36,26 @@ PageTable::PageTable(PhysMem &phys, StatGroup *parent,
             phys_.allocFrame();
         tableFrames_ += frames;
     }
+}
+
+std::int32_t
+PageTable::newNode()
+{
+    arena_.emplace_back();
+    arena_.back().frame = phys_.allocFrame();
+    ++tableFrames_;
+    return static_cast<std::int32_t>(arena_.size() - 1);
+}
+
+std::int32_t
+PageTable::ensureChild(std::int32_t ni, std::uint32_t idx)
+{
+    std::int32_t c = arena_[ni].child[idx];
+    if (c == noNode) {
+        c = newNode();  // may reallocate the arena
+        arena_[ni].child[idx] = c;
+    }
+    return c;
 }
 
 std::uint64_t
@@ -68,11 +90,12 @@ PageTable::walkHashed(Vpn vpn, bool allocate)
 {
     WalkPath path;
     Vpn group = vpn >> 3;
-    auto it = hashedLeaves_.find(vpn);
-    bool mapped = it != hashedLeaves_.end();
+    const Pfn *leaf = map4k_.find(vpn);
+    bool mapped = leaf != nullptr;
     if (!mapped && allocate) {
         Pfn pfn = phys_.allocFrame();
-        hashedLeaves_[vpn] = pfn;
+        map4k_.insert(vpn, pfn);
+        leaf = map4k_.find(vpn);
         ++mappedPages_;
         mapped = true;
         if (observer_)
@@ -98,7 +121,7 @@ PageTable::walkHashed(Vpn vpn, bool allocate)
 
     if (mapped) {
         path.mapped = true;
-        path.pfn = hashedLeaves_[vpn];
+        path.pfn = *leaf;
     }
     return path;
 }
@@ -114,40 +137,34 @@ bool
 PageTable::mapPage(Vpn vpn)
 {
     if (format_ == PageTableFormat::Hashed) {
-        auto [it, inserted] = hashedLeaves_.emplace(vpn, Pfn{0});
-        if (inserted) {
-            it->second = phys_.allocFrame();
-            ++mappedPages_;
-            unsigned probes = 0;
-            findBucket(vpn >> 3, true, &probes);
-            if (observer_)
-                observer_->onMap4K(vpn, it->second);
-        }
-        return inserted;
+        if (map4k_.find(vpn))
+            return false;
+        Pfn pfn = phys_.allocFrame();
+        map4k_.insert(vpn, pfn);
+        ++mappedPages_;
+        unsigned probes = 0;
+        findBucket(vpn >> 3, true, &probes);
+        if (observer_)
+            observer_->onMap4K(vpn, pfn);
+        return true;
     }
-    Node *node = &root_;
+    std::int32_t ni = 0;
     // Descend through the interior levels, creating nodes.
     for (unsigned depth = 0; depth < levels_ - 1; ++depth) {
         unsigned level = levels_ - 1 - depth;
         auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
-        auto it = node->children.find(idx);
-        if (it == node->children.end()) {
-            auto child = std::make_unique<Node>();
-            child->frame = phys_.allocFrame();
-            ++tableFrames_;
-            it = node->children.emplace(idx, std::move(child)).first;
-        }
-        node = it->second.get();
+        ni = ensureChild(ni, idx);
     }
     auto leaf_idx = static_cast<std::uint32_t>(radixIndex(vpn, 0));
-    auto [it, inserted] = node->leaves.emplace(leaf_idx, Pfn{0});
-    if (inserted) {
-        it->second = phys_.allocFrame();
-        ++mappedPages_;
-        if (observer_)
-            observer_->onMap4K(vpn, it->second);
-    }
-    return inserted;
+    if (arena_[ni].hasLeaf(leaf_idx))
+        return false;
+    Pfn pfn = phys_.allocFrame();
+    arena_[ni].setLeaf(leaf_idx, pfn);
+    map4k_.insert(vpn, pfn);
+    ++mappedPages_;
+    if (observer_)
+        observer_->onMap4K(vpn, pfn);
+    return true;
 }
 
 bool
@@ -156,35 +173,29 @@ PageTable::mapLargePage(Vpn vpn)
     fatal_if(format_ == PageTableFormat::Hashed,
              "large pages unsupported in the hashed format");
     Vpn base = largePageBase(vpn);
-    Node *node = &root_;
+    std::int32_t ni = 0;
     // Descend to the PD level (stop one interior level early).
     for (unsigned depth = 0; depth + 2 < levels_; ++depth) {
         unsigned level = levels_ - 1 - depth;
         auto idx = static_cast<std::uint32_t>(radixIndex(base, level));
-        auto it = node->children.find(idx);
-        if (it == node->children.end()) {
-            auto child = std::make_unique<Node>();
-            child->frame = phys_.allocFrame();
-            ++tableFrames_;
-            it = node->children.emplace(idx, std::move(child)).first;
-        }
-        node = it->second.get();
+        ni = ensureChild(ni, idx);
     }
     auto pd_idx = static_cast<std::uint32_t>(radixIndex(base, 1));
-    panic_if(node->children.count(pd_idx) != 0,
+    panic_if(arena_[ni].child[pd_idx] != noNode,
              "2MB mapping over existing 4KB mappings");
-    auto [it, inserted] = node->largeLeaves.emplace(pd_idx, Pfn{0});
-    if (inserted) {
-        // Allocate a contiguous 2MB frame group.
-        Pfn first = phys_.allocFrame();
-        for (unsigned i = 1; i < pagesPerLargePage; ++i)
-            phys_.allocFrame();
-        it->second = first;
-        mappedPages_ += pagesPerLargePage;
-        if (observer_)
-            observer_->onMap2M(base, first);
-    }
-    return inserted;
+    if (arena_[ni].hasLargeLeaf(pd_idx))
+        return false;
+    // Allocate a contiguous 2MB frame group.
+    Pfn first = phys_.allocFrame();
+    for (unsigned i = 1; i < pagesPerLargePage; ++i)
+        phys_.allocFrame();
+    arena_[ni].setLargeLeaf(pd_idx, first);
+    map2m_.insert(base, first);
+    anyLarge_ = true;
+    mappedPages_ += pagesPerLargePage;
+    if (observer_)
+        observer_->onMap2M(base, first);
+    return true;
 }
 
 void
@@ -200,38 +211,21 @@ PageTable::mapLargeRange(Vpn start, std::uint64_t count_4k)
 bool
 PageTable::isMapped(Vpn vpn) const
 {
-    if (format_ == PageTableFormat::Hashed)
-        return hashedLeaves_.count(vpn) != 0;
-    // Walk interior levels manually so a PD-level large leaf is
-    // recognised.
-    const Node *node = &root_;
-    for (unsigned depth = 0; depth + 1 < levels_; ++depth) {
-        unsigned level = levels_ - 1 - depth;
-        auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
-        if (level == 1 && node->largeLeaves.count(idx))
-            return true;
-        auto it = node->children.find(idx);
-        if (it == node->children.end())
-            return false;
-        node = it->second.get();
-    }
-    auto leaf_idx = static_cast<std::uint32_t>(radixIndex(vpn, 0));
-    return node->leaves.count(leaf_idx) != 0;
+    return translate(vpn).mapped;
 }
 
-PageTable::Node *
+const PageTable::Node *
 PageTable::findLeafNode(Vpn vpn) const
 {
-    const Node *node = &root_;
+    std::int32_t ni = 0;
     for (unsigned depth = 0; depth < levels_ - 1; ++depth) {
         unsigned level = levels_ - 1 - depth;
         auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
-        auto it = node->children.find(idx);
-        if (it == node->children.end())
+        ni = arena_[ni].child[idx];
+        if (ni == noNode)
             return nullptr;
-        node = it->second.get();
     }
-    return const_cast<Node *>(node);
+    return &arena_[ni];
 }
 
 WalkPath
@@ -244,25 +238,24 @@ PageTable::walk(Vpn vpn, bool allocate)
 
     WalkPath path;
     path.levels = levels_;
-    const Node *node = &root_;
+    std::int32_t ni = 0;
     for (unsigned depth = 0; depth < levels_; ++depth) {
         unsigned level = levels_ - 1 - depth;
         auto idx = static_cast<std::uint32_t>(radixIndex(vpn, level));
+        const Node &n = arena_[ni];
         path.entryAddr[depth] =
-            (node->frame << pageShift) + idx * pteBytes;
+            (n.frame << pageShift) + idx * pteBytes;
         if (depth == levels_ - 1) {
-            auto it = node->leaves.find(idx);
-            if (it != node->leaves.end()) {
-                path.pfn = it->second;
+            if (n.hasLeaf(idx)) {
+                path.pfn = n.leaf[idx];
                 path.mapped = true;
             }
             break;
         }
         if (level == 1) {
             // A PD entry can be a 2MB leaf (Section 4.3).
-            auto lit = node->largeLeaves.find(idx);
-            if (lit != node->largeLeaves.end()) {
-                path.pfn = lit->second +
+            if (n.hasLargeLeaf(idx)) {
+                path.pfn = n.largeLeaf[idx] +
                            (vpn & (pagesPerLargePage - 1));
                 path.mapped = true;
                 path.large = true;
@@ -270,14 +263,13 @@ PageTable::walk(Vpn vpn, bool allocate)
                 break;
             }
         }
-        auto it = node->children.find(idx);
-        if (it == node->children.end()) {
+        ni = n.child[idx];
+        if (ni == noNode) {
             // Walk terminates early: the interior entry is absent.
             // Entry addresses below this level stay zero and
             // path.mapped stays false.
             break;
         }
-        node = it->second.get();
     }
     return path;
 }
@@ -293,7 +285,7 @@ PageTable::lineNeighbors(Vpn vpn, unsigned *count) const
         Vpn group_base = vpn & ~static_cast<Vpn>(ptesPerLine - 1);
         for (unsigned i = 0; i < ptesPerLine; ++i) {
             Vpn cand = group_base + i;
-            if (hashedLeaves_.count(cand))
+            if (map4k_.find(cand))
                 out[n++] = cand;
         }
         *count = n;
@@ -303,12 +295,12 @@ PageTable::lineNeighbors(Vpn vpn, unsigned *count) const
     // frame; the 8 PTEs in its 64-byte line cover the aligned group
     // of 8 virtually contiguous pages.
     Vpn group_base = vpn & ~static_cast<Vpn>(ptesPerLine - 1);
-    const Node *node = findLeafNode(vpn);
-    if (node) {
+    const Node *leaf_node = findLeafNode(vpn);
+    if (leaf_node) {
         for (unsigned i = 0; i < ptesPerLine; ++i) {
             Vpn cand = group_base + i;
             auto idx = static_cast<std::uint32_t>(radixIndex(cand, 0));
-            if (node->leaves.count(idx))
+            if (leaf_node->hasLeaf(idx))
                 out[n++] = cand;
         }
     }
@@ -316,71 +308,83 @@ PageTable::lineNeighbors(Vpn vpn, unsigned *count) const
     return out;
 }
 
-namespace
-{
-
-/** Emit an unordered u32 -> u64 map in sorted-key order. */
-template <typename Map>
 void
-saveIndexMap(SnapshotWriter &w, const Map &map)
+PageTable::saveNode(SnapshotWriter &w, const Node &n) const
 {
-    std::vector<std::pair<std::uint32_t, Pfn>> entries(map.begin(),
-                                                       map.end());
-    std::sort(entries.begin(), entries.end());
-    w.u64(entries.size());
-    for (const auto &[idx, pfn] : entries) {
-        w.u32(idx);
-        w.u64(pfn);
+    w.u64(n.frame);
+    // Leaves, then large leaves, then children -- each in ascending
+    // index order, byte-identical to the sorted-map emission of the
+    // unordered_map-based layout.
+    std::uint64_t leaf_count = 0;
+    for (std::uint32_t i = 0; i < radixFanout; ++i)
+        leaf_count += n.hasLeaf(i);
+    w.u64(leaf_count);
+    for (std::uint32_t i = 0; i < radixFanout; ++i) {
+        if (n.hasLeaf(i)) {
+            w.u32(i);
+            w.u64(n.leaf[i]);
+        }
+    }
+    std::uint64_t large_count = 0;
+    for (std::uint32_t i = 0; i < radixFanout; ++i)
+        large_count += n.hasLargeLeaf(i);
+    w.u64(large_count);
+    for (std::uint32_t i = 0; i < radixFanout; ++i) {
+        if (n.hasLargeLeaf(i)) {
+            w.u32(i);
+            w.u64(n.largeLeaf[i]);
+        }
+    }
+    std::uint64_t child_count = 0;
+    for (std::uint32_t i = 0; i < radixFanout; ++i)
+        child_count += n.child[i] != noNode;
+    w.u64(child_count);
+    for (std::uint32_t i = 0; i < radixFanout; ++i) {
+        if (n.child[i] != noNode) {
+            w.u32(i);
+            saveNode(w, arena_[n.child[i]]);
+        }
     }
 }
 
-template <typename Map>
 void
-loadIndexMap(SnapshotReader &r, Map &map)
+PageTable::restoreNode(SnapshotReader &r, std::int32_t ni, Vpn prefix)
 {
-    map.clear();
-    std::uint64_t n = r.u64();
-    map.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
+    // The arena may reallocate while children are restored, so
+    // arena_[ni] is re-resolved after every recursive call.
+    arena_[ni] = Node{};
+    arena_[ni].frame = r.u64();
+    std::uint64_t leaves = r.u64();
+    for (std::uint64_t i = 0; i < leaves; ++i) {
         std::uint32_t idx = r.u32();
-        map[idx] = r.u64();
+        if (idx >= radixFanout)
+            throw SnapshotError("page table leaf index out of range");
+        Pfn pfn = r.u64();
+        arena_[ni].setLeaf(idx, pfn);
+        // Only PT-level nodes carry 4KB leaves, so the accumulated
+        // prefix is the full VPN head.
+        map4k_.insert((prefix << radixBits) | idx, pfn);
     }
-}
-
-} // namespace
-
-void
-PageTable::saveNode(SnapshotWriter &w, const Node &node) const
-{
-    w.u64(node.frame);
-    saveIndexMap(w, node.leaves);
-    saveIndexMap(w, node.largeLeaves);
-    std::vector<std::uint32_t> child_idx;
-    child_idx.reserve(node.children.size());
-    for (const auto &[idx, child] : node.children)
-        child_idx.push_back(idx);
-    std::sort(child_idx.begin(), child_idx.end());
-    w.u64(child_idx.size());
-    for (std::uint32_t idx : child_idx) {
-        w.u32(idx);
-        saveNode(w, *node.children.at(idx));
-    }
-}
-
-void
-PageTable::restoreNode(SnapshotReader &r, Node &node)
-{
-    node.frame = r.u64();
-    loadIndexMap(r, node.leaves);
-    loadIndexMap(r, node.largeLeaves);
-    node.children.clear();
-    std::uint64_t n = r.u64();
-    node.children.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t larges = r.u64();
+    for (std::uint64_t i = 0; i < larges; ++i) {
         std::uint32_t idx = r.u32();
-        auto child = std::make_unique<Node>();
-        restoreNode(r, *child);
-        node.children[idx] = std::move(child);
+        if (idx >= radixFanout)
+            throw SnapshotError("page table leaf index out of range");
+        Pfn pfn = r.u64();
+        arena_[ni].setLargeLeaf(idx, pfn);
+        map2m_.insert(((prefix << radixBits) | idx) << radixBits, pfn);
+        anyLarge_ = true;
+    }
+    std::uint64_t children = r.u64();
+    for (std::uint64_t i = 0; i < children; ++i) {
+        std::uint32_t idx = r.u32();
+        if (idx >= radixFanout)
+            throw SnapshotError("page table child index out of range");
+        arena_.emplace_back();
+        std::int32_t ci =
+            static_cast<std::int32_t>(arena_.size() - 1);
+        arena_[ni].child[idx] = ci;
+        restoreNode(r, ci, (prefix << radixBits) | idx);
     }
 }
 
@@ -391,14 +395,17 @@ PageTable::save(SnapshotWriter &w) const
     w.u8(static_cast<std::uint8_t>(format_));
     w.u32(levels_);
     if (format_ == PageTableFormat::Radix) {
-        saveNode(w, root_);
+        saveNode(w, arena_[0]);
     } else {
         w.u64(hashBase_);
         w.u64(buckets_.size());
         for (Vpn b : buckets_)
             w.u64(b);
-        std::vector<std::pair<Vpn, Pfn>> leaves(hashedLeaves_.begin(),
-                                                hashedLeaves_.end());
+        std::vector<std::pair<Vpn, Pfn>> leaves;
+        leaves.reserve(map4k_.size());
+        map4k_.forEach([&leaves](Vpn vpn, Pfn pfn) {
+            leaves.emplace_back(vpn, pfn);
+        });
         std::sort(leaves.begin(), leaves.end());
         w.u64(leaves.size());
         for (const auto &[vpn, pfn] : leaves) {
@@ -416,8 +423,12 @@ PageTable::restore(SnapshotReader &r)
     if (static_cast<PageTableFormat>(r.u8()) != format_ ||
         r.u32() != levels_)
         throw SnapshotError("page table format/levels mismatch");
+    map4k_.clear(64);
+    map2m_.clear(64);
+    anyLarge_ = false;
     if (format_ == PageTableFormat::Radix) {
-        restoreNode(r, root_);
+        arena_.resize(1);
+        restoreNode(r, 0, 0);
     } else {
         hashBase_ = r.u64();
         std::uint64_t nbuckets = r.u64();
@@ -425,12 +436,10 @@ PageTable::restore(SnapshotReader &r)
             throw SnapshotError("hashed page table size mismatch");
         for (Vpn &b : buckets_)
             b = r.u64();
-        hashedLeaves_.clear();
         std::uint64_t n = r.u64();
-        hashedLeaves_.reserve(n);
         for (std::uint64_t i = 0; i < n; ++i) {
             Vpn vpn = r.u64();
-            hashedLeaves_[vpn] = r.u64();
+            map4k_.insert(vpn, r.u64());
         }
     }
     hashProbes_ = r.u64();

@@ -8,6 +8,18 @@
  * addresses to push through the cache hierarchy, and it makes the
  * "page table locality" property emerge naturally: the leaf PTEs of
  * 8 virtually contiguous pages share one 64-byte cache line.
+ *
+ * Hot-path organisation: radix nodes live in a bump arena (one
+ * std::vector, index-linked) and each node's children / leaves /
+ * large leaves are direct 512-slot arrays with valid bitmaps instead
+ * of unordered_maps, so a descend step is an array index, not a hash
+ * probe. On top of the structural model sits a flat open-addressing
+ * VPN -> PFN map fed at mapping creation; translate() answers
+ * "mapped? what frame?" in one or two probes for callers that do not
+ * need per-level entry addresses (spatial fills, I-cache prefetch
+ * translation). The structural walk() remains authoritative for walk
+ * addresses and is what the walker drives through the memory
+ * hierarchy.
  */
 
 #ifndef MORRIGAN_VM_PAGE_TABLE_HH
@@ -15,8 +27,7 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -59,6 +70,14 @@ struct WalkPath
     bool mapped = false;
 
     /** The mapping is a 2MB large page (leaf at the PD level). */
+    bool large = false;
+};
+
+/** Result of the flat-map fast-path translation. */
+struct TranslateResult
+{
+    Pfn pfn = 0;
+    bool mapped = false;
     bool large = false;
 };
 
@@ -135,6 +154,16 @@ class PageTable
     bool isMapped(Vpn vpn) const;
 
     /**
+     * One-probe flat-map translation: the result is exactly
+     * walk(vpn, false)'s {mapped, pfn, large} without touching the
+     * radix structure or computing entry addresses. Use wherever the
+     * caller only needs the frame; the walker must keep using walk().
+     * Defined inline (below the class) -- it runs on TLB fill paths
+     * several times per miss.
+     */
+    TranslateResult translate(Vpn vpn) const;
+
+    /**
      * Traverse root to leaf.
      *
      * @param vpn Page to translate.
@@ -164,27 +193,161 @@ class PageTable
     void setObserver(PageTableObserver *obs) { observer_ = obs; }
 
     /** Serialize the whole table (radix tree or hashed array); node
-     * maps are emitted in sorted-index order so the image does not
-     * depend on unordered_map iteration order. */
+     * leaf/child sets are emitted in ascending index order, matching
+     * the sorted-map order of earlier image versions. */
     void save(SnapshotWriter &w) const;
     void restore(SnapshotReader &r);
 
   private:
+    /** Absent child / arena link. */
+    static constexpr std::int32_t noNode = -1;
+
+    /**
+     * One radix node: direct 512-slot child links and leaf frames
+     * with valid bitmaps. Children are arena indices, so the arena
+     * vector may reallocate freely.
+     */
     struct Node
     {
         Pfn frame = 0;
-        /** Interior children, keyed by radix index. */
-        std::unordered_map<std::uint32_t, std::unique_ptr<Node>>
-            children;
-        /** Leaf translations (only used at the PT level). */
-        std::unordered_map<std::uint32_t, Pfn> leaves;
-        /** 2MB leaf translations (only used at the PD level). */
-        std::unordered_map<std::uint32_t, Pfn> largeLeaves;
+        std::array<std::int32_t, radixFanout> child;
+        std::array<Pfn, radixFanout> leaf{};
+        std::array<Pfn, radixFanout> largeLeaf{};
+        std::array<std::uint64_t, radixFanout / 64> leafValid{};
+        std::array<std::uint64_t, radixFanout / 64> largeValid{};
+
+        Node() { child.fill(noNode); }
+
+        bool
+        hasLeaf(std::uint32_t idx) const
+        {
+            return (leafValid[idx >> 6] >> (idx & 63)) & 1;
+        }
+
+        bool
+        hasLargeLeaf(std::uint32_t idx) const
+        {
+            return (largeValid[idx >> 6] >> (idx & 63)) & 1;
+        }
+
+        void
+        setLeaf(std::uint32_t idx, Pfn pfn)
+        {
+            leaf[idx] = pfn;
+            leafValid[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        }
+
+        void
+        setLargeLeaf(std::uint32_t idx, Pfn pfn)
+        {
+            largeLeaf[idx] = pfn;
+            largeValid[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        }
     };
 
-    Node *findLeafNode(Vpn vpn) const;
-    void saveNode(SnapshotWriter &w, const Node &node) const;
-    void restoreNode(SnapshotReader &r, Node &node);
+    /**
+     * Flat open-addressing VPN -> PFN map (power-of-two capacity,
+     * multiplicative hash, linear probing). ~0 keys mark free slots;
+     * the canonical VA width keeps real VPNs far below that.
+     */
+    class FlatMap
+    {
+      public:
+        FlatMap() { clear(64); }
+
+        const Pfn *
+        find(Vpn vpn) const
+        {
+            std::size_t i = slotOf(vpn);
+            for (;;) {
+                if (keys_[i] == vpn)
+                    return &vals_[i];
+                if (keys_[i] == freeKey)
+                    return nullptr;
+                i = (i + 1) & (keys_.size() - 1);
+            }
+        }
+
+        void
+        insert(Vpn vpn, Pfn pfn)
+        {
+            if ((size_ + 1) * 2 > keys_.size())
+                grow();
+            std::size_t i = slotOf(vpn);
+            while (keys_[i] != freeKey && keys_[i] != vpn)
+                i = (i + 1) & (keys_.size() - 1);
+            if (keys_[i] == freeKey)
+                ++size_;
+            keys_[i] = vpn;
+            vals_[i] = pfn;
+        }
+
+        void
+        clear(std::size_t capacity)
+        {
+            keys_.assign(capacity, freeKey);
+            vals_.assign(capacity, 0);
+            size_ = 0;
+        }
+
+        std::size_t size() const { return size_; }
+
+        /** Apply @p fn to every (vpn, pfn) pair, table order. */
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (std::size_t i = 0; i < keys_.size(); ++i)
+                if (keys_[i] != freeKey)
+                    fn(keys_[i], vals_[i]);
+        }
+
+      private:
+        static constexpr Vpn freeKey = ~Vpn{0};
+
+        std::size_t
+        slotOf(Vpn vpn) const
+        {
+            return static_cast<std::size_t>(
+                       vpn * 0x9e3779b97f4a7c15ULL) &
+                   (keys_.size() - 1);
+        }
+
+        void
+        grow()
+        {
+            std::vector<Vpn> old_keys = std::move(keys_);
+            std::vector<Pfn> old_vals = std::move(vals_);
+            keys_.assign(old_keys.size() * 2, freeKey);
+            vals_.assign(old_keys.size() * 2, 0);
+            size_ = 0;
+            for (std::size_t i = 0; i < old_keys.size(); ++i) {
+                if (old_keys[i] == freeKey)
+                    continue;
+                std::size_t j = slotOf(old_keys[i]);
+                while (keys_[j] != freeKey)
+                    j = (j + 1) & (keys_.size() - 1);
+                keys_[j] = old_keys[i];
+                vals_[j] = old_vals[i];
+                ++size_;
+            }
+        }
+
+        std::vector<Vpn> keys_;
+        std::vector<Pfn> vals_;
+        std::size_t size_ = 0;
+    };
+
+    Node *node(std::int32_t i) { return &arena_[i]; }
+    const Node *node(std::int32_t i) const { return &arena_[i]; }
+    std::int32_t newNode();
+    /** Child at @p idx of arena node @p ni, creating it if needed. */
+    std::int32_t ensureChild(std::int32_t ni, std::uint32_t idx);
+    const Node *findLeafNode(Vpn vpn) const;
+    void saveNode(SnapshotWriter &w, const Node &n) const;
+    /** Rebuild arena node @p ni; @p prefix is the VPN head above it
+     * (used to refeed the flat translation maps). */
+    void restoreNode(SnapshotReader &r, std::int32_t ni, Vpn prefix);
     WalkPath walkHashed(Vpn vpn, bool allocate);
     /** Bucket index for a group, probing linearly from its hash;
      * returns the capacity if absent and allocate is false. */
@@ -195,20 +358,45 @@ class PageTable
     unsigned levels_;
     PageTableFormat format_;
     PageTableObserver *observer_ = nullptr;
-    Node root_;
+    /** Node arena; index 0 is the root. */
+    std::vector<Node> arena_;
+    /** 4KB translations (both formats). */
+    FlatMap map4k_;
+    /** 2MB translations keyed by 512-aligned base VPN -> base PFN. */
+    FlatMap map2m_;
+    /** Monotone: any 2MB mapping ever created (skips the 2M probe
+     * in the overwhelmingly common 4K-only configuration). */
+    bool anyLarge_ = false;
 
     // --- hashed-format state ---
     /** Bucket occupancy: group key per bucket; ~0 when free. */
     std::vector<Vpn> buckets_;
     /** Base physical frame of the hashed table array. */
     Pfn hashBase_ = 0;
-    /** Leaf translations for the hashed format. */
-    std::unordered_map<Vpn, Pfn> hashedLeaves_;
     std::uint64_t hashProbes_ = 0;
     StatGroup stats_;
     Counter mappedPages_;
     Counter tableFrames_;
 };
+
+inline TranslateResult
+PageTable::translate(Vpn vpn) const
+{
+    TranslateResult res;
+    if (const Pfn *pfn = map4k_.find(vpn)) {
+        res.pfn = *pfn;
+        res.mapped = true;
+        return res;
+    }
+    if (anyLarge_) {
+        if (const Pfn *base = map2m_.find(largePageBase(vpn))) {
+            res.pfn = *base + (vpn & (pagesPerLargePage - 1));
+            res.mapped = true;
+            res.large = true;
+        }
+    }
+    return res;
+}
 
 } // namespace morrigan
 

@@ -14,7 +14,10 @@ MissStreamStats::record(Vpn vpn)
     if (prevValid_) {
         std::uint64_t delta =
             vpn > prev_ ? vpn - prev_ : prev_ - vpn;
-        ++deltaCounts_[delta];
+        if (delta < smallDeltaLimit)
+            ++smallDeltas_[delta];
+        else
+            ++largeDeltas_[delta];
         ++successorCounts_[prev_][vpn];
     }
     prev_ = vpn;
@@ -26,7 +29,12 @@ MissStreamStats::deltaCdfAt(std::uint64_t bound) const
 {
     std::uint64_t total = 0;
     std::uint64_t within = 0;
-    for (const auto &[delta, count] : deltaCounts_) {
+    for (std::uint64_t d = 0; d < smallDeltaLimit; ++d) {
+        total += smallDeltas_[d];
+        if (d <= bound)
+            within += smallDeltas_[d];
+    }
+    for (const auto &[delta, count] : largeDeltas_) {
         total += count;
         if (delta <= bound)
             within += count;

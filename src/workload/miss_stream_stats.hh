@@ -14,7 +14,6 @@
 #define MORRIGAN_WORKLOAD_MISS_STREAM_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -85,8 +84,19 @@ class MissStreamStats
     /** per page: successor -> transition count */
     std::unordered_map<Vpn, std::unordered_map<Vpn, std::uint64_t>>
         successorCounts_;
-    /** |delta| histogram. */
-    std::map<std::uint64_t, std::uint64_t> deltaCounts_;
+    /** Deltas below this go to the flat histogram lane. */
+    static constexpr std::uint64_t smallDeltaLimit = 1u << 15;
+
+    /**
+     * |delta| histogram. record() runs once per iSTLB miss, so the
+     * common case -- small deltas, per Figure 5 almost all of them --
+     * is a direct array increment; the rare huge deltas (cross-
+     * segment hops) spill to a hash map. Counts are exact either
+     * way, so every derived figure is unchanged.
+     */
+    std::vector<std::uint64_t> smallDeltas_ =
+        std::vector<std::uint64_t>(smallDeltaLimit, 0);
+    std::unordered_map<std::uint64_t, std::uint64_t> largeDeltas_;
 };
 
 } // namespace morrigan

@@ -231,10 +231,13 @@ ServerWorkload::sampleDataAddr()
     double u = rng_.uniform();
     if (u < params_.dataStreamFraction) {
         // Streaming scan: advances one line per access through the
-        // cold region, touching a new page every 64 accesses.
-        streamPos_ = (streamPos_ + 1) %
-                     (static_cast<std::uint64_t>(params_.dataColdPages)
-                      * (pageBytes / lineBytes));
+        // cold region, touching a new page every 64 accesses. The
+        // explicit wrap (streamPos_ only ever grows by one) spares a
+        // 64-bit division per draw.
+        if (++streamPos_ >=
+            static_cast<std::uint64_t>(params_.dataColdPages) *
+                (pageBytes / lineBytes))
+            streamPos_ = 0;
         return (dataColdBase_ << pageShift) + streamPos_ * lineBytes;
     }
     u -= params_.dataStreamFraction;
@@ -301,6 +304,16 @@ ServerWorkload::next()
         rec.dataAddr = sampleDataAddr();
     }
     return rec;
+}
+
+void
+ServerWorkload::nextBlock(TraceRecord *out, unsigned n)
+{
+    // Same record/RNG sequence as n calls through the base class; the
+    // override exists so the simulator's block loop devirtualises the
+    // per-instruction call and keeps the generator state hot.
+    for (unsigned i = 0; i < n; ++i)
+        out[i] = next();
 }
 
 std::vector<std::pair<Vpn, std::uint64_t>>

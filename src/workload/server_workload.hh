@@ -127,6 +127,7 @@ class ServerWorkload : public TraceSource
     explicit ServerWorkload(const ServerWorkloadParams &params);
 
     TraceRecord next() override;
+    void nextBlock(TraceRecord *out, unsigned n) override;
 
     const std::string &name() const override { return params_.name; }
 

@@ -45,6 +45,20 @@ class TraceSource
     /** Produce the next instruction. Streams are unbounded. */
     virtual TraceRecord next() = 0;
 
+    /**
+     * Produce the next @p n instructions into @p out. Equivalent to n
+     * calls of next(); sources override it so the simulator's dispatch
+     * loop pays one virtual call per block instead of per instruction
+     * (and the source's generator state stays register-resident across
+     * the block).
+     */
+    virtual void
+    nextBlock(TraceRecord *out, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
     /** Workload identifier for reports. */
     virtual const std::string &name() const = 0;
 

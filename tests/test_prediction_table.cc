@@ -120,7 +120,8 @@ TEST(Prt, TransferredSlotsSurviveInstall)
 {
     Fixture f;
     auto t = f.make(16, 4, 4);
-    std::vector<PrtSlot> slots(2);
+    PrtSlotList slots;
+    slots.resize(2);
     slots[0] = {10, 2, true};
     slots[1] = {-4, 1, true};
     t.install(7, slots);
