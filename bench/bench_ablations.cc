@@ -64,7 +64,7 @@ main()
     const std::vector<ServerWorkloadParams> suite =
         qmmParams(indices);
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, suite);
+        runWorkloads(cfg, "none", suite);
 
     auto print = [](const char *label, const Summary &s,
                     const char *note) {
@@ -119,7 +119,7 @@ main()
         SimConfig c = cfg;
         c.walker.ports = ports;
         std::vector<SimResult> b2 =
-            runWorkloads(c, PrefetcherKind::None, suite);
+            runWorkloads(c, "none", suite);
         char label[32];
         std::snprintf(label, sizeof(label), "%u ports", ports);
         print(label, evaluate(c, MorriganParams{}, indices, b2),
@@ -131,7 +131,7 @@ main()
         SimConfig c = cfg;
         c.pageTableDepth = depth;
         std::vector<SimResult> b2 =
-            runWorkloads(c, PrefetcherKind::None, suite);
+            runWorkloads(c, "none", suite);
         char label[32];
         std::snprintf(label, sizeof(label), "%u-level radix", depth);
         print(label, evaluate(c, MorriganParams{}, indices, b2),
@@ -144,7 +144,7 @@ main()
         SimConfig c = cfg;
         c.contextSwitchInterval = interval;
         std::vector<SimResult> b2 =
-            runWorkloads(c, PrefetcherKind::None, suite);
+            runWorkloads(c, "none", suite);
         char label[48];
         if (interval == 0)
             std::snprintf(label, sizeof(label), "no switches");

@@ -25,10 +25,10 @@ main()
     for (unsigned i = 0; i < javaWorkloadNames().size(); ++i) {
         ServerWorkloadParams wl = javaWorkloadParams(i);
         jobs.push_back(
-            ExperimentJob::of(cfg, PrefetcherKind::None, wl));
+            ExperimentJob::of(cfg, "none", wl));
         wl.dataHugePages = true;
         jobs.push_back(
-            ExperimentJob::of(cfg, PrefetcherKind::None, wl));
+            ExperimentJob::of(cfg, "none", wl));
     }
     std::vector<SimResult> results = runBatch(jobs);
 

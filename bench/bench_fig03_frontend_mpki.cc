@@ -54,10 +54,10 @@ main()
     for (unsigned i = 0; i < spec_n; ++i)
         spec_suite.push_back(specWorkloadParams(i));
     for (const SimResult &r :
-         runWorkloads(cfg, PrefetcherKind::None, spec_suite))
+         runWorkloads(cfg, "none", spec_suite))
         spec.add(r);
     for (const SimResult &r :
-         runWorkloads(cfg, PrefetcherKind::None,
+         runWorkloads(cfg, "none",
                       qmmParams(workloadIndices(scale))))
         qmm.add(r);
 

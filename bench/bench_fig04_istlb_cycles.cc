@@ -21,7 +21,7 @@ main()
     double lo = 1e9, hi = 0.0, sum = 0.0;
     unsigned n = 0;
     for (const SimResult &r :
-         runWorkloads(cfg, PrefetcherKind::None,
+         runWorkloads(cfg, "none",
                       qmmParams(workloadIndices(scale)))) {
         double pct = r.istlbCycleFraction * 100.0;
         std::printf("  %-10s %11.1f%%\n", r.workload.c_str(), pct);

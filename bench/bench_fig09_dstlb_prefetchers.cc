@@ -24,33 +24,33 @@ main()
     const std::vector<ServerWorkloadParams> suite =
         qmmParams(workloadIndices(scale));
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, suite);
+        runWorkloads(cfg, "none", suite);
 
     struct Series
     {
-        PrefetcherKind kind;
+        std::string kind;
         const char *paper;
     };
     const Series series[] = {
-        {PrefetcherKind::Sequential, "paper: 1.6%"},
-        {PrefetcherKind::Stride, "paper: ~0.4%"},
-        {PrefetcherKind::Distance, "paper: ~0.1%"},
-        {PrefetcherKind::Markov, "paper: 0.2%"},
-        {PrefetcherKind::MarkovUnbounded2, "paper: 7.9%"},
-        {PrefetcherKind::MarkovUnboundedInf, "paper: 10.3%"},
+        {"sp", "paper: 1.6%"},
+        {"asp", "paper: ~0.4%"},
+        {"dp", "paper: ~0.1%"},
+        {"mp", "paper: 0.2%"},
+        {"mp-unbounded2", "paper: 7.9%"},
+        {"mp-unbounded", "paper: 10.3%"},
     };
 
     for (const Series &s : series) {
         std::vector<SimResult> runs =
             runWorkloads(cfg, s.kind, suite);
-        row(prefetcherKindName(s.kind),
+        row(prefetcherDisplayName(s.kind),
             geomeanSpeedupPct(base, runs), "%", s.paper);
     }
 
     SimConfig perfect_cfg = cfg;
     perfect_cfg.perfectIstlb = true;
     std::vector<SimResult> perfect =
-        runWorkloads(perfect_cfg, PrefetcherKind::None, suite);
+        runWorkloads(perfect_cfg, "none", suite);
     row("Perfect iSTLB", geomeanSpeedupPct(base, perfect), "%",
         "paper: 11.1%");
     return 0;

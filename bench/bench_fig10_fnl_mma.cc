@@ -29,7 +29,7 @@ main()
 
     // Baseline: next-line I-cache prefetcher, real translation.
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, suite);
+        runWorkloads(cfg, "none", suite);
 
     // FNL+MMA under the IPC-1 idealisation: the instruction side
     // pays no translation cost at all (perfect iSTLB), so the
@@ -41,9 +41,9 @@ main()
     SimConfig ideal_base = cfg;
     ideal_base.perfectIstlb = true;
     std::vector<SimResult> ideal_runs =
-        runWorkloads(ideal, PrefetcherKind::None, suite);
+        runWorkloads(ideal, "none", suite);
     std::vector<SimResult> ideal_bases =
-        runWorkloads(ideal_base, PrefetcherKind::None, suite);
+        runWorkloads(ideal_base, "none", suite);
     row("FNL+MMA (no xlat cost)",
         geomeanSpeedupPct(ideal_bases, ideal_runs), "%",
         "paper: IPC-1 headline numbers (higher)");
@@ -53,7 +53,7 @@ main()
     real.icachePref = ICachePrefKind::FnlMma;
     real.icacheTranslationCost = true;
     std::vector<SimResult> real_runs =
-        runWorkloads(real, PrefetcherKind::None, suite);
+        runWorkloads(real, "none", suite);
     double miss_red = 0.0;
     for (std::size_t k = 0; k < indices.size(); ++k) {
         if (base[k].demandWalksInstr > 0) {

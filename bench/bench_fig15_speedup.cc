@@ -23,34 +23,34 @@ main()
     const std::vector<ServerWorkloadParams> suite =
         qmmParams(indices);
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, suite);
+        runWorkloads(cfg, "none", suite);
 
     struct Series
     {
-        PrefetcherKind kind;
+        std::string kind;
         const char *paper;
     };
     const Series series[] = {
-        {PrefetcherKind::Sequential, "paper: 1.6%"},
-        {PrefetcherKind::Distance, "paper: 0.1%"},
-        {PrefetcherKind::Stride, "paper: 0.4%"},
-        {PrefetcherKind::MarkovIso, "paper: 0.7% (MP @ ISO budget)"},
-        {PrefetcherKind::Morrigan, "paper: 7.6%"},
+        {"sp", "paper: 1.6%"},
+        {"dp", "paper: 0.1%"},
+        {"asp", "paper: 0.4%"},
+        {"mp-iso", "paper: 0.7% (MP @ ISO budget)"},
+        {"morrigan", "paper: 7.6%"},
     };
 
     std::uint64_t irip_hits = 0, sdp_hits = 0;
     for (const Series &s : series) {
         std::vector<SimResult> runs =
             runWorkloads(cfg, s.kind, suite);
-        if (s.kind == PrefetcherKind::Morrigan) {
+        if (s.kind == "morrigan") {
             for (const SimResult &r : runs) {
                 irip_hits += r.pbHitsIrip;
                 sdp_hits += r.pbHitsSdp;
             }
         }
-        row(prefetcherKindName(s.kind),
+        row(prefetcherDisplayName(s.kind),
             geomeanSpeedupPct(base, runs), "%", s.paper);
-        if (s.kind == PrefetcherKind::Morrigan) {
+        if (s.kind == "morrigan") {
             double cov = 0.0;
             for (const SimResult &r : runs)
                 cov += r.coverage;

@@ -26,20 +26,20 @@ main()
         qmmParams(indices);
     std::uint64_t base_refs = 0;
     for (const SimResult &r :
-         runWorkloads(cfg, PrefetcherKind::None, suite))
+         runWorkloads(cfg, "none", suite))
         base_refs += r.demandWalkRefsInstr;
 
     struct Series
     {
-        PrefetcherKind kind;
+        std::string kind;
         const char *paper;
     };
     const Series series[] = {
-        {PrefetcherKind::Sequential, "paper: demand 89% + pf 20%"},
-        {PrefetcherKind::Stride, "paper: demand 99% + pf 1%"},
-        {PrefetcherKind::Distance, "paper: demand 98% + pf 6%"},
-        {PrefetcherKind::MarkovIso, "paper: demand 92% + pf 7%"},
-        {PrefetcherKind::Morrigan, "paper: demand 31% + pf 117%"},
+        {"sp", "paper: demand 89% + pf 20%"},
+        {"asp", "paper: demand 99% + pf 1%"},
+        {"dp", "paper: demand 98% + pf 6%"},
+        {"mp-iso", "paper: demand 92% + pf 7%"},
+        {"morrigan", "paper: demand 31% + pf 117%"},
     };
 
     std::printf("  %-10s %10s %10s   %s\n", "prefetcher", "demand",
@@ -55,10 +55,10 @@ main()
                 by_level[l] += r.prefetchWalkRefsByLevel[l];
         }
         std::printf("  %-10s %9.1f%% %9.1f%%   %s\n",
-                    prefetcherKindName(s.kind),
+                    prefetcherDisplayName(s.kind).c_str(),
                     100.0 * demand / base_refs,
                     100.0 * prefetch / base_refs, s.paper);
-        if (s.kind == PrefetcherKind::Morrigan && prefetch > 0) {
+        if (s.kind == "morrigan" && prefetch > 0) {
             std::printf("  Morrigan prefetch-walk refs served by: "
                         "L1 %.0f%%, L2 %.0f%%, LLC %.0f%%, DRAM "
                         "%.0f%%  (paper: 20/25/45/10%%)\n",

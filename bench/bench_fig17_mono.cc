@@ -26,11 +26,11 @@ main()
     const std::vector<ServerWorkloadParams> suite =
         qmmParams(indices);
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, suite);
+        runWorkloads(cfg, "none", suite);
     std::vector<SimResult> ensemble =
-        runWorkloads(cfg, PrefetcherKind::Morrigan, suite);
+        runWorkloads(cfg, "morrigan", suite);
     std::vector<SimResult> mono =
-        runWorkloads(cfg, PrefetcherKind::MorriganMono, suite);
+        runWorkloads(cfg, "morrigan-mono", suite);
 
     double s_ens = geomeanSpeedupPct(base, ensemble);
     double s_mono = geomeanSpeedupPct(base, mono);

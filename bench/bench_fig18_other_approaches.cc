@@ -17,7 +17,7 @@ namespace
 {
 
 double
-geoSpeedup(const SimConfig &cfg, PrefetcherKind kind,
+geoSpeedup(const SimConfig &cfg, const std::string &kind,
            const std::vector<unsigned> &indices,
            const std::vector<SimResult> &base)
 {
@@ -37,7 +37,7 @@ main()
     auto indices = workloadIndices(scale);
 
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, qmmParams(indices));
+        runWorkloads(cfg, "none", qmmParams(indices));
 
     // ISO-storage enlarged STLB: +384 entries (1920, 15-way) matches
     // Morrigan's ~3.8KB budget (the paper adds 388 entries).
@@ -45,38 +45,38 @@ main()
     enlarged.tlb.stlb.entries = 1920;
     enlarged.tlb.stlb.ways = 15;
     row("enlarged STLB (+384e)",
-        geoSpeedup(enlarged, PrefetcherKind::None, indices, base),
+        geoSpeedup(enlarged, "none", indices, base),
         "%", "paper: Morrigan beats it by 4.1%");
 
     // P2TLB: Morrigan prefetching straight into the STLB.
     SimConfig p2tlb = cfg;
     p2tlb.prefetchIntoStlb = true;
     row("P2TLB (prefetch->STLB)",
-        geoSpeedup(p2tlb, PrefetcherKind::Morrigan, indices, base),
+        geoSpeedup(p2tlb, "morrigan", indices, base),
         "%", "paper: -18.9% (STLB pollution)");
 
     // ASAP alone.
     SimConfig asap = cfg;
     asap.walker.asap = true;
     row("ASAP",
-        geoSpeedup(asap, PrefetcherKind::None, indices, base), "%",
+        geoSpeedup(asap, "none", indices, base), "%",
         "paper: Morrigan beats it by 4.8%");
 
     // Morrigan alone.
     row("Morrigan",
-        geoSpeedup(cfg, PrefetcherKind::Morrigan, indices, base),
+        geoSpeedup(cfg, "morrigan", indices, base),
         "%", "paper: 7.6%");
 
     // Morrigan + ASAP.
     row("Morrigan+ASAP",
-        geoSpeedup(asap, PrefetcherKind::Morrigan, indices, base),
+        geoSpeedup(asap, "morrigan", indices, base),
         "%", "paper: 10.1%");
 
     // Perfect iSTLB.
     SimConfig perfect = cfg;
     perfect.perfectIstlb = true;
     row("Perfect iSTLB",
-        geoSpeedup(perfect, PrefetcherKind::None, indices, base),
+        geoSpeedup(perfect, "none", indices, base),
         "%", "paper: 11.1%");
     return 0;
 }

@@ -24,17 +24,17 @@ main()
     const std::vector<ServerWorkloadParams> suite =
         qmmParams(indices);
     std::vector<SimResult> base =
-        runWorkloads(cfg, PrefetcherKind::None, suite);
+        runWorkloads(cfg, "none", suite);
 
     SimConfig fnl = cfg;
     fnl.icachePref = ICachePrefKind::FnlMma;
 
     std::vector<SimResult> fnl_runs =
-        runWorkloads(fnl, PrefetcherKind::None, suite);
+        runWorkloads(fnl, "none", suite);
     std::vector<SimResult> morr_runs =
-        runWorkloads(cfg, PrefetcherKind::Morrigan, suite);
+        runWorkloads(cfg, "morrigan", suite);
     std::vector<SimResult> combo_runs =
-        runWorkloads(fnl, PrefetcherKind::Morrigan, suite);
+        runWorkloads(fnl, "morrigan", suite);
     std::uint64_t cross_hits = 0, cross_walks = 0;
     for (const SimResult &combo : combo_runs) {
         cross_hits += combo.icacheCrossPagePbHits;

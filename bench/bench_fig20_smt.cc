@@ -52,7 +52,7 @@ geoSpeedupPairs(
                 qmmWorkloadParams(a), qmmWorkloadParams(b)));
         } else {
             jobs.push_back(ExperimentJob::smtPair(
-                c, PrefetcherKind::None, qmmWorkloadParams(a),
+                c, "none", qmmWorkloadParams(a),
                 qmmWorkloadParams(b)));
         }
     }
@@ -76,7 +76,7 @@ main()
     std::vector<ExperimentJob> base_jobs;
     for (auto [a, b] : pairs)
         base_jobs.push_back(ExperimentJob::smtPair(
-            cfg, PrefetcherKind::None, qmmWorkloadParams(a),
+            cfg, "none", qmmWorkloadParams(a),
             qmmWorkloadParams(b)));
     std::vector<SimResult> base = runBatch(base_jobs);
 

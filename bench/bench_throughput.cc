@@ -65,24 +65,24 @@ main()
     // One untimed run first: the early grid cells otherwise pay the
     // host's cold start (CPU frequency ramp, allocator/page-cache
     // warm-up) and read systematically slower than the late ones.
-    executeJob(ExperimentJob::of(cfg, PrefetcherKind::Morrigan, wa));
+    executeJob(ExperimentJob::of(cfg, "morrigan", wa));
 
     row("baseline-1t",
-        measureMips(ExperimentJob::of(cfg, PrefetcherKind::None, wa)),
+        measureMips(ExperimentJob::of(cfg, "none", wa)),
         "Minstr/s", "no prefetcher, single thread");
     const double morrigan_1t = measureMips(
-        ExperimentJob::of(cfg, PrefetcherKind::Morrigan, wa));
+        ExperimentJob::of(cfg, "morrigan", wa));
     row("morrigan-1t", morrigan_1t, "Minstr/s",
         "Morrigan composite, single thread");
     row("morrigan-smt",
         measureMips(ExperimentJob::smtPair(
-            cfg, PrefetcherKind::Morrigan, wa, wb)),
+            cfg, "morrigan", wa, wb)),
         "Minstr/s", "Morrigan, two SMT workloads");
     SimConfig checked = cfg;
     checked.checkLevel = 1;
     row("morrigan-checked",
         measureMips(ExperimentJob::of(checked,
-                                      PrefetcherKind::Morrigan, wa)),
+                                      "morrigan", wa)),
         "Minstr/s", "with the differential reference checker");
 
     // Telemetry overhead contract. The grid above ran with telemetry
@@ -92,7 +92,7 @@ main()
     // one-sided min-ratio rule (bigger would pass).
     telemetry::setEnabled(true);
     const double telemetry_on = measureMips(
-        ExperimentJob::of(cfg, PrefetcherKind::Morrigan, wa));
+        ExperimentJob::of(cfg, "morrigan", wa));
     telemetry::setEnabled(false);
     telemetry::reset();
     row("morrigan-1t-telemetry", telemetry_on, "Minstr/s",

@@ -96,7 +96,7 @@ main(int argc, char **argv)
     sdp_only.irip = sdp_only.irip.scaled(0.03);  // degenerate IRIP
 
     std::vector<ExperimentJob> jobs = {
-        ExperimentJob::of(cfg, PrefetcherKind::None, wl),
+        ExperimentJob::of(cfg, "none", wl),
         ExperimentJob::with(
             cfg,
             [] {

@@ -31,25 +31,25 @@ main(int argc, char **argv)
     cfg.simInstructions = 4'000'000;
     ServerWorkloadParams wl = qmmWorkloadParams(index);
 
-    const PrefetcherKind kinds[] = {
-        PrefetcherKind::Sequential,    PrefetcherKind::Stride,
-        PrefetcherKind::Distance,      PrefetcherKind::Markov,
-        PrefetcherKind::MarkovIso,     PrefetcherKind::MorriganMono,
-        PrefetcherKind::Morrigan,
-        PrefetcherKind::MarkovUnbounded2,
-        PrefetcherKind::MarkovUnboundedInf,
+    const std::string kinds[] = {
+        "sp",    "asp",
+        "dp",      "mp",
+        "mp-iso",     "morrigan-mono",
+        "morrigan",
+        "mp-unbounded2",
+        "mp-unbounded",
     };
 
     // One batch for the whole shootout: the baseline, all nine
     // prefetchers and the perfect-iSTLB bound run in parallel.
     std::vector<ExperimentJob> jobs;
-    jobs.push_back(ExperimentJob::of(cfg, PrefetcherKind::None, wl));
-    for (PrefetcherKind kind : kinds)
+    jobs.push_back(ExperimentJob::of(cfg, "none", wl));
+    for (const std::string &kind : kinds)
         jobs.push_back(ExperimentJob::of(cfg, kind, wl));
     SimConfig perfect = cfg;
     perfect.perfectIstlb = true;
     jobs.push_back(
-        ExperimentJob::of(perfect, PrefetcherKind::None, wl));
+        ExperimentJob::of(perfect, "none", wl));
 
     std::vector<SimResult> results = runBatch(jobs);
     const SimResult &base = results[0];
@@ -61,7 +61,7 @@ main(int argc, char **argv)
     for (std::size_t k = 0; k < std::size(kinds); ++k) {
         const SimResult &r = results[k + 1];
         std::printf("%-22s %8.2f%% %9.1f%% %11.0f%% %12.0f%%\n",
-                    prefetcherKindName(kinds[k]),
+                    prefetcherDisplayName(kinds[k]).c_str(),
                     speedupPct(base, r), r.coverage * 100.0,
                     100.0 * r.demandWalkRefsInstr /
                         std::max<std::uint64_t>(

@@ -42,8 +42,8 @@ main(int argc, char **argv)
     // Both runs go out as one parallel batch; results come back in
     // submission order, identical to running them serially.
     std::vector<SimResult> results = runBatch(
-        {ExperimentJob::of(cfg, PrefetcherKind::None, wl),
-         ExperimentJob::of(cfg, PrefetcherKind::Morrigan, wl)});
+        {ExperimentJob::of(cfg, "none", wl),
+         ExperimentJob::of(cfg, "morrigan", wl)});
     const SimResult &base = results[0];
     std::printf("baseline    : IPC %.3f  iSTLB MPKI %.2f  "
                 "dSTLB MPKI %.2f  iSTLB cycles %.1f%%\n",

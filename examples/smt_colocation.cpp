@@ -44,9 +44,9 @@ main(int argc, char **argv)
     // tables per Section 6.6, and un-doubled for contrast).
     MorriganParams doubled = MorriganParams{}.smtScaled();
     std::vector<ExperimentJob> jobs = {
-        ExperimentJob::of(cfg, PrefetcherKind::None, wa),
-        ExperimentJob::of(cfg, PrefetcherKind::None, wb),
-        ExperimentJob::smtPair(cfg, PrefetcherKind::None, wa, wb),
+        ExperimentJob::of(cfg, "none", wa),
+        ExperimentJob::of(cfg, "none", wb),
+        ExperimentJob::smtPair(cfg, "none", wa, wb),
         ExperimentJob::smtPairWith(
             cfg,
             [doubled] {

@@ -99,7 +99,7 @@ describeCase(const FuzzCase &fc)
         }
         os << (fc.morrigan.sdpEnabled ? "+sdp" : "-sdp") << "]";
     } else {
-        os << prefetcherKindName(fc.kind);
+        os << prefetcherDisplayName(fc.kind);
     }
     os << " icache="
        << (fc.cfg.icachePref == ICachePrefKind::FnlMma
@@ -174,13 +174,27 @@ sampleCase(std::uint64_t seed, const FuzzOptions &opt)
         p.sdpEnabled = rng.chance(0.8);
         p.sdpAlwaysOn = p.sdpEnabled && rng.chance(0.15);
         fc.morrigan = p;
-        fc.kind = PrefetcherKind::Morrigan;
+        fc.kind = "morrigan";
     } else {
-        fc.kind = pick<PrefetcherKind>(
-            rng, {PrefetcherKind::Morrigan,
-                  PrefetcherKind::MorriganMono,
-                  PrefetcherKind::Sequential,
-                  PrefetcherKind::Distance, PrefetcherKind::Markov});
+        // Draw from the registry: every plugin flagged fuzzable gets
+        // sampled, so new competitors inherit M1-M6 coverage the
+        // moment they register. One slot in eight composes a random
+        // hybrid so composite dispatch is fuzzed too.
+        std::vector<std::string> fuzzable;
+        for (const PrefetcherPlugin &p :
+             PrefetcherRegistry::global().plugins()) {
+            if (p.fuzzable)
+                fuzzable.push_back(p.name);
+        }
+        std::size_t a = rng.below(fuzzable.size());
+        if (rng.chance(0.125)) {
+            std::size_t b = rng.below(fuzzable.size());
+            if (b == a)
+                b = (b + 1) % fuzzable.size();
+            fc.kind = fuzzable[a] + "+" + fuzzable[b];
+        } else {
+            fc.kind = fuzzable[a];
+        }
     }
 
     // mapLargeRange is radix-only, so hashed seeds must not sample
@@ -527,9 +541,9 @@ appendSeedJobs(std::uint64_t seed, const FuzzCase &fc,
     };
     auto noneJob = [&](const SimConfig &cfg) {
         return fc.smt ? ExperimentJob::smtPair(
-                            cfg, PrefetcherKind::None, fc.workload,
+                            cfg, "none", fc.workload,
                             fc.smtWorkload)
-                      : ExperimentJob::of(cfg, PrefetcherKind::None,
+                      : ExperimentJob::of(cfg, "none",
                                           fc.workload);
     };
 
@@ -568,13 +582,13 @@ appendSeedJobs(std::uint64_t seed, const FuzzCase &fc,
         if (cfg.simInstructions == 0)
             cfg.simInstructions = 16;
         slots.pair = push("pair", ExperimentJob::smtPair(
-            cfg, PrefetcherKind::None, fc.workload, fc.smtWorkload));
+            cfg, "none", fc.workload, fc.smtWorkload));
         SimConfig half = cfg;
         half.simInstructions = cfg.simInstructions / 2;
         slots.soloA = push("soloA", ExperimentJob::of(
-            half, PrefetcherKind::None, fc.workload));
+            half, "none", fc.workload));
         slots.soloB = push("soloB", ExperimentJob::of(
-            half, PrefetcherKind::None, fc.smtWorkload));
+            half, "none", fc.smtWorkload));
     }
 }
 

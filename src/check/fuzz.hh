@@ -55,7 +55,7 @@
 #include <vector>
 
 #include "core/morrigan.hh"
-#include "core/prefetcher_factory.hh"
+#include "core/prefetcher_registry.hh"
 #include "sim/sim_config.hh"
 #include "workload/server_workload.hh"
 
@@ -106,7 +106,7 @@ struct FuzzCase
 {
     SimConfig cfg;
     /** Base prefetcher: a named kind... */
-    PrefetcherKind kind = PrefetcherKind::Morrigan;
+    std::string kind = "morrigan";
     /** ...or, when set, a custom-geometry Morrigan. */
     bool customMorrigan = false;
     MorriganParams morrigan{};

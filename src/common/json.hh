@@ -44,8 +44,12 @@ inline constexpr int benchSchemaVersion = 2;
  * experiment cache keys, so bumping it invalidates old caches).
  * v2: differential-check fields (checked_translations,
  * check_mismatches, check_mapped_pages) and the checkLevel /
- * injectWalkerBugPeriod key components. */
-inline constexpr int resultCacheSchemaVersion = 2;
+ * injectWalkerBugPeriod key components.
+ * v3: the prefetcher key component is the registry spec string (CLI
+ * spelling, '+'-joined for hybrid compositions) instead of the old
+ * enum display name, so registry-named prefetchers and hybrids key
+ * correctly; stale v2 entries warn and rerun. */
+inline constexpr int resultCacheSchemaVersion = 3;
 /** Version of the campaign-journal JSONL record schema
  * (sim/supervisor.hh). Still v1 after the optional duration_ms key
  * was added: the reader tolerates its absence, and a bump would

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/prefetcher_registry.hh"
 
 namespace morrigan
 {
@@ -352,6 +353,52 @@ MarkovPrefetcher::restore(SnapshotReader &r)
         h.prevVpn = r.u64();
         h.valid = r.b();
     }
+}
+
+void
+registerBaselinePrefetchers(PrefetcherRegistry &reg)
+{
+    reg.registerPlugin({
+        "sp", "SP", "sequential prefetcher (next page, stateless)",
+        [] { return std::make_unique<SequentialPrefetcher>(); },
+        /*fuzzable=*/true, /*tournament=*/true});
+    reg.registerPlugin({
+        "asp", "ASP",
+        "arbitrary stride prefetcher, PC-indexed 128x8 RPT",
+        [] { return std::make_unique<StridePrefetcher>(128, 8); },
+        /*fuzzable=*/true, /*tournament=*/true});
+    reg.registerPlugin({
+        "dp", "DP", "distance prefetcher, 128x8 distance table",
+        [] { return std::make_unique<DistancePrefetcher>(128, 8); },
+        /*fuzzable=*/true, /*tournament=*/true});
+    // The stock MP is well under Morrigan's budget, so it fields the
+    // ISO variant in the tournament instead.
+    reg.registerPlugin({
+        "mp", "MP", "Markov prefetcher, 128x8, 2 successor slots",
+        [] { return std::make_unique<MarkovPrefetcher>(128, 8, 2); },
+        /*fuzzable=*/true, /*tournament=*/false});
+    reg.registerPlugin({
+        "mp-iso", "MP-iso",
+        "Markov prefetcher scaled to Morrigan's ~3.8KB budget",
+        // ~3.8KB budget: entries * (16 + 2*36) bits => 344 entries;
+        // rounded to 512-entry 8-way for a valid geometry would
+        // overshoot, so use 344 -> 320 (64 sets x 5 ways is invalid)
+        // -> 352 = 32 sets x 11 ways.
+        [] { return std::make_unique<MarkovPrefetcher>(352, 11, 2); },
+        /*fuzzable=*/true, /*tournament=*/true});
+    // The idealisations have no hardware budget: they are excluded
+    // from the ISO-storage tournament, and from fuzz sampling so a
+    // sampled campaign's state stays bounded.
+    reg.registerPlugin({
+        "mp-unbounded2", "MP-unbounded-2succ",
+        "idealised MP, infinite entries, 2 successor slots",
+        [] { return std::make_unique<MarkovPrefetcher>(0, 0, 2); },
+        /*fuzzable=*/false, /*tournament=*/false});
+    reg.registerPlugin({
+        "mp-unbounded", "MP-unbounded-inf",
+        "idealised MP, infinite entries and successor slots",
+        [] { return std::make_unique<MarkovPrefetcher>(0, 0, 0); },
+        /*fuzzable=*/false, /*tournament=*/false});
 }
 
 } // namespace morrigan

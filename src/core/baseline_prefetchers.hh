@@ -191,6 +191,14 @@ class MarkovPrefetcher : public TlbPrefetcher
     History hist_[2];
 };
 
+class PrefetcherRegistry;
+
+/**
+ * Register the paper's baseline configurations: sp, asp, dp, mp,
+ * mp-iso and the unbounded MP idealisations.
+ */
+void registerBaselinePrefetchers(PrefetcherRegistry &reg);
+
 } // namespace morrigan
 
 #endif // MORRIGAN_CORE_BASELINE_PREFETCHERS_HH

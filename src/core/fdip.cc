@@ -1,0 +1,135 @@
+#include "fdip.hh"
+
+#include "common/logging.hh"
+#include "core/prefetcher_registry.hh"
+
+namespace morrigan
+{
+
+FdipPrefetcher::FdipPrefetcher(const FdipParams &params)
+    : params_(params),
+      table_(params.tableEntries, params.tableWays)
+{
+}
+
+void
+FdipPrefetcher::onInstrStlbMiss(Vpn vpn, Addr pc, unsigned tid,
+                                std::vector<PrefetchRequest> &out)
+{
+    (void)pc;
+    panic_if(tid >= 2, "FDIP supports two hardware threads");
+    History &h = hist_[tid];
+
+    // Train the fetch-path edge prev -> vpn.
+    if (h.valid && h.prevVpn != vpn) {
+        if (FtqEntry *e = table_.probe(h.prevVpn)) {
+            if (e->next == vpn) {
+                if (e->confidence < 3)
+                    ++e->confidence;
+            } else if (e->confidence > 0) {
+                --e->confidence;
+            } else {
+                e->next = vpn;
+            }
+        } else {
+            table_.insert(h.prevVpn, FtqEntry{vpn, 0});
+        }
+    }
+    h.prevVpn = vpn;
+    h.valid = true;
+
+    // Run ahead: chase the learned fetch path, one FTQ slot per
+    // confident edge, stopping at the first unknown or distrusted
+    // edge exactly as FDIP stops at an unpredicted branch.
+    Vpn cur = vpn;
+    for (unsigned depth = 0; depth < params_.ftqDepth; ++depth) {
+        const FtqEntry *e = table_.find(cur);
+        if (!e || e->confidence < params_.confidenceThreshold)
+            return;
+        PrefetchRequest req;
+        req.vpn = e->next;
+        req.spatial = false;
+        req.tag.producer = PrefetchProducer::Other;
+        req.tag.table = tagTable;
+        req.tag.sourcePage = cur;
+        out.push_back(req);
+        ++runahead_;
+        cur = e->next;
+    }
+}
+
+void
+FdipPrefetcher::creditPbHit(const PrefetchTag &tag)
+{
+    if (tag.producer != PrefetchProducer::Other ||
+        tag.table != tagTable) {
+        return;
+    }
+    ++creditedHits_;
+    // The fetch unit really did walk onto the predicted page:
+    // reinforce the producing edge.
+    if (FtqEntry *e = table_.probe(tag.sourcePage)) {
+        if (e->confidence < 3)
+            ++e->confidence;
+    }
+}
+
+void
+FdipPrefetcher::onContextSwitch()
+{
+    table_.flush();
+    hist_[0] = History{};
+    hist_[1] = History{};
+}
+
+std::size_t
+FdipPrefetcher::storageBits() const
+{
+    // tag (16b partial) + next VPN (36b) + confidence (2b).
+    return static_cast<std::size_t>(table_.capacity()) *
+           (16 + 36 + 2);
+}
+
+void
+FdipPrefetcher::save(SnapshotWriter &w) const
+{
+    w.section("fdip");
+    table_.save(w, [](SnapshotWriter &sw, const FtqEntry &e) {
+        sw.u64(e.next);
+        sw.u8(e.confidence);
+    });
+    for (const History &h : hist_) {
+        w.u64(h.prevVpn);
+        w.b(h.valid);
+    }
+    w.u64(runahead_);
+    w.u64(creditedHits_);
+}
+
+void
+FdipPrefetcher::restore(SnapshotReader &r)
+{
+    r.section("fdip");
+    table_.restore(r, [](SnapshotReader &sr, FtqEntry &e) {
+        e.next = sr.u64();
+        e.confidence = sr.u8();
+    });
+    for (History &h : hist_) {
+        h.prevVpn = r.u64();
+        h.valid = r.b();
+    }
+    runahead_ = r.u64();
+    creditedHits_ = r.u64();
+}
+
+void
+registerFdipPrefetcher(PrefetcherRegistry &reg)
+{
+    reg.registerPlugin({
+        "fdip", "FDIP",
+        "fetch-directed run-ahead along the learned fetch path",
+        [] { return std::make_unique<FdipPrefetcher>(); },
+        /*fuzzable=*/true, /*tournament=*/true});
+}
+
+} // namespace morrigan

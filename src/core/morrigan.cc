@@ -1,5 +1,7 @@
 #include "morrigan.hh"
 
+#include "core/prefetcher_registry.hh"
+
 namespace morrigan
 {
 
@@ -57,6 +59,27 @@ std::size_t
 MorriganPrefetcher::storageBits() const
 {
     return irip_.storageBits();  // SDP is stateless
+}
+
+void
+registerMorriganPrefetchers(PrefetcherRegistry &reg)
+{
+    reg.registerPlugin({
+        "morrigan", "Morrigan",
+        "composite IRIP (4-table ensemble) + SDP prefetcher",
+        [] {
+            return std::make_unique<MorriganPrefetcher>(
+                MorriganParams{});
+        },
+        /*fuzzable=*/true, /*tournament=*/true});
+    reg.registerPlugin({
+        "morrigan-mono", "Morrigan-mono",
+        "single-table ISO-storage IRIP + SDP (Section 6.3)",
+        [] {
+            return std::make_unique<MorriganPrefetcher>(
+                MorriganParams::mono());
+        },
+        /*fuzzable=*/true, /*tournament=*/true});
 }
 
 } // namespace morrigan

@@ -91,6 +91,11 @@ class MorriganPrefetcher : public TlbPrefetcher
     std::uint64_t sdpActivations_ = 0;
 };
 
+class PrefetcherRegistry;
+
+/** Register the morrigan and morrigan-mono configurations. */
+void registerMorriganPrefetchers(PrefetcherRegistry &reg);
+
 } // namespace morrigan
 
 #endif // MORRIGAN_CORE_MORRIGAN_HH

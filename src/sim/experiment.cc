@@ -11,7 +11,7 @@ namespace morrigan
 {
 
 SimResult
-runWorkload(const SimConfig &cfg, PrefetcherKind kind,
+runWorkload(const SimConfig &cfg, const std::string &kind,
             const ServerWorkloadParams &workload)
 {
     auto prefetcher = makePrefetcher(kind);
@@ -70,7 +70,7 @@ runBatch(const std::vector<ExperimentJob> &jobs)
 }
 
 std::vector<SimResult>
-runWorkloads(const SimConfig &cfg, PrefetcherKind kind,
+runWorkloads(const SimConfig &cfg, const std::string &kind,
              const std::vector<ServerWorkloadParams> &workloads)
 {
     std::vector<ExperimentJob> jobs;
@@ -90,7 +90,7 @@ collectMissStreams(const SimConfig &cfg,
     jobs.reserve(workloads.size());
     for (const ServerWorkloadParams &wl : workloads)
         jobs.push_back(
-            ExperimentJob::of(c, PrefetcherKind::None, wl));
+            ExperimentJob::of(c, "none", wl));
     std::vector<RunOutcome> outcomes = runBatchOutcomes(jobs);
     std::vector<MissStreamStats> streams;
     streams.reserve(outcomes.size());

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/prefetcher_factory.hh"
+#include "core/prefetcher_registry.hh"
 #include "sim/run_pool.hh"
 #include "sim/supervisor.hh"
 #include "sim/sim_config.hh"
@@ -26,7 +26,7 @@ namespace morrigan
 {
 
 /** Run one workload through one configuration. */
-SimResult runWorkload(const SimConfig &cfg, PrefetcherKind kind,
+SimResult runWorkload(const SimConfig &cfg, const std::string &kind,
                       const ServerWorkloadParams &workload);
 
 /** Run with an externally constructed prefetcher (ablations). */
@@ -60,7 +60,7 @@ std::vector<SimResult> runBatch(const std::vector<ExperimentJob> &jobs);
 
 /** One (cfg, kind) across many workloads, in parallel. */
 std::vector<SimResult>
-runWorkloads(const SimConfig &cfg, PrefetcherKind kind,
+runWorkloads(const SimConfig &cfg, const std::string &kind,
              const std::vector<ServerWorkloadParams> &workloads);
 
 /** Baseline miss-stream collection across many workloads, in

@@ -243,7 +243,7 @@ namespace
 /** Shared body of experimentKey() / warmupKey(). @p warmup_only
  * omits the measurement-only fields. */
 std::string
-buildKey(const SimConfig &cfg, PrefetcherKind kind,
+buildKey(const SimConfig &cfg, const std::string &kind,
          const ServerWorkloadParams &workload,
          const ServerWorkloadParams *smt, bool warmup_only)
 {
@@ -252,7 +252,9 @@ buildKey(const SimConfig &cfg, PrefetcherKind kind,
                                              : "morrigan-experiment"));
     kb.add("version",
            std::uint64_t{json::resultCacheSchemaVersion});
-    kb.add("prefetcher", std::string(prefetcherKindName(kind)));
+    // The registry spec string (CLI spelling, '+'-joined for
+    // hybrids) is the canonical cache identity of a prefetcher.
+    kb.add("prefetcher", kind);
 
     addCacheParams(kb, "mem.l1i", cfg.mem.l1i);
     addCacheParams(kb, "mem.l1d", cfg.mem.l1d);
@@ -315,7 +317,7 @@ buildKey(const SimConfig &cfg, PrefetcherKind kind,
 } // anonymous namespace
 
 std::string
-experimentKey(const SimConfig &cfg, PrefetcherKind kind,
+experimentKey(const SimConfig &cfg, const std::string &kind,
               const ServerWorkloadParams &workload,
               const ServerWorkloadParams *smt)
 {
@@ -323,7 +325,7 @@ experimentKey(const SimConfig &cfg, PrefetcherKind kind,
 }
 
 std::string
-warmupKey(const SimConfig &cfg, PrefetcherKind kind,
+warmupKey(const SimConfig &cfg, const std::string &kind,
           const ServerWorkloadParams &workload,
           const ServerWorkloadParams *smt)
 {

@@ -3,9 +3,9 @@
  * Process-wide keyed cache of simulation results.
  *
  * Every experiment run is a deterministic function of
- * (SimConfig, PrefetcherKind, ServerWorkloadParams[, SMT partner]),
+ * (SimConfig, prefetcher spec, ServerWorkloadParams[, SMT partner]),
  * so its SimResult can be memoised. The benches exploit this heavily:
- * each figure normalizes against the same `PrefetcherKind::None`
+ * each figure normalizes against the same `"none"`
  * baseline suite, which without the cache would be re-simulated by
  * every binary section that needs it.
  *
@@ -31,7 +31,7 @@
 #include <unordered_map>
 
 #include "common/json_reader.hh"
-#include "core/prefetcher_factory.hh"
+#include "core/prefetcher_registry.hh"
 #include "sim/sim_config.hh"
 #include "workload/server_workload.hh"
 
@@ -45,7 +45,7 @@ namespace morrigan
  * so key layout changes invalidate old disk caches. Two experiments
  * share a key iff they would produce bit-identical SimResults.
  */
-std::string experimentKey(const SimConfig &cfg, PrefetcherKind kind,
+std::string experimentKey(const SimConfig &cfg, const std::string &kind,
                           const ServerWorkloadParams &workload,
                           const ServerWorkloadParams *smt = nullptr);
 
@@ -59,7 +59,7 @@ std::string experimentKey(const SimConfig &cfg, PrefetcherKind kind,
  * PB during warmup, so sharing images across prefetchers would break
  * bit-identity with an uninterrupted run.
  */
-std::string warmupKey(const SimConfig &cfg, PrefetcherKind kind,
+std::string warmupKey(const SimConfig &cfg, const std::string &kind,
                       const ServerWorkloadParams &workload,
                       const ServerWorkloadParams *smt = nullptr);
 

@@ -36,7 +36,7 @@ bool warmupDirSet = false;
 } // namespace
 
 ExperimentJob
-ExperimentJob::of(const SimConfig &cfg, PrefetcherKind kind,
+ExperimentJob::of(const SimConfig &cfg, const std::string &kind,
                   const ServerWorkloadParams &workload)
 {
     ExperimentJob job;
@@ -60,7 +60,7 @@ ExperimentJob::with(
 }
 
 ExperimentJob
-ExperimentJob::smtPair(const SimConfig &cfg, PrefetcherKind kind,
+ExperimentJob::smtPair(const SimConfig &cfg, const std::string &kind,
                        const ServerWorkloadParams &a,
                        const ServerWorkloadParams &b)
 {

@@ -3,7 +3,7 @@
  * Parallel experiment runner.
  *
  * Simulation campaigns are embarrassingly parallel: every run is a
- * deterministic function of (SimConfig, PrefetcherKind,
+ * deterministic function of (SimConfig, prefetcher spec,
  * ServerWorkloadParams), with no shared mutable state between runs
  * (each job constructs its own Simulator, workload generator, RNG
  * streams and prefetcher). RunPool fans a batch of ExperimentJobs
@@ -16,7 +16,7 @@
  * junk or zero is fatal), else std::thread::hardware_concurrency().
  *
  * Batches flow through the process-wide ResultCache: cacheable jobs
- * (plain PrefetcherKind, no miss-stream collection) that repeat a
+ * (registry-spec prefetcher, no miss-stream collection) that repeat a
  * key — within a batch or across batches — are simulated once per
  * process, which is what keeps every bench figure from re-running
  * the shared no-prefetching baseline suite.
@@ -29,7 +29,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/prefetcher_factory.hh"
+#include "core/prefetcher_registry.hh"
 #include "sim/sim_config.hh"
 #include "workload/miss_stream_stats.hh"
 #include "workload/server_workload.hh"
@@ -41,7 +41,7 @@ namespace morrigan
 struct ExperimentJob
 {
     SimConfig cfg;
-    PrefetcherKind kind = PrefetcherKind::None;
+    std::string kind = "none";
     ServerWorkloadParams workload;
 
     /** Second hardware thread's workload (SMT colocation). */
@@ -69,14 +69,14 @@ struct ExperimentJob
     std::string journalTag;
 
     /** Canonical constructors. */
-    static ExperimentJob of(const SimConfig &cfg, PrefetcherKind kind,
+    static ExperimentJob of(const SimConfig &cfg, const std::string &kind,
                             const ServerWorkloadParams &workload);
     static ExperimentJob
     with(const SimConfig &cfg,
          std::function<std::unique_ptr<TlbPrefetcher>()> factory,
          const ServerWorkloadParams &workload);
     static ExperimentJob smtPair(const SimConfig &cfg,
-                                 PrefetcherKind kind,
+                                 const std::string &kind,
                                  const ServerWorkloadParams &a,
                                  const ServerWorkloadParams &b);
     static ExperimentJob

@@ -69,25 +69,6 @@ parseEnvU64(const char *what, const char *s, std::uint64_t min_value,
     return v;
 }
 
-/** CLI spelling of a prefetcher kind (morrigan-sim --prefetcher). */
-const char *
-cliPrefetcherName(PrefetcherKind kind)
-{
-    switch (kind) {
-      case PrefetcherKind::None: return "none";
-      case PrefetcherKind::Sequential: return "sp";
-      case PrefetcherKind::Stride: return "asp";
-      case PrefetcherKind::Distance: return "dp";
-      case PrefetcherKind::Markov: return "mp";
-      case PrefetcherKind::MarkovIso: return "mp-iso";
-      case PrefetcherKind::MarkovUnbounded2: return "mp-unbounded2";
-      case PrefetcherKind::MarkovUnboundedInf: return "mp-unbounded";
-      case PrefetcherKind::Morrigan: return "morrigan";
-      case PrefetcherKind::MorriganMono: return "morrigan-mono";
-    }
-    return "none";
-}
-
 std::optional<RunStatus>
 runStatusFromName(const std::string &name)
 {
@@ -547,8 +528,9 @@ jobLabel(const ExperimentJob &job)
     if (job.smt)
         label += "+" + job.smtWorkload.name;
     label += " x ";
-    label += job.prefetcherFactory ? "custom"
-                                   : prefetcherKindName(job.kind);
+    label += job.prefetcherFactory
+                 ? std::string("custom")
+                 : prefetcherDisplayName(job.kind);
     if (!job.journalTag.empty())
         label += " [" + job.journalTag + "]";
     return label;
@@ -567,7 +549,8 @@ jobReproCommand(const ExperimentJob &job)
     cmd += " --workload " + job.workload.name;
     if (job.smt)
         cmd += " --smt-with " + job.smtWorkload.name;
-    cmd += csprintf(" --prefetcher %s", cliPrefetcherName(job.kind));
+    // The job's spec string is the CLI spelling by construction.
+    cmd += csprintf(" --prefetcher %s", job.kind.c_str());
     cmd += csprintf(" --warmup %llu --instructions %llu",
                     static_cast<unsigned long long>(
                         c.warmupInstructions),

@@ -130,7 +130,7 @@ TEST(DiffChecker, RecordCapKeepsCounting)
 TEST(CheckedSimulation, CleanRunCrossChecksEverything)
 {
     SimResult r = runWorkload(checkedConfig(),
-                              PrefetcherKind::Morrigan,
+                              "morrigan",
                               qmmWorkloadParams(0));
     EXPECT_GT(r.checkedTranslations, 0u);
     EXPECT_EQ(r.checkMismatches, 0u);
@@ -142,7 +142,7 @@ TEST(CheckedSimulation, InjectedWalkerBugIsCaughtAndNamed)
 {
     SimConfig cfg = checkedConfig();
     cfg.injectWalkerBugPeriod = 50;
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               qmmWorkloadParams(0));
     EXPECT_GT(r.checkMismatches, 0u);
     // The report names the faulting VPN and the source structure.
@@ -156,7 +156,7 @@ TEST(CheckedSimulation, CheckLevelZeroLeavesCountersEmpty)
 {
     SimConfig cfg = checkedConfig();
     cfg.checkLevel = 0;
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               qmmWorkloadParams(0));
     EXPECT_EQ(r.checkedTranslations, 0u);
     EXPECT_EQ(r.checkMismatches, 0u);
@@ -187,7 +187,7 @@ TEST(InvariantHooks, HotStructuresEvaluateCleanlyAtLevel2)
 {
     resetInvariantCounters();
     SimConfig cfg = checkedConfig();
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               qmmWorkloadParams(1));
     (void)r;
     // The PB capacity, IRIP promotion and RLFU hooks all sit on

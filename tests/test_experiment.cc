@@ -4,7 +4,7 @@
 
 #include <cstdlib>
 
-#include "core/prefetcher_factory.hh"
+#include "core/prefetcher_registry.hh"
 #include "sim/experiment.hh"
 
 using namespace morrigan;
@@ -51,10 +51,12 @@ TEST(Factory, RoundTripNames)
 {
     for (const char *name :
          {"none", "sp", "asp", "dp", "mp", "mp-iso", "mp-unbounded2",
-          "mp-unbounded", "morrigan", "morrigan-mono"}) {
-        PrefetcherKind k = prefetcherKindFromName(name);
-        auto p = makePrefetcher(k);
-        if (k == PrefetcherKind::None)
+          "mp-unbounded", "morrigan", "morrigan-mono", "fnl-mma",
+          "mana", "fdip"}) {
+        std::string spec(name);
+        EXPECT_EQ(checkPrefetcherSpec(spec), "");
+        auto p = makePrefetcher(spec);
+        if (spec == "none")
             EXPECT_EQ(p, nullptr);
         else
             EXPECT_NE(p, nullptr);
@@ -63,15 +65,15 @@ TEST(Factory, RoundTripNames)
 
 TEST(Factory, MorriganHasPaperBudget)
 {
-    auto p = makePrefetcher(PrefetcherKind::Morrigan);
+    auto p = makePrefetcher("morrigan");
     double kb = p->storageBits() / 8.0 / 1024.0;
     EXPECT_NEAR(kb, 3.8, 0.3);
 }
 
 TEST(Factory, IsoMarkovMatchesMorriganBudget)
 {
-    auto morrigan = makePrefetcher(PrefetcherKind::Morrigan);
-    auto mp_iso = makePrefetcher(PrefetcherKind::MarkovIso);
+    auto morrigan = makePrefetcher("morrigan");
+    auto mp_iso = makePrefetcher("mp-iso");
     double ratio = static_cast<double>(mp_iso->storageBits()) /
                    static_cast<double>(morrigan->storageBits());
     EXPECT_NEAR(ratio, 1.0, 0.15);
@@ -79,6 +81,9 @@ TEST(Factory, IsoMarkovMatchesMorriganBudget)
 
 TEST(FactoryDeathTest, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(prefetcherKindFromName("bogus"),
-                ::testing::ExitedWithCode(1), "unknown prefetcher");
+    // The error must enumerate the registered plugins (satellite of
+    // the registry refactor: no more terse unknown-name failures).
+    EXPECT_EXIT(makePrefetcher("bogus"),
+                ::testing::ExitedWithCode(1),
+                "unknown prefetcher 'bogus'.*registered:.*morrigan");
 }

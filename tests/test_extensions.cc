@@ -74,8 +74,8 @@ TEST(FiveLevelPaging, HigherDepthHurtsBaselinePerformance)
     SimConfig cfg5 = quickConfig();
     cfg5.pageTableDepth = 5;
     ServerWorkloadParams wl = qmmWorkloadParams(0);
-    SimResult r4 = runWorkload(cfg4, PrefetcherKind::None, wl);
-    SimResult r5 = runWorkload(cfg5, PrefetcherKind::None, wl);
+    SimResult r4 = runWorkload(cfg4, "none", wl);
+    SimResult r5 = runWorkload(cfg5, "none", wl);
     EXPECT_GE(r5.meanDemandWalkLatencyInstr,
               r4.meanDemandWalkLatencyInstr);
     EXPECT_LE(r5.ipc, r4.ipc * 1.001);
@@ -85,7 +85,7 @@ TEST(ContextSwitches, HappenOnSchedule)
 {
     SimConfig cfg = quickConfig();
     cfg.contextSwitchInterval = 100'000;
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               qmmWorkloadParams(0));
     EXPECT_GE(r.contextSwitches, 4u);
     EXPECT_LE(r.contextSwitches, 6u);
@@ -94,7 +94,7 @@ TEST(ContextSwitches, HappenOnSchedule)
 TEST(ContextSwitches, ZeroIntervalDisables)
 {
     SimConfig cfg = quickConfig();
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               qmmWorkloadParams(0));
     EXPECT_EQ(r.contextSwitches, 0u);
 }
@@ -105,8 +105,8 @@ TEST(ContextSwitches, FrequentSwitchingCostsPerformance)
     SimConfig switchy = quickConfig();
     switchy.contextSwitchInterval = 50'000;
     ServerWorkloadParams wl = qmmWorkloadParams(0);
-    SimResult r0 = runWorkload(base, PrefetcherKind::Morrigan, wl);
-    SimResult r1 = runWorkload(switchy, PrefetcherKind::Morrigan, wl);
+    SimResult r0 = runWorkload(base, "morrigan", wl);
+    SimResult r1 = runWorkload(switchy, "morrigan", wl);
     EXPECT_LT(r1.ipc, r0.ipc);
     EXPECT_GT(r1.istlbMisses, r0.istlbMisses);  // refill misses
 }
@@ -117,7 +117,7 @@ TEST(ContextSwitches, MorriganStillCoversAfterSwitches)
     // a flush, so coverage survives moderate switching rates.
     SimConfig cfg = quickConfig();
     cfg.contextSwitchInterval = 200'000;
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               qmmWorkloadParams(0));
     EXPECT_GT(r.coverage, 0.10);
 }
@@ -126,10 +126,10 @@ TEST(PrefetchOnHits, GeneratesMorePrefetchTraffic)
 {
     SimConfig cfg = quickConfig();
     ServerWorkloadParams wl = qmmWorkloadParams(0);
-    SimResult on_miss = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult on_miss = runWorkload(cfg, "morrigan",
                                     wl);
     cfg.prefetchOnStlbHits = true;
-    SimResult on_hit = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult on_hit = runWorkload(cfg, "morrigan",
                                    wl);
     EXPECT_GT(on_hit.prefetchWalks, on_miss.prefetchWalks);
 }
@@ -137,11 +137,11 @@ TEST(PrefetchOnHits, GeneratesMorePrefetchTraffic)
 TEST(CorrectingWalks, IssuedOnlyWhenEnabled)
 {
     SimConfig cfg = quickConfig();
-    SimResult off = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult off = runWorkload(cfg, "morrigan",
                                 qmmWorkloadParams(0));
     EXPECT_EQ(off.correctingWalks, 0u);
     cfg.correctingWalks = true;
-    SimResult on = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult on = runWorkload(cfg, "morrigan",
                                qmmWorkloadParams(0));
     EXPECT_GT(on.correctingWalks, 0u);
 }
@@ -151,10 +151,10 @@ TEST(CorrectingWalks, NegligiblePerformanceImpact)
     // Section 4.3: correcting walks go out only when the walker is
     // idle, so they must not slow the system down measurably.
     SimConfig cfg = quickConfig();
-    SimResult off = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult off = runWorkload(cfg, "morrigan",
                                 qmmWorkloadParams(1));
     cfg.correctingWalks = true;
-    SimResult on = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult on = runWorkload(cfg, "morrigan",
                                qmmWorkloadParams(1));
     EXPECT_NEAR(on.ipc, off.ipc, off.ipc * 0.02);
 }

@@ -6,6 +6,8 @@
  */
 
 #include <algorithm>
+#include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -249,4 +251,109 @@ TEST(FuzzCampaign, InjectedCampaignCatchesTheBug)
     EXPECT_TRUE(out.passed());
     ASSERT_EQ(out.seeds.size(), 1u);
     EXPECT_TRUE(out.seeds[0].passed);
+}
+
+namespace
+{
+
+/** First seed in [1, limit] whose sampled kind satisfies @p want. */
+std::uint64_t
+findSeedWithKind(const std::function<bool(const std::string &)> &want,
+                 std::uint64_t limit = 20'000)
+{
+    FuzzOptions opt;
+    for (std::uint64_t s = 1; s <= limit; ++s) {
+        FuzzCase fc = sampleCase(s, opt);
+        if (!fc.customMorrigan && want(fc.kind))
+            return s;
+    }
+    return 0;
+}
+
+/** Run a one-seed campaign (all of M1-M6) and expect it green. */
+void
+expectSeedPasses(std::uint64_t seed)
+{
+    FuzzOptions opt;
+    opt.seeds = 1;
+    opt.seedBase = seed;
+    opt.instructions = 40'000;
+    opt.warmupInstructions = 10'000;
+    FuzzCampaignOutcome out = runCampaign(opt);
+    ASSERT_EQ(out.seeds.size(), 1u);
+    EXPECT_TRUE(out.seeds[0].passed)
+        << "seed " << seed << " [" << out.seeds[0].summary << "]: "
+        << (out.seeds[0].failures.empty()
+                ? ""
+                : out.seeds[0].failures.front());
+}
+
+} // namespace
+
+TEST(FuzzSampling, SamplerDrawsEveryFuzzableRegistryKind)
+{
+    // Every plugin flagged fuzzable must be reachable by the config
+    // sampler -- competitors inherit M1-M6 coverage the moment they
+    // register.
+    std::vector<std::string> fuzzable;
+    for (const PrefetcherPlugin &p :
+         PrefetcherRegistry::global().plugins()) {
+        if (p.fuzzable)
+            fuzzable.push_back(p.name);
+    }
+    ASSERT_GE(fuzzable.size(), 8u);
+
+    FuzzOptions opt;
+    std::set<std::string> drawn;
+    bool hybrid_seen = false;
+    for (std::uint64_t s = 1; s <= 4000; ++s) {
+        FuzzCase fc = sampleCase(s, opt);
+        if (fc.customMorrigan)
+            continue;
+        if (fc.kind.find('+') != std::string::npos)
+            hybrid_seen = true;
+        for (const std::string &part : splitPrefetcherSpec(fc.kind))
+            drawn.insert(part);
+    }
+    for (const std::string &name : fuzzable)
+        EXPECT_TRUE(drawn.count(name))
+            << "sampler never drew '" << name << "'";
+    EXPECT_TRUE(hybrid_seen) << "sampler never composed a hybrid";
+}
+
+// Each new competitor gets a real end-to-end seed through the full
+// M1-M6 invariant family (differential check, zero-budget, doubled
+// STLB, checkpoint/resume and telemetry bit-identity).
+
+TEST(FuzzCampaign, FnlMmaSeedPassesAllInvariants)
+{
+    std::uint64_t seed = findSeedWithKind(
+        [](const std::string &k) { return k == "fnl-mma"; });
+    ASSERT_NE(seed, 0u) << "no seed samples fnl-mma";
+    expectSeedPasses(seed);
+}
+
+TEST(FuzzCampaign, ManaSeedPassesAllInvariants)
+{
+    std::uint64_t seed = findSeedWithKind(
+        [](const std::string &k) { return k == "mana"; });
+    ASSERT_NE(seed, 0u) << "no seed samples mana";
+    expectSeedPasses(seed);
+}
+
+TEST(FuzzCampaign, FdipSeedPassesAllInvariants)
+{
+    std::uint64_t seed = findSeedWithKind(
+        [](const std::string &k) { return k == "fdip"; });
+    ASSERT_NE(seed, 0u) << "no seed samples fdip";
+    expectSeedPasses(seed);
+}
+
+TEST(FuzzCampaign, HybridSeedPassesAllInvariants)
+{
+    std::uint64_t seed = findSeedWithKind([](const std::string &k) {
+        return k.find('+') != std::string::npos;
+    });
+    ASSERT_NE(seed, 0u) << "no seed samples a hybrid";
+    expectSeedPasses(seed);
 }

@@ -116,8 +116,8 @@ TEST(HashedPageTable, MorriganOperatesTheSame)
     cfg.simInstructions = 500'000;
     cfg.pageTableFormat = PageTableFormat::Hashed;
     ServerWorkloadParams wl = qmmWorkloadParams(0);
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
-    SimResult morr = runWorkload(cfg, PrefetcherKind::Morrigan, wl);
+    SimResult base = runWorkload(cfg, "none", wl);
+    SimResult morr = runWorkload(cfg, "morrigan", wl);
     // Coverage survives the format change (spatial fills included).
     EXPECT_GT(morr.coverage, 0.15);
     EXPECT_GT(morr.ipc, base.ipc);

@@ -90,9 +90,9 @@ TEST(LargePages, ThpCollapsesDstlbMisses)
     cfg.warmupInstructions = 200'000;
     cfg.simInstructions = 800'000;
     ServerWorkloadParams wl = qmmWorkloadParams(0);
-    SimResult small = runWorkload(cfg, PrefetcherKind::None, wl);
+    SimResult small = runWorkload(cfg, "none", wl);
     wl.dataHugePages = true;
-    SimResult huge = runWorkload(cfg, PrefetcherKind::None, wl);
+    SimResult huge = runWorkload(cfg, "none", wl);
     EXPECT_LT(huge.dstlbMpki, small.dstlbMpki * 0.5);
     EXPECT_GT(huge.istlbMpki, 0.05);  // code still misses
     EXPECT_GT(huge.ipc, small.ipc);   // fewer walks overall
@@ -105,8 +105,8 @@ TEST(LargePages, MorriganStillWorksUnderThp)
     cfg.simInstructions = 800'000;
     ServerWorkloadParams wl = qmmWorkloadParams(1);
     wl.dataHugePages = true;
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, wl);
-    SimResult morr = runWorkload(cfg, PrefetcherKind::Morrigan, wl);
+    SimResult base = runWorkload(cfg, "none", wl);
+    SimResult morr = runWorkload(cfg, "morrigan", wl);
     EXPECT_GT(morr.coverage, 0.10);
     EXPECT_GE(morr.ipc, base.ipc);
 }

@@ -126,41 +126,41 @@ TEST(ExperimentKey, DistinguishesEveryInput)
     const SimConfig cfg = quickConfig();
     const ServerWorkloadParams wl = qmmWorkloadParams(0);
     const std::string base =
-        experimentKey(cfg, PrefetcherKind::None, wl);
+        experimentKey(cfg, "none", wl);
 
     // Same inputs -> same key.
-    EXPECT_EQ(base, experimentKey(cfg, PrefetcherKind::None, wl));
+    EXPECT_EQ(base, experimentKey(cfg, "none", wl));
 
     // Different prefetcher kind.
-    EXPECT_NE(base, experimentKey(cfg, PrefetcherKind::Morrigan, wl));
+    EXPECT_NE(base, experimentKey(cfg, "morrigan", wl));
 
     // Different workload (seed only differs).
     ServerWorkloadParams wl2 = wl;
     wl2.seed += 1;
-    EXPECT_NE(base, experimentKey(cfg, PrefetcherKind::None, wl2));
+    EXPECT_NE(base, experimentKey(cfg, "none", wl2));
 
     // Different config knobs, including nested params.
     SimConfig c2 = cfg;
     c2.simInstructions += 1;
-    EXPECT_NE(base, experimentKey(c2, PrefetcherKind::None, wl));
+    EXPECT_NE(base, experimentKey(c2, "none", wl));
     SimConfig c3 = cfg;
     c3.pbEntries *= 2;
-    EXPECT_NE(base, experimentKey(c3, PrefetcherKind::None, wl));
+    EXPECT_NE(base, experimentKey(c3, "none", wl));
     SimConfig c4 = cfg;
     c4.tlb.stlb.entries *= 2;
-    EXPECT_NE(base, experimentKey(c4, PrefetcherKind::None, wl));
+    EXPECT_NE(base, experimentKey(c4, "none", wl));
     SimConfig c5 = cfg;
     c5.mem.l2.latency += 1;
-    EXPECT_NE(base, experimentKey(c5, PrefetcherKind::None, wl));
+    EXPECT_NE(base, experimentKey(c5, "none", wl));
 
     // SMT partner presence and identity.
     const ServerWorkloadParams partner = qmmWorkloadParams(1);
     const std::string smt_key =
-        experimentKey(cfg, PrefetcherKind::None, wl, &partner);
+        experimentKey(cfg, "none", wl, &partner);
     EXPECT_NE(base, smt_key);
     ServerWorkloadParams partner2 = partner;
     partner2.seed += 1;
-    EXPECT_NE(smt_key, experimentKey(cfg, PrefetcherKind::None, wl,
+    EXPECT_NE(smt_key, experimentKey(cfg, "none", wl,
                                      &partner2));
 }
 
@@ -232,7 +232,7 @@ TEST(ResultCache, BaselineSimulatedOncePerProcess)
     std::vector<ExperimentJob> batch;
     for (const ServerWorkloadParams &wl : suite)
         batch.push_back(
-            ExperimentJob::of(cfg, PrefetcherKind::None, wl));
+            ExperimentJob::of(cfg, "none", wl));
 
     std::vector<SimResult> first = pool.run(batch);
     ResultCache::Counts c = cache.counts();

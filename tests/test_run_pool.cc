@@ -83,12 +83,12 @@ TEST(RunPool, DeterministicAcrossWorkerCounts)
     // bit-identical to the direct serial runWorkload() path at both
     // jobs=1 and jobs=4. Caching is off so every run truly executes.
     const SimConfig cfg = quickConfig();
-    const PrefetcherKind kinds[] = {PrefetcherKind::None,
-                                    PrefetcherKind::Morrigan};
+    const std::string kinds[] = {"none",
+                                    "morrigan"};
     std::vector<ExperimentJob> jobs;
     std::vector<SimResult> serial;
     for (unsigned i : {0u, 7u, 19u}) {
-        for (PrefetcherKind kind : kinds) {
+        for (const std::string &kind : kinds) {
             jobs.push_back(
                 ExperimentJob::of(cfg, kind, qmmWorkloadParams(i)));
             serial.push_back(
@@ -117,7 +117,7 @@ TEST(RunPool, PreservesSubmissionOrder)
     cfg.simInstructions = 150'000;
     std::vector<ExperimentJob> jobs;
     for (unsigned i : {4u, 1u, 9u, 2u})
-        jobs.push_back(ExperimentJob::of(cfg, PrefetcherKind::None,
+        jobs.push_back(ExperimentJob::of(cfg, "none",
                                          qmmWorkloadParams(i)));
     RunPool pool(4, /*use_cache=*/false);
     std::vector<SimResult> results = pool.run(jobs);
@@ -158,7 +158,7 @@ TEST(RunPool, SmtJobsMatchSerialRunSmtPair)
 
     RunPool pool(2, /*use_cache=*/false);
     std::vector<SimResult> results =
-        pool.run({ExperimentJob::smtPair(cfg, PrefetcherKind::None,
+        pool.run({ExperimentJob::smtPair(cfg, "none",
                                          a, b)});
     ASSERT_EQ(results.size(), 1u);
     expectIdentical(serial, results[0]);
@@ -177,7 +177,7 @@ TEST(RunPool, MissStreamBatchMatchesSerial)
 
     RunPool pool(2, /*use_cache=*/false);
     std::vector<ExperimentOutput> outputs = pool.runAll(
-        {ExperimentJob::of(cfg, PrefetcherKind::None,
+        {ExperimentJob::of(cfg, "none",
                            qmmWorkloadParams(2))});
     ASSERT_EQ(outputs.size(), 1u);
     const MissStreamStats &pooled = outputs[0].missStream;

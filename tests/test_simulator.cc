@@ -30,7 +30,7 @@ workload()
 
 TEST(Simulator, BaselineProducesSaneNumbers)
 {
-    SimResult r = runWorkload(quickConfig(), PrefetcherKind::None,
+    SimResult r = runWorkload(quickConfig(), "none",
                               workload());
     EXPECT_GE(r.instructions, 500'000u);
     EXPECT_LT(r.instructions, 500'020u);
@@ -45,9 +45,9 @@ TEST(Simulator, BaselineProducesSaneNumbers)
 
 TEST(Simulator, DeterministicAcrossRuns)
 {
-    SimResult a = runWorkload(quickConfig(), PrefetcherKind::Morrigan,
+    SimResult a = runWorkload(quickConfig(), "morrigan",
                               workload());
-    SimResult b = runWorkload(quickConfig(), PrefetcherKind::Morrigan,
+    SimResult b = runWorkload(quickConfig(), "morrigan",
                               workload());
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.istlbMisses, b.istlbMisses);
@@ -56,10 +56,10 @@ TEST(Simulator, DeterministicAcrossRuns)
 
 TEST(Simulator, MorriganCoversMissesAndSpeedsUp)
 {
-    SimResult base = runWorkload(quickConfig(), PrefetcherKind::None,
+    SimResult base = runWorkload(quickConfig(), "none",
                                  workload());
     SimResult morr = runWorkload(quickConfig(),
-                                 PrefetcherKind::Morrigan, workload());
+                                 "morrigan", workload());
     EXPECT_GT(morr.coverage, 0.15);
     EXPECT_GT(morr.pbHits, 0u);
     EXPECT_GT(speedupPct(base, morr), 0.0);
@@ -70,13 +70,13 @@ TEST(Simulator, MorriganCoversMissesAndSpeedsUp)
 TEST(Simulator, PerfectIstlbIsUpperBound)
 {
     SimConfig cfg = quickConfig();
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, workload());
+    SimResult base = runWorkload(cfg, "none", workload());
     cfg.perfectIstlb = true;
-    SimResult perfect = runWorkload(cfg, PrefetcherKind::None,
+    SimResult perfect = runWorkload(cfg, "none",
                                     workload());
     EXPECT_EQ(perfect.istlbMisses, 0u);
     SimConfig mcfg = quickConfig();
-    SimResult morr = runWorkload(mcfg, PrefetcherKind::Morrigan,
+    SimResult morr = runWorkload(mcfg, "morrigan",
                                  workload());
     EXPECT_GE(speedupPct(base, perfect) + 0.2,
               speedupPct(base, morr));
@@ -85,10 +85,10 @@ TEST(Simulator, PerfectIstlbIsUpperBound)
 TEST(Simulator, P2TlbPollutesStlb)
 {
     SimConfig cfg = quickConfig();
-    SimResult pb_mode = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult pb_mode = runWorkload(cfg, "morrigan",
                                     workload());
     cfg.prefetchIntoStlb = true;
-    SimResult p2tlb = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult p2tlb = runWorkload(cfg, "morrigan",
                                   workload());
     // Prefetching directly into the STLB must not outperform the PB
     // design (Figure 18 shows a large degradation).
@@ -99,9 +99,9 @@ TEST(Simulator, P2TlbPollutesStlb)
 TEST(Simulator, AsapAcceleratesWalks)
 {
     SimConfig cfg = quickConfig();
-    SimResult base = runWorkload(cfg, PrefetcherKind::None, workload());
+    SimResult base = runWorkload(cfg, "none", workload());
     cfg.walker.asap = true;
-    SimResult asap = runWorkload(cfg, PrefetcherKind::None, workload());
+    SimResult asap = runWorkload(cfg, "none", workload());
     EXPECT_LT(asap.meanDemandWalkLatencyInstr,
               base.meanDemandWalkLatencyInstr);
     EXPECT_GE(speedupPct(base, asap), 0.0);
@@ -111,7 +111,7 @@ TEST(Simulator, FnlMmaIssuesCrossPagePrefetches)
 {
     SimConfig cfg = quickConfig();
     cfg.icachePref = ICachePrefKind::FnlMma;
-    SimResult r = runWorkload(cfg, PrefetcherKind::None, workload());
+    SimResult r = runWorkload(cfg, "none", workload());
     EXPECT_GT(r.icachePrefetches, 0u);
     EXPECT_GT(r.icacheCrossPagePrefetches, 0u);
     EXPECT_GT(r.prefetchWalks, 0u);  // translation cost modelled
@@ -122,7 +122,7 @@ TEST(Simulator, FnlMmaTranslationCostModes)
     SimConfig cfg = quickConfig();
     cfg.icachePref = ICachePrefKind::FnlMma;
     cfg.icacheTranslationCost = false;
-    SimResult free_xlat = runWorkload(cfg, PrefetcherKind::None,
+    SimResult free_xlat = runWorkload(cfg, "none",
                                       workload());
     // The IPC-1 idealisation performs no prefetch page walks and
     // fills no PB entries.
@@ -130,7 +130,7 @@ TEST(Simulator, FnlMmaTranslationCostModes)
     EXPECT_EQ(free_xlat.pbHits, 0u);
 
     cfg.icacheTranslationCost = true;
-    SimResult paid_xlat = runWorkload(cfg, PrefetcherKind::None,
+    SimResult paid_xlat = runWorkload(cfg, "none",
                                       workload());
     // With translation modelled, beyond-page prefetches consume
     // walker bandwidth and stage PTEs in the PB (Section 3.5).
@@ -145,9 +145,9 @@ TEST(Simulator, MorriganSynergyWithFnlMma)
 {
     SimConfig cfg = quickConfig();
     cfg.icachePref = ICachePrefKind::FnlMma;
-    SimResult alone = runWorkload(cfg, PrefetcherKind::None,
+    SimResult alone = runWorkload(cfg, "none",
                                   workload());
-    SimResult combo = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult combo = runWorkload(cfg, "morrigan",
                                   workload());
     // Some beyond-page-boundary prefetches find their translation in
     // Morrigan's PB (Section 6.5's 51.7% effect).
@@ -169,7 +169,7 @@ TEST(Simulator, SmtRunsTwoWorkloads)
 TEST(Simulator, SmtColocationIncreasesPressure)
 {
     SimConfig cfg = quickConfig();
-    SimResult solo = runWorkload(cfg, PrefetcherKind::None,
+    SimResult solo = runWorkload(cfg, "none",
                                  qmmWorkloadParams(0));
     SimResult pair = runSmtPair(cfg, nullptr, qmmWorkloadParams(0),
                                 qmmWorkloadParams(1));
@@ -180,7 +180,7 @@ TEST(Simulator, SmtColocationIncreasesPressure)
 TEST(Simulator, WalkRefAccountingConsistent)
 {
     SimConfig cfg = quickConfig();
-    SimResult r = runWorkload(cfg, PrefetcherKind::Morrigan,
+    SimResult r = runWorkload(cfg, "morrigan",
                               workload());
     std::uint64_t by_level = 0;
     for (auto v : r.prefetchWalkRefsByLevel)
@@ -190,7 +190,7 @@ TEST(Simulator, WalkRefAccountingConsistent)
 
 TEST(Simulator, StallFractionsAreFractions)
 {
-    SimResult r = runWorkload(quickConfig(), PrefetcherKind::None,
+    SimResult r = runWorkload(quickConfig(), "none",
                               workload());
     EXPECT_GE(r.istlbCycleFraction, 0.0);
     EXPECT_LE(r.istlbCycleFraction, 1.0);
@@ -200,7 +200,7 @@ TEST(Simulator, StallFractionsAreFractions)
 
 TEST(Simulator, SpecWorkloadsAreNotIstlbIntensive)
 {
-    SimResult spec = runWorkload(quickConfig(), PrefetcherKind::None,
+    SimResult spec = runWorkload(quickConfig(), "none",
                                  specWorkloadParams(0));
     EXPECT_LT(spec.istlbMpki, 0.5);  // below the paper's threshold
 }

@@ -58,7 +58,7 @@ resultJson(const SimResult &r)
 
 /** A small but non-trivial job: warmup + measurement, Morrigan. */
 ExperimentJob
-smallJob(PrefetcherKind kind = PrefetcherKind::Morrigan)
+smallJob(std::string kind = "morrigan")
 {
     SimConfig cfg;
     cfg.warmupInstructions = 20'000;
@@ -409,7 +409,7 @@ TEST(Snapshot, CorruptCheckpointFallsBackToFreshRun)
 TEST(Snapshot, MismatchedConfigurationRejected)
 {
     FileGuard f(tempPath("sim-mismatch.snap"));
-    const ExperimentJob job = smallJob(PrefetcherKind::Morrigan);
+    const ExperimentJob job = smallJob("morrigan");
     JobExecutionOptions save_opts;
     save_opts.checkpointPath = f.path();
     save_opts.checkpointEvery = 30'000;
@@ -419,14 +419,14 @@ TEST(Snapshot, MismatchedConfigurationRejected)
     // simulator must throw (and executeJob must fall back to a
     // fresh, correct run instead of crashing or mixing state).
     SimConfig cfg = job.cfg;
-    auto pf = makePrefetcher(PrefetcherKind::Distance);
+    auto pf = makePrefetcher("dp");
     ServerWorkload trace(qmmWorkloadParams(0));
     Simulator sim(cfg);
     sim.attachWorkload(&trace, 0);
     sim.attachPrefetcher(pf.get());
     EXPECT_THROW(sim.restoreCheckpoint(f.path()), SnapshotError);
 
-    const ExperimentJob other = smallJob(PrefetcherKind::Distance);
+    const ExperimentJob other = smallJob("dp");
     const std::string ref = resultJson(executeJob(other).result);
     JobExecutionOptions resume_opts;
     resume_opts.checkpointPath = f.path();

@@ -101,7 +101,7 @@ class HangingPrefetcher : public TlbPrefetcher
 ExperimentJob
 goodJob(const SimConfig &cfg, unsigned workload_index)
 {
-    return ExperimentJob::of(cfg, PrefetcherKind::None,
+    return ExperimentJob::of(cfg, "none",
                              qmmWorkloadParams(workload_index));
 }
 
@@ -143,7 +143,7 @@ TEST(Supervisor, ThreadModeContainsExceptions)
     EXPECT_TRUE(out[0].ok());
     EXPECT_TRUE(out[2].ok());
     expectIdentical(out[0].output.result,
-                    runWorkload(cfg, PrefetcherKind::None,
+                    runWorkload(cfg, "none",
                                 qmmWorkloadParams(1)));
 
     EXPECT_EQ(out[1].status, RunStatus::Failed);
@@ -214,7 +214,7 @@ TEST(Supervisor, IsolateContainsSigsegv)
 
     EXPECT_TRUE(out[0].ok());
     expectIdentical(out[0].output.result,
-                    runWorkload(cfg, PrefetcherKind::None,
+                    runWorkload(cfg, "none",
                                 qmmWorkloadParams(4)));
     EXPECT_FALSE(out[1].ok());
     EXPECT_EQ(out[1].attempts, 1u);
@@ -355,7 +355,7 @@ TEST(Supervisor, JournalResumeBitIdentical)
                                          goodJob(cfg, 8)};
     std::vector<ExperimentJob> full = prefix;
     full.push_back(goodJob(cfg, 9));
-    full.push_back(ExperimentJob::of(cfg, PrefetcherKind::Morrigan,
+    full.push_back(ExperimentJob::of(cfg, "morrigan",
                                      qmmWorkloadParams(7)));
 
     SupervisorOptions opt;

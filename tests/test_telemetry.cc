@@ -301,7 +301,7 @@ TEST_F(TelemetryDeterminism, SimResultBitIdenticalOnAndOff)
     cfg.warmupInstructions = 20'000;
     cfg.simInstructions = 60'000;
     const ExperimentJob job =
-        ExperimentJob::of(cfg, PrefetcherKind::Morrigan,
+        ExperimentJob::of(cfg, "morrigan",
                           qmmWorkloadParams(0));
 
     tel::setEnabled(false);

@@ -36,7 +36,7 @@
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "core/morrigan.hh"
-#include "core/prefetcher_factory.hh"
+#include "core/prefetcher_registry.hh"
 #include "sim/experiment.hh"
 #include "sim/run_pool.hh"
 #include "sim/simulator.hh"
@@ -55,8 +55,8 @@ usage()
         "\n"
         "  --workload NAME       qmm_NN, spec_NN, or java:NAME\n"
         "  --smt-with NAME       colocate a second workload (SMT)\n"
-        "  --prefetcher NAME     none|sp|asp|dp|mp|mp-iso|"
-        "mp-unbounded2|mp-unbounded|morrigan|morrigan-mono\n"
+        "  --prefetcher SPEC     none, a registered prefetcher, or\n"
+        "                        a 'a+b' hybrid composition\n"
         "  --smt-scaled          double Morrigan's tables (SMT)\n"
         "  --warmup N            warmup instructions "
         "(default 1000000)\n"
@@ -128,7 +128,14 @@ usage()
         "stderr, at most every MS ms (batch modes; "
         "MORRIGAN_PROGRESS_MS)\n"
         "  --version             print build identity (git SHA, "
-        "compiler, flags) and exit\n");
+        "compiler, flags) and exit\n"
+        "\n"
+        "registered prefetchers (compose with '+'):\n");
+    for (const PrefetcherPlugin &p :
+         PrefetcherRegistry::global().plugins()) {
+        std::printf("  %-14s %-18s %s\n", p.name.c_str(),
+                    p.displayName.c_str(), p.description.c_str());
+    }
 }
 
 /**
@@ -537,18 +544,22 @@ main(int argc, char **argv)
     // as one parallel batch through the shared pool and result
     // cache. Per-run observability flags don't apply here.
     if (sweep) {
-        PrefetcherKind kind =
-            prefetcherKindFromName(prefetcher_name);
+        std::string spec_err = checkPrefetcherSpec(prefetcher_name);
+        if (!spec_err.empty()) {
+            std::fprintf(stderr, "%s\n", spec_err.c_str());
+            return 1;
+        }
+        const std::string &kind = prefetcher_name;
         SimConfig sweep_cfg = cfg;
         sweep_cfg.collectMissStream = false;
 
         std::vector<ExperimentJob> jobs;
         for (unsigned i = 0; i < numQmmWorkloads; ++i)
             jobs.push_back(ExperimentJob::of(
-                sweep_cfg, PrefetcherKind::None,
+                sweep_cfg, "none",
                 qmmWorkloadParams(i)));
         for (unsigned i = 0; i < numQmmWorkloads; ++i) {
-            if (kind == PrefetcherKind::Morrigan && smt_scaled) {
+            if (kind == "morrigan" && smt_scaled) {
                 ExperimentJob job = ExperimentJob::with(
                     sweep_cfg,
                     [] {
@@ -700,10 +711,15 @@ main(int argc, char **argv)
     }
 
     // Construct the prefetcher: Morrigan variants honour
-    // --smt-scaled; everything else comes from the factory.
+    // --smt-scaled; everything else comes from the registry.
     std::unique_ptr<TlbPrefetcher> prefetcher;
-    PrefetcherKind kind = prefetcherKindFromName(prefetcher_name);
-    if (kind == PrefetcherKind::Morrigan && smt_scaled)
+    std::string spec_err = checkPrefetcherSpec(prefetcher_name);
+    if (!spec_err.empty()) {
+        std::fprintf(stderr, "%s\n", spec_err.c_str());
+        return 1;
+    }
+    const std::string &kind = prefetcher_name;
+    if (kind == "morrigan" && smt_scaled)
         prefetcher = std::make_unique<MorriganPrefetcher>(
             MorriganParams{}.smtScaled());
     else
@@ -818,10 +834,10 @@ main(int argc, char **argv)
         base_cfg.collectMissStream = false;
         ExperimentJob job =
             smt_name.empty()
-                ? ExperimentJob::of(base_cfg, PrefetcherKind::None,
+                ? ExperimentJob::of(base_cfg, "none",
                                     *wl)
                 : ExperimentJob::smtPair(base_cfg,
-                                         PrefetcherKind::None, *wl,
+                                         "none", *wl,
                                          *parseWorkload(smt_name));
         SimResult b = runBatch({job}).front();
         std::printf("baseline IPC        %.4f\n", b.ipc);
