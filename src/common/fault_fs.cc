@@ -1,0 +1,230 @@
+#include "fault_fs.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "common/io_retry.hh"
+#include "common/logging.hh"
+#include "common/telemetry.hh"
+
+namespace morrigan::faultfs
+{
+
+namespace
+{
+
+/**
+ * Pending fault budget. All durability-path I/O is cold (journal
+ * appends, snapshot publishes), so a mutex here costs nothing; the
+ * hot "is anything armed at all" check stays a lone relaxed atomic.
+ */
+struct State
+{
+    std::mutex m;
+    std::size_t enospc = 0;
+    std::size_t shortwrite = 0;
+    std::size_t fsyncfail = 0;
+    std::size_t injected = 0;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+std::atomic<bool> anyArmed{false};
+
+std::atomic<bool> envParsed{false};
+
+void
+applySpec(const char *spec)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    s.enospc = s.shortwrite = s.fsyncfail = 0;
+    if (spec && *spec) {
+        std::string text(spec);
+        std::size_t pos = 0;
+        while (pos <= text.size()) {
+            std::size_t comma = text.find(',', pos);
+            if (comma == std::string::npos)
+                comma = text.size();
+            const std::string entry = text.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (entry.empty())
+                continue;
+            const std::size_t colon = entry.find(':');
+            if (colon == std::string::npos)
+                fatal("MORRIGAN_FAULT_FS: entry '%s' is not "
+                      "kind:count",
+                      entry.c_str());
+            const std::string kind = entry.substr(0, colon);
+            const std::string count = entry.substr(colon + 1);
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long n =
+                std::strtoull(count.c_str(), &end, 10);
+            if (count.empty() || *end != '\0' || errno == ERANGE)
+                fatal("MORRIGAN_FAULT_FS: bad count in '%s'",
+                      entry.c_str());
+            if (kind == "enospc")
+                s.enospc = static_cast<std::size_t>(n);
+            else if (kind == "shortwrite")
+                s.shortwrite = static_cast<std::size_t>(n);
+            else if (kind == "fsyncfail")
+                s.fsyncfail = static_cast<std::size_t>(n);
+            else
+                fatal("MORRIGAN_FAULT_FS: unknown fault kind '%s' "
+                      "(want enospc/shortwrite/fsyncfail)",
+                      kind.c_str());
+        }
+    }
+    anyArmed.store(s.enospc + s.shortwrite + s.fsyncfail > 0,
+                   std::memory_order_relaxed);
+}
+
+void
+ensureEnvParsed()
+{
+    if (envParsed.load(std::memory_order_acquire))
+        return;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *e = std::getenv("MORRIGAN_FAULT_FS"))
+            applySpec(e);
+        envParsed.store(true, std::memory_order_release);
+    });
+}
+
+enum class WriteFault { None, Enospc, Short };
+
+WriteFault
+consumeWriteFault()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    WriteFault f = WriteFault::None;
+    if (s.enospc > 0) {
+        --s.enospc;
+        f = WriteFault::Enospc;
+    } else if (s.shortwrite > 0) {
+        --s.shortwrite;
+        f = WriteFault::Short;
+    }
+    if (f != WriteFault::None) {
+        ++s.injected;
+        telemetry::add(telemetry::Counter::FsFaultsInjected);
+        anyArmed.store(s.enospc + s.shortwrite + s.fsyncfail > 0,
+                       std::memory_order_relaxed);
+    }
+    return f;
+}
+
+bool
+consumeFsyncFault()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    if (s.fsyncfail == 0)
+        return false;
+    --s.fsyncfail;
+    ++s.injected;
+    telemetry::add(telemetry::Counter::FsFaultsInjected);
+    anyArmed.store(s.enospc + s.shortwrite + s.fsyncfail > 0,
+                   std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace
+
+void
+setSpec(const char *spec)
+{
+    ensureEnvParsed(); // a later setSpec must win over the env
+    applySpec(spec);
+}
+
+bool
+armed()
+{
+    ensureEnvParsed();
+    return anyArmed.load(std::memory_order_relaxed);
+}
+
+void
+initFromEnv()
+{
+    ensureEnvParsed();
+}
+
+ssize_t
+write(int fd, const void *buf, std::size_t len)
+{
+    if (armed()) {
+        switch (consumeWriteFault()) {
+          case WriteFault::Enospc:
+            errno = ENOSPC;
+            return -1;
+          case WriteFault::Short:
+            // A torn write really lands: the caller's recovery
+            // story, not the shim, must keep readers safe.
+            if (len > 1)
+                return io::writeRetry(fd, buf, len / 2);
+            errno = ENOSPC;
+            return -1;
+          case WriteFault::None:
+            break;
+        }
+    }
+    return io::writeRetry(fd, buf, len);
+}
+
+int
+fsync(int fd)
+{
+    if (armed() && consumeFsyncFault()) {
+        errno = EIO;
+        return -1;
+    }
+    return ::fsync(fd);
+}
+
+bool
+writeAll(int fd, const void *buf, std::size_t len)
+{
+    // One fault consumed per whole-buffer operation: an injected
+    // shortwrite leaves its torn prefix on disk and fails the
+    // operation (the process "did not get to finish"), instead of
+    // being silently healed by the retry loop below.
+    if (armed()) {
+        switch (consumeWriteFault()) {
+          case WriteFault::Enospc:
+            errno = ENOSPC;
+            return false;
+          case WriteFault::Short:
+            if (len > 1)
+                io::writeAll(fd, buf, len / 2);
+            errno = ENOSPC;
+            return false;
+          case WriteFault::None:
+            break;
+        }
+    }
+    return io::writeAll(fd, buf, len);
+}
+
+std::size_t
+injectedCount()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.injected;
+}
+
+} // namespace morrigan::faultfs

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstdio>
 
+#include "common/fault_fs.hh"
+#include "common/io_retry.hh"
 #include "common/telemetry.hh"
 
 namespace morrigan
@@ -126,10 +128,8 @@ readWholeFile(const std::string &path, bool &missing)
     std::string data;
     char buf[1 << 16];
     for (;;) {
-        ssize_t n = ::read(fd, buf, sizeof(buf));
+        ssize_t n = io::readRetry(fd, buf, sizeof(buf));
         if (n < 0) {
-            if (errno == EINTR)
-                continue;
             ::close(fd);
             missing = true;
             return {};
@@ -164,9 +164,7 @@ readSnapshotHeader(const std::string &path, SnapshotHeader &out)
     std::uint8_t buf[kHeaderSize];
     std::size_t got = 0;
     while (got < sizeof(buf)) {
-        ssize_t n = ::read(fd, buf + got, sizeof(buf) - got);
-        if (n < 0 && errno == EINTR)
-            continue;
+        ssize_t n = io::readRetry(fd, buf + got, sizeof(buf) - got);
         if (n <= 0)
             break;
         got += static_cast<std::size_t>(n);
@@ -228,21 +226,14 @@ SnapshotWriter::writeToFile(const std::string &path,
         throw SnapshotError("cannot create " + tmp + ": " +
                             std::strerror(errno));
     std::string header = buildHeader(buf_, progress, total);
+    // Writes and the fsync route through the fault shim: an
+    // injected (or real) failure aborts the publish below, so a
+    // half-written image can never be renamed into place.
     auto writeAll = [&](const std::string &data) {
-        std::size_t off = 0;
-        while (off < data.size()) {
-            ssize_t n =
-                ::write(fd, data.data() + off, data.size() - off);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                return false;
-            }
-            off += static_cast<std::size_t>(n);
-        }
-        return true;
+        return faultfs::writeAll(fd, data.data(), data.size());
     };
-    bool ok = writeAll(header) && writeAll(buf_) && ::fsync(fd) == 0;
+    bool ok = writeAll(header) && writeAll(buf_) &&
+              faultfs::fsync(fd) == 0;
     int saved = errno;
     ::close(fd);
     telemetry::add(telemetry::Counter::Fsyncs);

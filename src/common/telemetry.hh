@@ -91,9 +91,14 @@ enum class Phase : std::uint8_t {
     SandboxSpawn,    //!< supervisor fork/exec of a sandboxed job
     SandboxWait,     //!< supervisor poll/reap of sandboxed children
     RetryBackoff,    //!< supervisor backoff sleep before a retry
+
+    // Campaign service (morrigan-serve).
+    ServiceRequest,  //!< parse + answer one client request line
+    ServiceCampaign, //!< drive one admitted campaign to completion
+    ServiceDrain,    //!< graceful drain after SIGTERM
 };
 
-inline constexpr std::size_t phaseCount = 17;
+inline constexpr std::size_t phaseCount = 20;
 
 /** Stable snake_case name of @p p (JSON keys, trace event names). */
 const char *phaseName(Phase p);
@@ -108,9 +113,12 @@ enum class Counter : std::uint8_t {
     SnapshotBytesRead,
     Fsyncs,               //!< fsync/fdatasync calls issued
     TraceEventsDropped,   //!< events discarded at the per-thread cap
+    ServiceSubmits,       //!< campaign submissions admitted
+    ServiceBusyRejections,//!< submissions bounced with BUSY
+    FsFaultsInjected,     //!< faults injected by MORRIGAN_FAULT_FS
 };
 
-inline constexpr std::size_t counterCount = 8;
+inline constexpr std::size_t counterCount = 11;
 
 /** Stable snake_case name of @p c. */
 const char *counterName(Counter c);

@@ -1,0 +1,777 @@
+#include "campaign_service.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/io_retry.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/telemetry.hh"
+#include "core/prefetcher_registry.hh"
+#include "sim/result_cache.hh"
+#include "workload/workload_factory.hh"
+
+namespace morrigan
+{
+
+namespace
+{
+
+/** Version of the line-delimited request/event protocol. */
+constexpr int serviceProtocolVersion = 1;
+
+/** Hard cap on buffered request bytes per client: a line that long
+ * is a protocol violation, not a big campaign. */
+constexpr std::size_t maxRequestBuffer = std::size_t{64} << 20;
+
+bool
+setNonblockCloexec(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        return false;
+    int fdflags = ::fcntl(fd, F_GETFD, 0);
+    return fdflags >= 0 &&
+           ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+}
+
+std::string
+oneLineEvent(const std::function<void(json::Writer &)> &fill)
+{
+    std::ostringstream ss;
+    json::Writer w(ss);
+    w.beginObject();
+    fill(w);
+    w.endObject();
+    return ss.str();
+}
+
+/** Spool file for one job's interval epochs, keyed like the job's
+ * checkpoints so resubmissions reuse the same name. */
+std::string
+intervalSpoolPath(const std::string &dir, const std::string &key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      cacheKeyDigest(key)));
+    return dir + "/intervals-" + buf + ".jsonl";
+}
+
+} // namespace
+
+bool
+parseJobSpec(const json::Value &spec, ExperimentJob &job,
+             std::string &err)
+{
+    if (spec.type != json::Value::Type::Object) {
+        err = "job spec must be a JSON object";
+        return false;
+    }
+    static const char *const known[] = {
+        "workload",      "smt_with",  "prefetcher",
+        "warmup",        "instructions", "pt_depth",
+        "pb_entries",    "ctx_switch",   "perfect_istlb",
+        "p2tlb",         "prefetch_on_hits", "asap",
+        "icache",        "interval",
+    };
+    for (const auto &[k, v] : spec.object) {
+        bool ok = false;
+        for (const char *name : known)
+            ok = ok || k == name;
+        if (!ok) {
+            err = "unknown job field '" + k + "'";
+            return false;
+        }
+    }
+
+    auto u64Field = [&](const char *key, std::uint64_t lo,
+                        std::uint64_t hi,
+                        std::uint64_t &out) -> bool {
+        if (!spec.find(key))
+            return true;
+        std::uint64_t v = 0;
+        if (!json::getU64(spec, key, v) || v < lo || v > hi) {
+            err = std::string("field '") + key +
+                  "' must be an integer in [" + std::to_string(lo) +
+                  ", " + std::to_string(hi) + "]";
+            return false;
+        }
+        out = v;
+        return true;
+    };
+    auto boolField = [&](const char *key, bool &out) -> bool {
+        if (!spec.find(key))
+            return true;
+        if (!json::getBool(spec, key, out)) {
+            err = std::string("field '") + key + "' must be a bool";
+            return false;
+        }
+        return true;
+    };
+
+    std::string workload_name;
+    if (!json::getString(spec, "workload", workload_name)) {
+        err = "missing required string field 'workload'";
+        return false;
+    }
+    auto wl = parseWorkloadName(workload_name);
+    if (!wl) {
+        err = "unknown workload '" + workload_name + "'";
+        return false;
+    }
+
+    std::string kind = "morrigan";
+    json::getString(spec, "prefetcher", kind);
+    std::string spec_err = checkPrefetcherSpec(kind);
+    if (!spec_err.empty()) {
+        err = spec_err;
+        return false;
+    }
+
+    SimConfig cfg;
+    std::uint64_t pt_depth = 4, pb_entries = cfg.pbEntries;
+    std::uint64_t interval = 0;
+    const std::uint64_t big = std::uint64_t{1} << 40;
+    if (!u64Field("warmup", 0, big, cfg.warmupInstructions) ||
+        !u64Field("instructions", 1, big, cfg.simInstructions) ||
+        !u64Field("pt_depth", 4, 5, pt_depth) ||
+        !u64Field("pb_entries", 1, std::uint64_t{1} << 20,
+                  pb_entries) ||
+        !u64Field("ctx_switch", 0, big,
+                  cfg.contextSwitchInterval) ||
+        !u64Field("interval", 1, big, interval))
+        return false;
+    cfg.pageTableDepth = static_cast<unsigned>(pt_depth);
+    cfg.pbEntries = static_cast<std::uint32_t>(pb_entries);
+    if (!boolField("perfect_istlb", cfg.perfectIstlb) ||
+        !boolField("p2tlb", cfg.prefetchIntoStlb) ||
+        !boolField("prefetch_on_hits", cfg.prefetchOnStlbHits) ||
+        !boolField("asap", cfg.walker.asap))
+        return false;
+    std::string icache;
+    if (json::getString(spec, "icache", icache)) {
+        if (icache == "none")
+            cfg.icachePref = ICachePrefKind::None;
+        else if (icache == "next-line")
+            cfg.icachePref = ICachePrefKind::NextLine;
+        else if (icache == "fnl-mma")
+            cfg.icachePref = ICachePrefKind::FnlMma;
+        else {
+            err = "unknown icache prefetcher '" + icache + "'";
+            return false;
+        }
+    } else if (spec.find("icache")) {
+        err = "field 'icache' must be a string";
+        return false;
+    }
+
+    std::string smt_name;
+    if (json::getString(spec, "smt_with", smt_name)) {
+        auto wl2 = parseWorkloadName(smt_name);
+        if (!wl2) {
+            err = "unknown smt_with workload '" + smt_name + "'";
+            return false;
+        }
+        job = ExperimentJob::smtPair(cfg, kind, *wl, *wl2);
+    } else if (spec.find("smt_with")) {
+        err = "field 'smt_with' must be a string";
+        return false;
+    } else {
+        job = ExperimentJob::of(cfg, kind, *wl);
+    }
+    job.intervalEvery = interval;
+    return true;
+}
+
+CampaignService::CampaignService(ServiceOptions opt)
+    : opt_(std::move(opt))
+{
+    if (opt_.spoolDir.empty())
+        opt_.spoolDir = opt_.socketPath + ".spool";
+}
+
+CampaignService::~CampaignService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shuttingDown_ = true;
+    }
+    workerCv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+    for (Client &c : clients_)
+        if (c.fd >= 0)
+            ::close(c.fd);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(opt_.socketPath.c_str());
+    }
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+bool
+CampaignService::start()
+{
+    if (opt_.socketPath.empty()) {
+        warn("morrigan-serve: no socket path");
+        return false;
+    }
+    sockaddr_un addr{};
+    if (opt_.socketPath.size() >= sizeof(addr.sun_path)) {
+        warn("socket path '%s' too long (max %zu bytes)",
+             opt_.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+        return false;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.spoolDir, ec);
+    if (ec)
+        warn("cannot create spool dir '%s': %s",
+             opt_.spoolDir.c_str(), ec.message().c_str());
+
+    int pipefd[2];
+    if (::pipe2(pipefd, O_CLOEXEC | O_NONBLOCK) != 0) {
+        warn("pipe2: %s", std::strerror(errno));
+        return false;
+    }
+    wakeRead_ = pipefd[0];
+    wakeWrite_ = pipefd[1];
+
+    // A stale socket file from a killed daemon would make bind fail;
+    // the daemon owns its path, so replace it.
+    ::unlink(opt_.socketPath.c_str());
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0) {
+        warn("socket: %s", std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opt_.socketPath.c_str(),
+                opt_.socketPath.size());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0 ||
+        !setNonblockCloexec(listenFd_)) {
+        warn("cannot listen on '%s': %s", opt_.socketPath.c_str(),
+             std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+CampaignService::requestDrain()
+{
+    // Async-signal-safe: one byte on the self-pipe; the poll loop
+    // does the actual state change.
+    if (wakeWrite_ >= 0) {
+        ssize_t n [[maybe_unused]] = ::write(wakeWrite_, "T", 1);
+    }
+}
+
+void
+CampaignService::wake(char tag)
+{
+    if (wakeWrite_ >= 0) {
+        ssize_t n [[maybe_unused]] = ::write(wakeWrite_, &tag, 1);
+    }
+}
+
+void
+CampaignService::appendLine(std::uint64_t token,
+                            const std::string &line)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Client &c : clients_) {
+            if (c.token != token)
+                continue;
+            if (c.outBuf.size() + line.size() + 1 >
+                opt_.maxClientBuffer) {
+                // Slow client: dropping the connection is retriable
+                // (the journal makes its resubmission cheap);
+                // unbounded buffering would not be.
+                c.overflowed = true;
+            } else {
+                c.outBuf += line;
+                c.outBuf += '\n';
+            }
+            break;
+        }
+    }
+    wake('W');
+}
+
+bool
+CampaignService::drainComplete()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_.load() && queue_.empty() && !workerBusy_;
+}
+
+void
+CampaignService::closeClient(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ::close(clients_[index].fd);
+    clients_.erase(clients_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+}
+
+int
+CampaignService::serve()
+{
+    worker_ = std::thread(&CampaignService::workerMain, this);
+
+    std::vector<pollfd> fds;
+    bool drained = false;
+    while (!drained) {
+        fds.clear();
+        fds.push_back({wakeRead_, POLLIN, 0});
+        fds.push_back({listenFd_, POLLIN, 0});
+        std::size_t firstClient = fds.size();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (Client &c : clients_) {
+                short ev = POLLIN;
+                if (!c.outBuf.empty() || c.overflowed)
+                    ev |= POLLOUT;
+                fds.push_back({c.fd, ev, 0});
+            }
+        }
+        if (io::pollRetry(fds.data(), fds.size(), -1) < 0) {
+            warn("poll: %s", std::strerror(errno));
+            break;
+        }
+
+        // Wake pipe: drain it; 'T' bytes request the graceful drain.
+        if (fds[0].revents & POLLIN) {
+            char buf[256];
+            ssize_t n;
+            bool drain_req = false;
+            while ((n = ::read(wakeRead_, buf, sizeof(buf))) > 0)
+                for (ssize_t i = 0; i < n; ++i)
+                    drain_req = drain_req || buf[i] == 'T';
+            if (drain_req && !draining_.exchange(true)) {
+                warn("drain requested: finishing in-flight work, "
+                     "rejecting new submissions");
+                // The worker may be idle-waiting; it must observe
+                // the flag to cancel queued campaigns promptly.
+                workerCv_.notify_all();
+            }
+        }
+
+        // New connections are accepted even while draining, so late
+        // clients get an explicit retriable `busy` instead of a
+        // connection refusal they cannot tell from a crash.
+        if (fds[1].revents & POLLIN) {
+            for (;;) {
+                int fd = io::acceptRetry(listenFd_, nullptr, nullptr);
+                if (fd < 0)
+                    break;
+                if (!setNonblockCloexec(fd)) {
+                    ::close(fd);
+                    continue;
+                }
+                std::lock_guard<std::mutex> lock(mu_);
+                Client c;
+                c.fd = fd;
+                c.token = nextToken_++;
+                clients_.push_back(std::move(c));
+            }
+        }
+
+        // Client I/O. The clients_ vector can only have *grown* at
+        // the tail since the pollfd snapshot (appends above), so the
+        // snapshot indices still line up; erases happen only here.
+        for (std::size_t p = fds.size(); p-- > firstClient;) {
+            std::size_t ci = p - firstClient;
+            short rev = fds[p].revents;
+            if (rev == 0)
+                continue;
+            bool dead = (rev & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+
+            if (!dead && (rev & POLLIN)) {
+                char buf[1 << 16];
+                for (;;) {
+                    ssize_t n = io::readRetry(clients_[ci].fd, buf,
+                                              sizeof(buf));
+                    if (n > 0) {
+                        clients_[ci].inBuf.append(
+                            buf, static_cast<std::size_t>(n));
+                        if (clients_[ci].inBuf.size() >
+                            maxRequestBuffer) {
+                            dead = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    if (n == 0)
+                        dead = true;
+                    break; // EOF or EAGAIN
+                }
+                std::string &in = clients_[ci].inBuf;
+                std::size_t start = 0, nl;
+                while ((nl = in.find('\n', start)) !=
+                       std::string::npos) {
+                    std::string line = in.substr(start, nl - start);
+                    start = nl + 1;
+                    if (!line.empty())
+                        handleLine(clients_[ci], line);
+                }
+                in.erase(0, start);
+            }
+
+            if (!dead && (rev & POLLOUT)) {
+                std::lock_guard<std::mutex> lock(mu_);
+                Client &c = clients_[ci];
+                while (!c.outBuf.empty()) {
+                    ssize_t n = io::writeRetry(c.fd, c.outBuf.data(),
+                                               c.outBuf.size());
+                    if (n > 0) {
+                        c.outBuf.erase(
+                            0, static_cast<std::size_t>(n));
+                        continue;
+                    }
+                    if (n < 0 && errno != EAGAIN &&
+                        errno != EWOULDBLOCK)
+                        dead = true;
+                    break;
+                }
+                if (c.overflowed && c.outBuf.empty()) {
+                    ++clientsDropped_;
+                    dead = true;
+                }
+            }
+
+            if (dead)
+                closeClient(ci);
+        }
+
+        drained = drainComplete();
+    }
+
+    // Drain epilogue: stop listening, give buffered replies a
+    // bounded chance to flush, and shut the worker down. The journal
+    // needs no explicit flush -- every record was fsync'd when it
+    // was appended.
+    {
+        telemetry::ScopedSpan span(telemetry::Phase::ServiceDrain);
+        ::close(listenFd_);
+        ::unlink(opt_.socketPath.c_str());
+        listenFd_ = -1;
+        for (int spins = 0; spins < 200; ++spins) {
+            std::size_t pendingBytes = 0;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                for (Client &c : clients_) {
+                    while (!c.outBuf.empty()) {
+                        ssize_t n =
+                            io::writeRetry(c.fd, c.outBuf.data(),
+                                           c.outBuf.size());
+                        if (n <= 0)
+                            break;
+                        c.outBuf.erase(
+                            0, static_cast<std::size_t>(n));
+                    }
+                    pendingBytes += c.outBuf.size();
+                }
+            }
+            if (pendingBytes == 0)
+                break;
+            pollfd pfd{wakeRead_, POLLIN, 0};
+            io::pollRetry(&pfd, 1, 10);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shuttingDown_ = true;
+        }
+        workerCv_.notify_all();
+        worker_.join();
+    }
+    return 0;
+}
+
+void
+CampaignService::handleLine(Client &c, const std::string &line)
+{
+    telemetry::ScopedSpan span(telemetry::Phase::ServiceRequest);
+    const std::uint64_t token = c.token;
+    auto reply = [&](const std::function<void(json::Writer &)> &f) {
+        appendLine(token, oneLineEvent(f));
+    };
+
+    json::Value doc;
+    std::string cmd;
+    if (!json::Reader(line).parse(doc) ||
+        doc.type != json::Value::Type::Object ||
+        !json::getString(doc, "cmd", cmd)) {
+        reply([&](json::Writer &w) {
+            w.kv("event", "error");
+            w.kv("message",
+                 "malformed request: expected one JSON object per "
+                 "line with a string 'cmd'");
+        });
+        return;
+    }
+
+    if (cmd == "ping") {
+        reply([&](json::Writer &w) {
+            w.kv("event", "pong");
+            w.kv("protocol", serviceProtocolVersion);
+        });
+        return;
+    }
+    if (cmd == "status") {
+        // Snapshot under the lock, reply after: appendLine() takes
+        // mu_ itself.
+        std::uint64_t depth, accepted, done, jobs, busy, dropped;
+        bool running;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            depth = queue_.size();
+            running = workerBusy_;
+            accepted = campaignsAccepted_;
+            done = campaignsDone_;
+            jobs = jobsSettled_;
+            busy = busyRejections_;
+            dropped = clientsDropped_;
+        }
+        reply([&](json::Writer &w) {
+            w.kv("event", "status");
+            w.kv("protocol", serviceProtocolVersion);
+            w.kv("draining", draining_.load());
+            w.kv("queue_depth", depth);
+            w.kv("campaign_running", running);
+            w.kv("campaigns_accepted", accepted);
+            w.kv("campaigns_done", done);
+            w.kv("jobs_settled", jobs);
+            w.kv("busy_rejections", busy);
+            w.kv("clients_dropped", dropped);
+        });
+        return;
+    }
+    if (cmd == "drain") {
+        reply([&](json::Writer &w) { w.kv("event", "draining"); });
+        requestDrain();
+        return;
+    }
+    if (cmd == "submit") {
+        std::string id;
+        if (!json::getString(doc, "id", id) || id.empty()) {
+            reply([&](json::Writer &w) {
+                w.kv("event", "error");
+                w.kv("message",
+                     "submit needs a non-empty string 'id'");
+            });
+            return;
+        }
+        handleSubmit(c, doc, id);
+        return;
+    }
+    reply([&](json::Writer &w) {
+        w.kv("event", "error");
+        w.kv("message", "unknown cmd '" + cmd + "'");
+    });
+}
+
+void
+CampaignService::handleSubmit(Client &c, const json::Value &doc,
+                              const std::string &id)
+{
+    const std::uint64_t token = c.token;
+    auto reply = [&](const std::function<void(json::Writer &)> &f) {
+        appendLine(token, oneLineEvent(f));
+    };
+
+    const json::Value *jobs = doc.find("jobs");
+    if (!jobs || jobs->type != json::Value::Type::Array ||
+        jobs->array.empty()) {
+        reply([&](json::Writer &w) {
+            w.kv("event", "error");
+            w.kv("id", id);
+            w.kv("message",
+                 "submit needs a non-empty 'jobs' array");
+        });
+        return;
+    }
+
+    Campaign camp;
+    camp.client = token;
+    camp.id = id;
+    for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+        ExperimentJob job;
+        std::string err;
+        if (!parseJobSpec(jobs->array[i], job, err)) {
+            reply([&](json::Writer &w) {
+                w.kv("event", "error");
+                w.kv("id", id);
+                w.kv("index", static_cast<std::uint64_t>(i));
+                w.kv("message", err);
+            });
+            return;
+        }
+        // All wire jobs are registry-spec experiments, so they have
+        // a canonical key: the idempotency identity that resubmit /
+        // journal replay / checkpoints all share.
+        camp.keys.push_back(experimentKey(
+            job.cfg, job.kind, job.workload,
+            job.smt ? &job.smtWorkload : nullptr));
+        if (job.intervalEvery > 0)
+            job.intervalOutPath =
+                intervalSpoolPath(opt_.spoolDir, camp.keys.back());
+        camp.jobs.push_back(std::move(job));
+    }
+
+    bool admitted = false;
+    std::size_t depth = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        depth = queue_.size();
+        if (!draining_.load() && depth < opt_.maxQueue) {
+            queue_.push_back(std::move(camp));
+            ++campaignsAccepted_;
+            admitted = true;
+        } else {
+            ++busyRejections_;
+        }
+    }
+    if (!admitted) {
+        telemetry::add(telemetry::Counter::ServiceBusyRejections);
+        reply([&](json::Writer &w) {
+            w.kv("event", "busy");
+            w.kv("id", id);
+            w.kv("retriable", true);
+            w.kv("draining", draining_.load());
+            w.kv("queue_depth",
+                 static_cast<std::uint64_t>(depth));
+        });
+        return;
+    }
+    telemetry::add(telemetry::Counter::ServiceSubmits);
+    reply([&](json::Writer &w) {
+        w.kv("event", "accepted");
+        w.kv("id", id);
+        w.kv("jobs", static_cast<std::uint64_t>(
+                         jobs->array.size()));
+    });
+    workerCv_.notify_all();
+}
+
+void
+CampaignService::workerMain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        workerCv_.wait(lk, [&] {
+            return !queue_.empty() || shuttingDown_;
+        });
+        if (queue_.empty())
+            break; // shuttingDown_, nothing left
+        Campaign camp = std::move(queue_.front());
+        queue_.pop_front();
+        workerBusy_ = true;
+        lk.unlock();
+        runCampaign(camp);
+        lk.lock();
+        workerBusy_ = false;
+        ++campaignsDone_;
+        wake('W'); // drain progress / idle notification
+    }
+}
+
+void
+CampaignService::runCampaign(const Campaign &camp)
+{
+    telemetry::ScopedSpan span(telemetry::Phase::ServiceCampaign);
+    SupervisorOptions sup = opt_.supervisor;
+    sup.stopRequested = [this] { return draining_.load(); };
+    sup.onJobSettled = [&](std::size_t i, const RunOutcome &o) {
+        std::string line = oneLineEvent([&](json::Writer &w) {
+            w.kv("event", "job");
+            w.kv("id", camp.id);
+            w.kv("index", static_cast<std::uint64_t>(i));
+            w.kv("key", camp.keys[i]);
+            w.kv("status", runStatusName(o.status));
+            w.kv("attempts", std::uint64_t{o.attempts});
+            w.kv("duration_ms", o.durationMs);
+            w.kv("from_journal", o.fromJournal);
+            w.kv("from_cache", o.fromCache);
+            w.kv("canceled", o.canceled);
+            if (o.ok())
+                w.key("result").rawValue([&](std::ostream &ro) {
+                    writeSimResultJson(ro, o.output.result);
+                });
+            else {
+                w.kv("error", o.failure.what);
+                w.kv("signal", o.failure.signal);
+            }
+        });
+        appendLine(camp.client, line);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++jobsSettled_;
+        }
+        // Forward whatever interval epochs this job's execution
+        // produced (replayed / cached jobs do not execute, so they
+        // have none -- the epochs are observation, not results).
+        const ExperimentJob &job = camp.jobs[i];
+        if (job.intervalEvery == 0 || job.intervalOutPath.empty())
+            return;
+        std::ifstream ifs(job.intervalOutPath);
+        std::string epoch;
+        while (ifs && std::getline(ifs, epoch)) {
+            if (epoch.empty())
+                continue;
+            appendLine(
+                camp.client, oneLineEvent([&](json::Writer &w) {
+                    w.kv("event", "interval");
+                    w.kv("id", camp.id);
+                    w.kv("index", static_cast<std::uint64_t>(i));
+                    w.key("epoch").rawValue(
+                        [&](std::ostream &ro) { ro << epoch; });
+                }));
+        }
+        ifs.close();
+        ::unlink(job.intervalOutPath.c_str());
+    };
+
+    Supervisor supervisor(sup);
+    std::vector<RunOutcome> outcomes = supervisor.run(camp.jobs);
+
+    std::uint64_t ok = 0, failed = 0, canceled = 0;
+    for (const RunOutcome &o : outcomes) {
+        if (o.ok())
+            ++ok;
+        else if (o.canceled)
+            ++canceled;
+        else
+            ++failed;
+    }
+    appendLine(camp.client, oneLineEvent([&](json::Writer &w) {
+                   w.kv("event", "done");
+                   w.kv("id", camp.id);
+                   w.kv("ok", ok);
+                   w.kv("failed", failed);
+                   w.kv("canceled", canceled);
+               }));
+}
+
+} // namespace morrigan

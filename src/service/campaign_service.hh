@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Crash-tolerant campaign service (morrigan-serve).
+ *
+ * A single-daemon experiment service: clients connect over a Unix
+ * domain socket and exchange line-delimited JSON. A `submit` request
+ * carries a batch of experiment job specs; the service runs admitted
+ * campaigns sequentially through the fault-isolated Supervisor and
+ * streams per-job outcomes (and, when a job asked for them, its
+ * interval-sampler epochs) back to the submitting client while the
+ * batch is still executing.
+ *
+ * Resilience model (DESIGN.md §16):
+ *
+ *  - Admission is bounded: when the campaign queue is full, or the
+ *    service is draining, a submit gets a retriable `busy` reply and
+ *    nothing is enqueued.
+ *  - Campaigns run one at a time, so the Supervisor's fsync'd
+ *    journal makes resubmission idempotent: a retried submit replays
+ *    finished jobs from the journal and only executes what is
+ *    missing -- a retry never double-runs a job.
+ *  - SIGTERM (or a `drain` request) drains gracefully: in-flight
+ *    jobs finish and are journaled, every not-yet-started job
+ *    settles as canceled (and is deliberately not journaled), new
+ *    submits are rejected retriably, and the daemon exits 0 once
+ *    the queue is empty and buffered replies are flushed.
+ *  - SIGKILL of the daemon or of any sandboxed worker loses nothing
+ *    that was journaled: restarting with the same --journal and
+ *    --checkpoint-dir and resubmitting produces bit-identical
+ *    results.
+ *  - A client that disconnects mid-campaign does not cancel it: the
+ *    campaign runs to completion and lands in the journal, so the
+ *    client's resubmission replays instantly.
+ */
+
+#ifndef MORRIGAN_SERVICE_CAMPAIGN_SERVICE_HH
+#define MORRIGAN_SERVICE_CAMPAIGN_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_reader.hh"
+#include "sim/supervisor.hh"
+
+namespace morrigan
+{
+
+/** Service policy; supervisor carries journal/checkpoint/isolate. */
+struct ServiceOptions
+{
+    /** Unix-domain socket path (required; stale files are replaced). */
+    std::string socketPath;
+
+    /** Directory for per-job interval spool files; defaults to
+     * socketPath + ".spool". */
+    std::string spoolDir;
+
+    /** Campaigns admitted but not yet started; a full queue makes
+     * submit retriable-busy. The running campaign does not count. */
+    std::size_t maxQueue = 4;
+
+    /** Per-client reply backlog before the client is declared too
+     * slow and dropped (its campaign still runs to completion). */
+    std::size_t maxClientBuffer = std::size_t{8} << 20;
+
+    /** Campaign resilience policy (journal, checkpoints, sandbox,
+     * watchdog, retries) applied to every admitted campaign. */
+    SupervisorOptions supervisor;
+};
+
+/**
+ * Parse one wire job spec (a flat JSON object) into an
+ * ExperimentJob. Unknown fields are rejected so client typos fail
+ * loudly instead of silently running a default experiment.
+ * @return false with @p err set on any defect.
+ */
+bool parseJobSpec(const json::Value &spec, ExperimentJob &job,
+                  std::string &err);
+
+/** The daemon. */
+class CampaignService
+{
+  public:
+    explicit CampaignService(ServiceOptions opt);
+    ~CampaignService();
+
+    CampaignService(const CampaignService &) = delete;
+    CampaignService &operator=(const CampaignService &) = delete;
+
+    /** Bind + listen on the socket. @return false (with a warning)
+     * when the socket cannot be set up. */
+    bool start();
+
+    /**
+     * Accept and serve clients until a drain request completes.
+     * Runs the poll loop on the calling thread; campaigns execute on
+     * an internal worker thread. @return 0 on a clean drained exit.
+     */
+    int serve();
+
+    /** Request a graceful drain. Async-signal-safe (the SIGTERM
+     * handler calls this). */
+    void requestDrain();
+
+  private:
+    struct Client
+    {
+        int fd = -1;
+        std::uint64_t token = 0;
+        std::string inBuf;
+        std::string outBuf;
+        bool overflowed = false; //!< backlog cap hit; close after diag
+    };
+
+    struct Campaign
+    {
+        std::uint64_t client = 0; //!< submitting client's token
+        std::string id;           //!< client-chosen submission label
+        std::vector<ExperimentJob> jobs;
+        std::vector<std::string> keys; //!< idempotency keys
+    };
+
+    void workerMain();
+    void runCampaign(const Campaign &c);
+
+    /** Poll-loop request dispatch (poll thread). */
+    void handleLine(Client &c, const std::string &line);
+    void handleSubmit(Client &c, const json::Value &doc,
+                      const std::string &id);
+
+    /** Append one reply line for @p token (any thread); wakes the
+     * poll loop. Dropped silently when the client is gone. */
+    void appendLine(std::uint64_t token, const std::string &line);
+
+    void wake(char tag);
+    bool drainComplete();
+    void closeClient(std::size_t index);
+
+    ServiceOptions opt_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+
+    std::mutex mu_;
+    std::condition_variable workerCv_;
+    std::vector<Client> clients_;
+    std::deque<Campaign> queue_;
+    std::thread worker_;
+    bool workerBusy_ = false;
+    bool shuttingDown_ = false;
+    std::atomic<bool> draining_{false};
+
+    // Status counters (mu_).
+    std::uint64_t nextToken_ = 1;
+    std::uint64_t campaignsAccepted_ = 0;
+    std::uint64_t campaignsDone_ = 0;
+    std::uint64_t jobsSettled_ = 0;
+    std::uint64_t busyRejections_ = 0;
+    std::uint64_t clientsDropped_ = 0;
+};
+
+} // namespace morrigan
+
+#endif // MORRIGAN_SERVICE_CAMPAIGN_SERVICE_HH

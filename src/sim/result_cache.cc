@@ -8,9 +8,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_fs.hh"
 #include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
@@ -563,31 +565,43 @@ ResultCache::diskInsert(const std::string &key,
         lock_fd = -1;
     }
 
-    bool published = false;
+    std::ostringstream ss;
     {
-        std::ofstream ofs(tmp);
-        if (!ofs) {
-            warn("result cache: cannot write '%s'", tmp.c_str());
-        } else {
-            json::Writer w(ofs);
-            w.beginObject();
-            w.kv("schema", "morrigan-result-cache");
-            w.kv("version", json::resultCacheSchemaVersion);
-            w.kv("key", key);
-            w.key("result").rawValue([&](std::ostream &o) {
-                writeSimResultJson(o, result);
-            });
-            w.endObject();
-            ofs << '\n';
-            ofs.flush();
-            if (!ofs) {
-                warn("result cache: short write to '%s'",
-                     tmp.c_str());
-                std::remove(tmp.c_str());
-            } else {
-                published = true;
-            }
-        }
+        json::Writer w(ss);
+        w.beginObject();
+        w.kv("schema", "morrigan-result-cache");
+        w.kv("version", json::resultCacheSchemaVersion);
+        w.kv("key", key);
+        w.key("result").rawValue([&](std::ostream &o) {
+            writeSimResultJson(o, result);
+        });
+        w.endObject();
+        ss << '\n';
+    }
+    const std::string doc = ss.str();
+
+    // fd-based write through the fault shim (EINTR retried): a torn
+    // or failed write never publishes -- the tmp file is removed and
+    // the entry simply stays a miss, re-simulated on demand.
+    bool published = false;
+    int fd = ::open(tmp.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        warn("result cache: cannot write '%s'", tmp.c_str());
+    } else if (!faultfs::writeAll(fd, doc.data(), doc.size())) {
+        warn("result cache: short write to '%s'", tmp.c_str());
+        ::close(fd);
+        std::remove(tmp.c_str());
+    } else if (faultfs::fsync(fd) != 0) {
+        warn("result cache: fsync of '%s' failed (%s); entry not "
+             "published",
+             tmp.c_str(), std::strerror(errno));
+        ::close(fd);
+        std::remove(tmp.c_str());
+    } else {
+        ::close(fd);
+        telemetry::add(telemetry::Counter::Fsyncs);
+        published = true;
     }
     // Atomic publish so concurrent readers never see partial files.
     if (published && std::rename(tmp.c_str(), path.c_str()) != 0) {

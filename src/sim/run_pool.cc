@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -163,6 +164,23 @@ executeJob(const ExperimentJob &job, const JobExecutionOptions &opts)
     if (!opts.checkpointPath.empty() && opts.checkpointEvery != 0)
         a.sim->setCheckpointing(opts.checkpointPath,
                                 opts.checkpointEvery);
+
+    // Per-job interval streaming (campaign service): sink failures
+    // degrade to an un-sampled run with a warning, they never fail
+    // the job.
+    std::ofstream interval_ofs;
+    if (job.intervalEvery > 0 && !job.intervalOutPath.empty()) {
+        interval_ofs.open(job.intervalOutPath,
+                          std::ios::out | std::ios::trunc);
+        if (interval_ofs) {
+            a.sim->enableTracer();
+            a.sim->enableIntervalSampler(job.intervalEvery)
+                .setSink(&interval_ofs, IntervalFormat::Jsonl);
+        } else {
+            warn("cannot open interval sink '%s'",
+                 job.intervalOutPath.c_str());
+        }
+    }
 
     ExperimentOutput out;
     out.result = a.sim->run();

@@ -85,6 +85,18 @@ struct ExperimentJob
                 const ServerWorkloadParams &a,
                 const ServerWorkloadParams &b);
 
+    /**
+     * Observation only, never part of the experiment key: when
+     * intervalEvery > 0 the executing simulator attaches an interval
+     * sampler and streams each epoch as JSONL into intervalOutPath
+     * (truncating any previous file). Jobs served from the result
+     * cache or replayed from a campaign journal do not execute, so
+     * they produce no interval file -- the campaign service forwards
+     * whatever epochs exist and nothing else.
+     */
+    std::uint64_t intervalEvery = 0;
+    std::string intervalOutPath;
+
     /** Whether the job's result can be memoised by key. Checked and
      * fault-injected runs are excluded: their value is in the check
      * being re-executed (and their mismatch report is not part of

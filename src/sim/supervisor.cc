@@ -21,6 +21,8 @@
 #include <unordered_map>
 
 #include "check/invariants.hh"
+#include "common/fault_fs.hh"
+#include "common/io_retry.hh"
 #include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
@@ -200,16 +202,7 @@ tailOf(const std::string &s, std::size_t keep = 2000)
 void
 writeAllFd(int fd, const std::string &s)
 {
-    std::size_t off = 0;
-    while (off < s.size()) {
-        ssize_t n = ::write(fd, s.data() + off, s.size() - off);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return;
-        }
-        off += static_cast<std::size_t>(n);
-    }
+    io::writeAll(fd, s.data(), s.size());
 }
 
 [[noreturn]] void
@@ -663,12 +656,14 @@ CampaignJournal::record(const std::string &key,
     // only this unparseable record is lost) and retry the whole
     // record once as a fresh line.
     for (int tries = 0; tries < 2; ++tries) {
-        ssize_t n;
-        do {
-            n = ::write(fd_, line.data(), line.size());
-        } while (n < 0 && errno == EINTR);
+        const ssize_t n =
+            faultfs::write(fd_, line.data(), line.size());
         if (n == static_cast<ssize_t>(line.size())) {
-            ::fsync(fd_);
+            if (faultfs::fsync(fd_) != 0)
+                warn("journal: fsync failed (%s); the record may "
+                     "not survive a crash (that job would rerun on "
+                     "resume)",
+                     std::strerror(errno));
             telemetry::add(telemetry::Counter::Fsyncs);
             return;
         }
@@ -678,14 +673,11 @@ CampaignJournal::record(const std::string &key,
                  std::strerror(errno));
             return;
         }
-        ssize_t m;
-        do {
-            m = ::write(fd_, "\n", 1);
-        } while (m < 0 && errno == EINTR);
+        io::writeRetry(fd_, "\n", 1);
     }
     warn("journal: short write persists; record dropped (that job "
          "will rerun on resume)");
-    ::fsync(fd_);
+    faultfs::fsync(fd_);
     telemetry::add(telemetry::Counter::Fsyncs);
 }
 
@@ -798,11 +790,17 @@ Supervisor::run(const std::vector<ExperimentJob> &batch)
     std::vector<std::pair<std::size_t, std::size_t>> copies;
     std::vector<bool> is_copy(batch.size(), false);
     std::vector<std::size_t> work;
+    auto settled = [&](std::size_t i) {
+        if (opt_.onJobSettled)
+            opt_.onJobSettled(i, out[i]);
+    };
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const ExperimentJob &job = batch[i];
         keys[i] = jobKey(job);
-        if (!keys[i].empty() && journal.lookup(keys[i], out[i]))
+        if (!keys[i].empty() && journal.lookup(keys[i], out[i])) {
+            settled(i);
             continue;
+        }
         if (opt_.useCache && job.cacheable() &&
             cache.lookup(keys[i], out[i].output.result)) {
             out[i].status = RunStatus::Ok;
@@ -810,6 +808,7 @@ Supervisor::run(const std::vector<ExperimentJob> &batch)
             out[i].attempts = 0;
             if (journal.enabled())
                 journal.record(keys[i], out[i]);
+            settled(i);
             continue;
         }
         if (job.cacheable()) {
@@ -828,10 +827,16 @@ Supervisor::run(const std::vector<ExperimentJob> &batch)
     // campaign killed mid-flight resumes with every finished job.
     PublishFn publish = [&](std::size_t i) {
         const RunOutcome &o = out[i];
-        if (o.ok() && opt_.useCache && batch[i].cacheable())
-            cache.insert(keys[i], o.output.result);
-        if (!keys[i].empty() && journal.enabled())
-            journal.record(keys[i], o);
+        // Drain cancellations are settled but never published: the
+        // cancellation must not be replayed as a terminal failure by
+        // the campaign that resumes this journal.
+        if (!o.canceled) {
+            if (o.ok() && opt_.useCache && batch[i].cacheable())
+                cache.insert(keys[i], o.output.result);
+            if (!keys[i].empty() && journal.enabled())
+                journal.record(keys[i], o);
+        }
+        settled(i);
     };
 
     if (opt_.isolate) {
@@ -851,8 +856,10 @@ Supervisor::run(const std::vector<ExperimentJob> &batch)
         runThreaded(batch, work, keys, out, publish);
     }
 
-    for (const auto &[dst, src] : copies)
+    for (const auto &[dst, src] : copies) {
         out[dst] = out[src];
+        settled(dst);
+    }
 
     // Every job that ends this campaign without a result -- fresh
     // failure or replayed one -- belongs in the manifest the CLIs
@@ -874,6 +881,15 @@ Supervisor::superviseInline(const ExperimentJob &job,
     RunOutcome o;
     for (unsigned attempt = 1; attempt <= opt_.maxAttempts;
          ++attempt) {
+        if (opt_.stopRequested && opt_.stopRequested()) {
+            o.status = RunStatus::Failed;
+            o.canceled = true;
+            o.attempts = attempt - 1;
+            o.failure.status = RunStatus::Failed;
+            o.failure.what = "canceled by drain";
+            o.failure.repro = jobReproCommand(job);
+            return o;
+        }
         if (attempt > 1) {
             telemetry::ScopedSpan span(
                 telemetry::Phase::RetryBackoff);
@@ -974,12 +990,18 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
         meter.jobDone(jobInstructionBudget(batch[idx]));
     };
 
+    auto draining = [&] {
+        return opt_.stopRequested && opt_.stopRequested();
+    };
+
     while (!pending.empty() || !active.empty()) {
         Clock::time_point now = Clock::now();
 
-        // Launch every eligible attempt a free worker slot can take.
+        // Launch every eligible attempt a free worker slot can
+        // take -- none once a drain is requested.
         for (auto it = pending.begin();
-             it != pending.end() && active.size() < nthreads;) {
+             !draining() && it != pending.end() &&
+             active.size() < nthreads;) {
             if (it->notBefore > now) {
                 ++it;
                 continue;
@@ -1023,7 +1045,7 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
         Clock::time_point next = Clock::time_point::max();
         for (const Active &a : active)
             next = std::min(next, a.deadline);
-        if (active.size() < nthreads)
+        if (!draining() && active.size() < nthreads)
             for (const PendingAttempt &p : pending)
                 next = std::min(next, p.notBefore);
         {
@@ -1088,6 +1110,22 @@ Supervisor::runThreaded(const std::vector<ExperimentJob> &batch,
             } else {
                 ++it;
             }
+        }
+
+        // Drain: once every in-flight attempt has finished, settle
+        // whatever never got to start as canceled (not journaled).
+        if (draining() && active.empty()) {
+            for (const PendingAttempt &p : pending) {
+                RunOutcome &o = out[p.idx];
+                o.status = RunStatus::Failed;
+                o.canceled = true;
+                o.attempts = p.attempt - 1;
+                o.failure.status = RunStatus::Failed;
+                o.failure.what = "canceled by drain";
+                o.failure.repro = jobReproCommand(batch[p.idx]);
+                publish(p.idx);
+            }
+            pending.clear();
         }
         meter.maybePrint(active.size());
     }
@@ -1209,14 +1247,20 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         }
     };
 
+    auto draining = [&] {
+        return opt_.stopRequested && opt_.stopRequested();
+    };
+
     while (!pending.empty() || !children.empty()) {
         Clock::time_point now = Clock::now();
 
-        // Fork every eligible attempt a free slot can take. The
-        // scheduler itself stays single-threaded, so fork() never
-        // races another of our threads holding a lock.
+        // Fork every eligible attempt a free slot can take (none
+        // once a drain is requested). The scheduler itself stays
+        // single-threaded, so fork() never races another of our
+        // threads holding a lock.
         for (auto it = pending.begin();
-             it != pending.end() && children.size() < nchildren;) {
+             !draining() && it != pending.end() &&
+             children.size() < nchildren;) {
             if (it->notBefore > now) {
                 ++it;
                 continue;
@@ -1277,11 +1321,15 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         for (const Child &c : children)
             if (!c.watchdogKilled)
                 next = std::min(next, c.deadline);
-        if (children.size() < nchildren)
+        if (!draining() && children.size() < nchildren)
             for (const PendingAttempt &p : pending)
                 next = std::min(next, p.notBefore);
         int poll_ms = -1;
-        if (next != Clock::time_point::max()) {
+        if (fds.empty() && next == Clock::time_point::max()) {
+            // Only reachable mid-drain (otherwise something would
+            // be launchable): fall through to the cancel step.
+            poll_ms = 0;
+        } else if (next != Clock::time_point::max()) {
             auto delta =
                 std::chrono::duration_cast<std::chrono::milliseconds>(
                     next - Clock::now())
@@ -1294,8 +1342,8 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         {
             telemetry::ScopedSpan span(
                 telemetry::Phase::SandboxWait);
-            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                   poll_ms);
+            io::pollRetry(fds.data(),
+                          static_cast<nfds_t>(fds.size()), poll_ms);
         }
 
         for (std::size_t fi = 0; fi < fds.size(); ++fi) {
@@ -1306,10 +1354,10 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
             int &fd = is_result ? c.resultFd : c.stderrFd;
             std::string &buf = is_result ? c.resultBuf : c.stderrBuf;
             char chunk[4096];
-            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            const ssize_t n = io::readRetry(fd, chunk, sizeof(chunk));
             if (n > 0) {
                 buf.append(chunk, static_cast<std::size_t>(n));
-            } else if (n == 0 || (n < 0 && errno != EINTR)) {
+            } else {
                 ::close(fd);
                 fd = -1;
             }
@@ -1319,9 +1367,7 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
         for (auto it = children.begin(); it != children.end();) {
             if (it->resultFd < 0 && it->stderrFd < 0) {
                 int status = 0;
-                while (::waitpid(it->pid, &status, 0) < 0 &&
-                       errno == EINTR) {
-                }
+                io::waitpidRetry(it->pid, &status, 0);
                 classify(*it, status);
                 it = children.erase(it);
             } else {
@@ -1331,6 +1377,22 @@ Supervisor::runSandboxed(const std::vector<ExperimentJob> &batch,
                 }
                 ++it;
             }
+        }
+
+        // Drain: with every child reaped, settle what never
+        // launched as canceled (not journaled; see runThreaded).
+        if (draining() && children.empty()) {
+            for (const PendingAttempt &p : pending) {
+                RunOutcome &o = out[p.idx];
+                o.status = RunStatus::Failed;
+                o.canceled = true;
+                o.attempts = p.attempt - 1;
+                o.failure.status = RunStatus::Failed;
+                o.failure.what = "canceled by drain";
+                o.failure.repro = jobReproCommand(batch[p.idx]);
+                publish(p.idx);
+            }
+            pending.clear();
         }
         meter.maybePrint(children.size());
     }

@@ -90,6 +90,11 @@ struct RunOutcome
     std::uint64_t durationMs = 0;
     bool fromJournal = false;
     bool fromCache = false;
+    /** Settled by a drain request before it could run: reported to
+     * the caller as a failure but never journaled, so a resumed
+     * campaign reruns the job instead of replaying the
+     * cancellation. */
+    bool canceled = false;
     /** Structural invariant violations observed inside a sandboxed
      * child (merged into the parent's count by the fuzzer). */
     std::uint64_t structuralViolations = 0;
@@ -146,6 +151,29 @@ struct SupervisorOptions
 
     /** Route cacheable jobs through ResultCache::global(). */
     bool useCache = true;
+
+    /**
+     * Drain hook, polled by the schedulers between launches. Once
+     * it returns true, no further attempt (first try or retry) is
+     * started: in-flight attempts run to completion and are
+     * journaled as usual, and every still-pending job settles as a
+     * Failed outcome with "canceled by drain" -- deliberately NOT
+     * journaled, so a later campaign with the same journal reruns
+     * those jobs instead of replaying the cancellation. Null (the
+     * default) never drains.
+     */
+    std::function<bool()> stopRequested;
+
+    /**
+     * Observation hook invoked the moment a job's outcome is final
+     * (executed, replayed from the journal, served from the cache,
+     * copied from an in-batch duplicate, or canceled by drain),
+     * with the job's batch index. Called from the scheduler thread;
+     * it must not re-enter the Supervisor. The campaign service
+     * uses this to stream per-job outcomes to clients while the
+     * batch is still running.
+     */
+    std::function<void(std::size_t, const RunOutcome &)> onJobSettled;
 
     /** Resolve MORRIGAN_ISOLATE / MORRIGAN_JOB_TIMEOUT (seconds) /
      * MORRIGAN_JOB_RETRIES / MORRIGAN_JOURNAL /

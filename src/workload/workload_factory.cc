@@ -1,5 +1,8 @@
 #include "workload_factory.hh"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
 
@@ -124,6 +127,42 @@ javaWorkloadParams(unsigned index)
     p.phaseInterval = 1'500'000;
     p.phaseShuffleFraction = 0.08;
     return p;
+}
+
+std::optional<ServerWorkloadParams>
+parseWorkloadName(const std::string &name)
+{
+    // Suffix index; nullopt on junk or absurd values.
+    auto parseIndex = [](const char *s) -> std::optional<unsigned> {
+        if (*s == '\0')
+            return std::nullopt;
+        char *end = nullptr;
+        errno = 0;
+        unsigned long v = std::strtoul(s, &end, 10);
+        if (*end != '\0' || errno == ERANGE || v > 1000000)
+            return std::nullopt;
+        return static_cast<unsigned>(v);
+    };
+    if (name.rfind("qmm_", 0) == 0) {
+        auto idx = parseIndex(name.c_str() + 4);
+        if (idx && *idx < numQmmWorkloads)
+            return qmmWorkloadParams(*idx);
+        return std::nullopt;
+    }
+    if (name.rfind("spec_", 0) == 0) {
+        auto idx = parseIndex(name.c_str() + 5);
+        if (idx && *idx < numSpecWorkloads)
+            return specWorkloadParams(*idx);
+        return std::nullopt;
+    }
+    if (name.rfind("java:", 0) == 0) {
+        const auto &names = javaWorkloadNames();
+        for (unsigned i = 0; i < names.size(); ++i)
+            if (names[i] == name.substr(5))
+                return javaWorkloadParams(i);
+        return std::nullopt;
+    }
+    return std::nullopt;
 }
 
 std::unique_ptr<ServerWorkload>

@@ -17,6 +17,7 @@
 #define MORRIGAN_WORKLOAD_WORKLOAD_FACTORY_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,14 @@ const std::vector<std::string> &javaWorkloadNames();
 
 /** Parameters of Java-like workload @p index. */
 ServerWorkloadParams javaWorkloadParams(unsigned index);
+
+/**
+ * Resolve a workload name of the form qmm_NN, spec_NN or java:NAME
+ * (the spelling the CLI --workload flag and the campaign-service
+ * job specs share); nullopt for unknown names or indices.
+ */
+std::optional<ServerWorkloadParams>
+parseWorkloadName(const std::string &name);
 
 /** Convenience constructors. */
 std::unique_ptr<ServerWorkload> makeQmmWorkload(unsigned index);

@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -530,4 +534,141 @@ TEST(Supervisor, OptionsFromEnv)
     unsetenv("MORRIGAN_JOB_TIMEOUT");
     unsetenv("MORRIGAN_JOB_RETRIES");
     EXPECT_FALSE(SupervisorOptions::fromEnv().isolate);
+}
+
+TEST(Supervisor, RunBatchAllPairsFailed)
+{
+    // Every pair lost a member: each speedup is NaN and the geomean
+    // over zero surviving pairs is NaN -- never a crash, never a
+    // fabricated number.
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    Supervisor::setDefaultOptions(opt);
+
+    std::vector<SimResult> results = runBatch({
+        faultyJob<ThrowingPrefetcher>(cfg, "test:allfail-0"),
+        faultyJob<ThrowingPrefetcher>(cfg, "test:allfail-1"),
+        goodJob(cfg, 4),
+        faultyJob<ThrowingPrefetcher>(cfg, "test:allfail-2"),
+    });
+    Supervisor::setDefaultOptions(SupervisorOptions::fromEnv());
+
+    ASSERT_EQ(results.size(), 4u);
+    // Pairs (base, opt): (0, 1) both failed, (2, 3) opt failed.
+    std::vector<SimResult> base = {results[0], results[2]};
+    std::vector<SimResult> opt_r = {results[1], results[3]};
+    EXPECT_TRUE(std::isnan(speedupPct(base[0], opt_r[0])));
+    EXPECT_TRUE(std::isnan(speedupPct(base[1], opt_r[1])));
+    EXPECT_TRUE(std::isnan(geomeanSpeedupPct(base, opt_r)));
+}
+
+TEST(Supervisor, RunBatchSingleSurvivingPair)
+{
+    // With exactly one surviving pair the geomean degrades to that
+    // pair's speedup: failed pairs are skipped, not zero-filled.
+    const SimConfig cfg = quickConfig();
+    SupervisorOptions opt;
+    opt.maxAttempts = 1;
+    opt.useCache = false;
+    Supervisor::setDefaultOptions(opt);
+
+    std::vector<SimResult> results = runBatch({
+        goodJob(cfg, 5),
+        ExperimentJob::of(cfg, "sp", qmmWorkloadParams(5)),
+        faultyJob<ThrowingPrefetcher>(cfg, "test:lonely-base"),
+        faultyJob<ThrowingPrefetcher>(cfg, "test:lonely-opt"),
+    });
+    Supervisor::setDefaultOptions(SupervisorOptions::fromEnv());
+
+    ASSERT_EQ(results.size(), 4u);
+    std::vector<SimResult> base = {results[0], results[2]};
+    std::vector<SimResult> opt_r = {results[1], results[3]};
+    const double lone = speedupPct(results[0], results[1]);
+    EXPECT_FALSE(std::isnan(lone));
+    EXPECT_NEAR(geomeanSpeedupPct(base, opt_r), lone, 1e-12);
+}
+
+namespace
+{
+
+/** Pelts @p target with SIGUSR1 every ~1ms until told to stop. */
+struct SignalStorm
+{
+    explicit SignalStorm(pthread_t target)
+        : target_(target), pelter_([this] {
+              while (!stop_.load(std::memory_order_relaxed)) {
+                  pthread_kill(target_, SIGUSR1);
+                  std::this_thread::sleep_for(
+                      std::chrono::milliseconds(1));
+              }
+          })
+    {
+    }
+    ~SignalStorm()
+    {
+        stop_.store(true);
+        pelter_.join();
+    }
+    pthread_t target_;
+    std::atomic<bool> stop_{false};
+    std::thread pelter_;
+};
+
+} // namespace
+
+TEST(Supervisor, EintrStormYieldsBitIdenticalOutcomes)
+{
+    // A sandboxed campaign's pipe/waitpid/poll protocol must be
+    // EINTR-clean: pelt the scheduling thread with harmless signals
+    // (handler installed WITHOUT SA_RESTART, so every blocking call
+    // really does take the EINTR path) and require outcomes
+    // bit-identical to an undisturbed run -- journal records
+    // included.
+    struct sigaction sa, old_sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0; // deliberately no SA_RESTART
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+    const SimConfig cfg = quickConfig();
+    std::vector<ExperimentJob> jobs = {
+        goodJob(cfg, 11),
+        ExperimentJob::of(cfg, "morrigan", qmmWorkloadParams(12)),
+    };
+
+    SupervisorOptions plain;
+    plain.isolate = true;
+    plain.useCache = false;
+    std::vector<RunOutcome> reference = Supervisor(plain).run(jobs);
+    ASSERT_TRUE(reference[0].ok() && reference[1].ok());
+
+    const std::string journal =
+        tempPath("morrigan-test-journal-eintr.jsonl");
+    std::remove(journal.c_str());
+    SupervisorOptions opt = plain;
+    opt.journalPath = journal;
+
+    std::vector<RunOutcome> stormed;
+    {
+        SignalStorm storm(pthread_self());
+        stormed = Supervisor(opt).run(jobs);
+    }
+    ::sigaction(SIGUSR1, &old_sa, nullptr);
+
+    ASSERT_EQ(stormed.size(), reference.size());
+    for (std::size_t i = 0; i < stormed.size(); ++i) {
+        SCOPED_TRACE(i);
+        ASSERT_TRUE(stormed[i].ok());
+        expectIdentical(reference[i].output.result,
+                        stormed[i].output.result);
+    }
+
+    // The journal written under the storm is intact: a resume
+    // replays every record rather than rerunning.
+    std::vector<RunOutcome> resumed = Supervisor(opt).run(jobs);
+    for (const RunOutcome &o : resumed)
+        EXPECT_TRUE(o.fromJournal);
+    std::remove(journal.c_str());
 }

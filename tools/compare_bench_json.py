@@ -8,10 +8,14 @@ row by row with a relative tolerance, and prints a readable per-row
 delta table, so CI can gate on figure regressions without scraping
 stdout.
 
-Exit status: 0 when every row matches within tolerance, 1 on any
-regression (missing row, extra row, unit change, out-of-tolerance
-value, or a degraded candidate carrying a failure manifest), 2 when
-an input file is missing or unreadable.
+Exit status: 0 when every row matches within tolerance, 1 on a
+measured regression (missing row, extra row, unit change,
+out-of-tolerance value), 2 when an input is unusable: a file is
+missing or unreadable, or the candidate artifact is *degraded* -- it
+carries a failure manifest or NaN/null measurements from a campaign
+that lost jobs. Degraded artifacts are an infrastructure failure,
+not a measured regression, so they get their own exit code and CI
+can tell "the figure moved" apart from "the campaign died".
 
 A candidate produced by a campaign that lost jobs (crashes, timeouts
 -- see sim/supervisor.hh) carries a "failures" manifest; such an
@@ -131,7 +135,12 @@ def main():
     cand = load_rows(cand_doc, args.candidate)
     gold = load_rows(gold_doc, args.golden)
 
-    failures = report_failure_manifest(cand_doc, args.candidate)
+    manifest_entries = report_failure_manifest(cand_doc,
+                                               args.candidate)
+    nan_rows = sum(1 for value, _ in cand.values()
+                   if math.isnan(value))
+    degraded = manifest_entries > 0 or nan_rows > 0
+    failures = manifest_entries
     missing = 0
     width = max(len(label) for _, label in (cand.keys() | gold.keys()))
     if args.min_ratio is not None:
@@ -180,6 +189,13 @@ def main():
               f"{delta:>+10.4f}  {verdict}")
         failures += 0 if ok else 1
 
+    if degraded:
+        print(f"{args.candidate}: degraded artifact "
+              f"({manifest_entries} manifest entr"
+              f"{'y' if manifest_entries == 1 else 'ies'}, "
+              f"{nan_rows} NaN row(s)) -- not comparable; rerun the "
+              f"producing campaign.")
+        return 2
     if failures:
         if missing:
             print(f"{missing} golden row(s) missing from the "

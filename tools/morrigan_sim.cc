@@ -32,6 +32,7 @@
 
 #include "check/invariants.hh"
 #include "common/build_info.hh"
+#include "common/fault_fs.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/telemetry.hh"
@@ -160,45 +161,6 @@ parseU64(const std::string &flag, const char *s,
               static_cast<unsigned long long>(min_value),
               static_cast<unsigned long long>(max_value));
     return v;
-}
-
-/** Parse a workload-suffix index; nullopt on junk. */
-std::optional<unsigned>
-parseIndex(const char *s)
-{
-    if (*s == '\0')
-        return std::nullopt;
-    char *end = nullptr;
-    errno = 0;
-    unsigned long v = std::strtoul(s, &end, 10);
-    if (*end != '\0' || errno == ERANGE || v > 1000000)
-        return std::nullopt;
-    return static_cast<unsigned>(v);
-}
-
-std::optional<ServerWorkloadParams>
-parseWorkload(const std::string &name)
-{
-    if (name.rfind("qmm_", 0) == 0) {
-        auto idx = parseIndex(name.c_str() + 4);
-        if (idx && *idx < numQmmWorkloads)
-            return qmmWorkloadParams(*idx);
-        return std::nullopt;
-    }
-    if (name.rfind("spec_", 0) == 0) {
-        auto idx = parseIndex(name.c_str() + 5);
-        if (idx && *idx < numSpecWorkloads)
-            return specWorkloadParams(*idx);
-        return std::nullopt;
-    }
-    if (name.rfind("java:", 0) == 0) {
-        const auto &names = javaWorkloadNames();
-        for (unsigned i = 0; i < names.size(); ++i)
-            if (names[i] == name.substr(5))
-                return javaWorkloadParams(i);
-        return std::nullopt;
-    }
-    return std::nullopt;
 }
 
 void
@@ -358,6 +320,9 @@ exportTraceEvents(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    // Die on a MORRIGAN_FAULT_FS typo before any work happens, not
+    // at the first journal/snapshot write (or never).
+    faultfs::initFromEnv();
     std::string workload_name = "qmm_00";
     std::string smt_name;
     std::string prefetcher_name = "morrigan";
@@ -703,7 +668,7 @@ main(int argc, char **argv)
         return failed_rows > 0 ? 2 : 0;
     }
 
-    auto wl = parseWorkload(workload_name);
+    auto wl = parseWorkloadName(workload_name);
     if (!wl) {
         std::fprintf(stderr, "unknown workload %s\n",
                      workload_name.c_str());
@@ -731,7 +696,7 @@ main(int argc, char **argv)
 
     std::unique_ptr<ServerWorkload> smt_trace;
     if (!smt_name.empty()) {
-        auto wl2 = parseWorkload(smt_name);
+        auto wl2 = parseWorkloadName(smt_name);
         if (!wl2) {
             std::fprintf(stderr, "unknown workload %s\n",
                          smt_name.c_str());
@@ -838,7 +803,7 @@ main(int argc, char **argv)
                                     *wl)
                 : ExperimentJob::smtPair(base_cfg,
                                          "none", *wl,
-                                         *parseWorkload(smt_name));
+                                         *parseWorkloadName(smt_name));
         SimResult b = runBatch({job}).front();
         std::printf("baseline IPC        %.4f\n", b.ipc);
         std::printf("speedup             %.2f%%\n",

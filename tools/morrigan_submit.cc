@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Campaign service client (see DESIGN.md §16).
+ *
+ * Reads experiment job specs (one JSON object per line) from a file
+ * or stdin, submits them to a morrigan-serve daemon, and streams the
+ * per-job outcomes. Retries are safe by construction: the daemon's
+ * journal makes resubmission idempotent, so this client simply
+ * reconnects and resubmits after a connection failure, a retriable
+ * `busy`, or a drain-canceled batch -- finished jobs replay, only
+ * missing ones run.
+ *
+ * With --out FILE the client writes one deterministic result row per
+ * job (index, idempotency key, status, and the full-precision result
+ * record), excluding everything that legitimately differs between an
+ * interrupted-and-resumed campaign and an uninterrupted one
+ * (attempt counts, durations, replay provenance). Two runs of the
+ * same batch therefore produce byte-identical files no matter how
+ * many times the daemon or its workers were killed in between -- the
+ * CI resilience job diffs exactly this.
+ *
+ * Example:
+ *   morrigan-submit --socket /tmp/morrigan.sock \
+ *       --jobs-file batch.jsonl --out results.jsonl
+ */
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/build_info.hh"
+#include "common/io_retry.hh"
+#include "common/json.hh"
+#include "common/json_reader.hh"
+#include "common/logging.hh"
+
+using namespace morrigan;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "morrigan-submit -- campaign service client\n"
+        "\n"
+        "  --socket PATH       daemon socket (required)\n"
+        "  --jobs-file FILE    JSONL job specs; '-' reads stdin\n"
+        "  --id NAME           submission label (default 'batch')\n"
+        "  --out FILE          deterministic per-job result rows\n"
+        "  --interval-out FILE append streamed interval epochs\n"
+        "  --retry-ms N        delay between retries (default 250)\n"
+        "  --max-retries N     connect/busy/drain retries "
+        "(default 30)\n"
+        "  --idle-timeout SECS give up when no event arrives for "
+        "this long (default 600)\n"
+        "  --status            print daemon status and exit\n"
+        "  --drain             ask the daemon to drain and exit\n"
+        "  --ping              check liveness and exit\n"
+        "  --version           print build identity and exit\n"
+        "\n"
+        "exit: 0 all jobs ok, 3 some failed, 1 service "
+        "unreachable/protocol error\n");
+}
+
+std::uint64_t
+parseU64(const char *flag, const char *s, std::uint64_t min_value,
+         std::uint64_t max_value)
+{
+    if (!s || *s == '\0' || *s == '-')
+        fatal("%s: '%s' is not a non-negative integer", flag,
+              s ? s : "");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (*end != '\0')
+        fatal("%s: trailing junk in '%s'", flag, s);
+    if (errno == ERANGE || v < min_value || v > max_value)
+        fatal("%s: %s out of range [%llu, %llu]", flag, s,
+              static_cast<unsigned long long>(min_value),
+              static_cast<unsigned long long>(max_value));
+    return v;
+}
+
+/** Re-emit a parsed JSON value byte-identically: object order and
+ * raw number tokens are preserved by the reader, and the string
+ * escapes round-trip through writeEscaped(). */
+void
+writeValue(std::ostream &os, const json::Value &v)
+{
+    switch (v.type) {
+      case json::Value::Type::Null:
+        os << "null";
+        break;
+      case json::Value::Type::Bool:
+        os << (v.boolean ? "true" : "false");
+        break;
+      case json::Value::Type::Number:
+        os << v.token;
+        break;
+      case json::Value::Type::String:
+        json::writeEscaped(os, v.token);
+        break;
+      case json::Value::Type::Array: {
+        os << '[';
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                os << ',';
+            writeValue(os, v.array[i]);
+        }
+        os << ']';
+        break;
+      }
+      case json::Value::Type::Object: {
+        os << '{';
+        for (std::size_t i = 0; i < v.object.size(); ++i) {
+            if (i)
+                os << ',';
+            json::writeEscaped(os, v.object[i].first);
+            os << ':';
+            writeValue(os, v.object[i].second);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
+int
+connectTo(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("socket path '%s' too long", path.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Line-buffered reads with an idle deadline. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, int idle_timeout_ms)
+        : fd_(fd), idleTimeoutMs_(idle_timeout_ms)
+    {
+    }
+
+    /** @return false on EOF, error or idle timeout. */
+    bool
+    next(std::string &line)
+    {
+        for (;;) {
+            std::size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            pollfd pfd{fd_, POLLIN, 0};
+            int pr = io::pollRetry(&pfd, 1, idleTimeoutMs_);
+            if (pr <= 0)
+                return false; // timeout or error
+            char chunk[1 << 16];
+            ssize_t n = io::readRetry(fd_, chunk, sizeof(chunk));
+            if (n <= 0)
+                return false; // EOF / error
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    int idleTimeoutMs_;
+    std::string buf_;
+};
+
+/** One-shot request helper for --ping/--status/--drain. */
+int
+oneShot(const std::string &socket_path, const std::string &request,
+        const std::string &expect_event, int idle_timeout_ms)
+{
+    int fd = connectTo(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "cannot connect to %s: %s\n",
+                     socket_path.c_str(), std::strerror(errno));
+        return 1;
+    }
+    std::string line = request + "\n";
+    if (!io::writeAll(fd, line.data(), line.size())) {
+        ::close(fd);
+        return 1;
+    }
+    LineReader reader(fd, idle_timeout_ms);
+    std::string event;
+    int rc = 1;
+    if (reader.next(event)) {
+        std::printf("%s\n", event.c_str());
+        json::Value doc;
+        std::string name;
+        if (json::Reader(event).parse(doc) &&
+            json::getString(doc, "event", name) &&
+            name == expect_event)
+            rc = 0;
+    }
+    ::close(fd);
+    return rc;
+}
+
+struct JobRow
+{
+    std::string deterministic; //!< the --out row (byte-stable)
+    bool ok = false;
+    bool canceled = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path, jobs_file, out_path, interval_out_path;
+    std::string id = "batch";
+    std::uint64_t retry_ms = 250, max_retries = 30;
+    std::uint64_t idle_timeout_s = 600;
+    enum class Mode { Submit, Status, Drain, Ping };
+    Mode mode = Mode::Submit;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--version") {
+            std::printf("%s\n", buildInfoLine().c_str());
+            return 0;
+        } else if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg == "--jobs-file") {
+            jobs_file = next();
+        } else if (arg == "--id") {
+            id = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--interval-out") {
+            interval_out_path = next();
+        } else if (arg == "--retry-ms") {
+            retry_ms = parseU64("--retry-ms", next(), 1, 60'000);
+        } else if (arg == "--max-retries") {
+            max_retries =
+                parseU64("--max-retries", next(), 0, 1'000'000);
+        } else if (arg == "--idle-timeout") {
+            idle_timeout_s =
+                parseU64("--idle-timeout", next(), 1, 86'400);
+        } else if (arg == "--status") {
+            mode = Mode::Status;
+        } else if (arg == "--drain") {
+            mode = Mode::Drain;
+        } else if (arg == "--ping") {
+            mode = Mode::Ping;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (socket_path.empty()) {
+        std::fprintf(stderr, "--socket is required\n");
+        return 2;
+    }
+    const int idle_ms = static_cast<int>(idle_timeout_s * 1000);
+    if (mode == Mode::Status)
+        return oneShot(socket_path, "{\"cmd\":\"status\"}", "status",
+                       idle_ms);
+    if (mode == Mode::Drain)
+        return oneShot(socket_path, "{\"cmd\":\"drain\"}", "draining",
+                       idle_ms);
+    if (mode == Mode::Ping)
+        return oneShot(socket_path, "{\"cmd\":\"ping\"}", "pong",
+                       idle_ms);
+
+    if (jobs_file.empty()) {
+        std::fprintf(stderr, "--jobs-file is required\n");
+        return 2;
+    }
+
+    // Load + validate the job specs; the submit line embeds them
+    // verbatim (the daemon re-validates semantically).
+    std::vector<std::string> specs;
+    {
+        std::ifstream file_ifs;
+        std::istream *in = &std::cin;
+        if (jobs_file != "-") {
+            file_ifs.open(jobs_file);
+            if (!file_ifs)
+                fatal("cannot open --jobs-file '%s'",
+                      jobs_file.c_str());
+            in = &file_ifs;
+        }
+        std::string line;
+        while (std::getline(*in, line)) {
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            json::Value doc;
+            if (!json::Reader(line).parse(doc) ||
+                doc.type != json::Value::Type::Object)
+                fatal("--jobs-file line %zu is not a JSON object",
+                      specs.size() + 1);
+            specs.push_back(line);
+        }
+    }
+    if (specs.empty())
+        fatal("--jobs-file '%s' holds no job specs",
+              jobs_file.c_str());
+
+    std::string submit = "{\"cmd\":\"submit\",\"id\":";
+    {
+        std::ostringstream ss;
+        json::writeEscaped(ss, id);
+        submit += ss.str();
+    }
+    submit += ",\"jobs\":[";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i)
+            submit += ',';
+        submit += specs[i];
+    }
+    submit += "]}\n";
+
+    std::ofstream interval_ofs;
+    if (!interval_out_path.empty()) {
+        interval_ofs.open(interval_out_path,
+                          std::ios::out | std::ios::app);
+        if (!interval_ofs)
+            fatal("cannot open --interval-out '%s'",
+                  interval_out_path.c_str());
+    }
+
+    std::map<std::uint64_t, JobRow> rows;
+    std::uint64_t retries = 0;
+    bool complete = false;
+    auto backoff = [&](const char *why) -> bool {
+        if (retries++ >= max_retries) {
+            std::fprintf(stderr,
+                         "giving up after %llu retries (%s)\n",
+                         static_cast<unsigned long long>(
+                             max_retries),
+                         why);
+            return false;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retry_ms));
+        return true;
+    };
+
+    while (!complete) {
+        int fd = connectTo(socket_path);
+        if (fd < 0) {
+            if (!backoff("connect failed"))
+                return 1;
+            continue;
+        }
+        if (!io::writeAll(fd, submit.data(), submit.size())) {
+            ::close(fd);
+            if (!backoff("send failed"))
+                return 1;
+            continue;
+        }
+
+        LineReader reader(fd, idle_ms);
+        std::string line;
+        bool resubmit = false;
+        while (!complete && !resubmit) {
+            if (!reader.next(line)) {
+                // Daemon died or drained away mid-stream; the
+                // journal makes resubmission safe.
+                if (!backoff("connection lost"))
+                    return 1;
+                resubmit = true;
+                break;
+            }
+            json::Value ev;
+            std::string name;
+            if (!json::Reader(line).parse(ev) ||
+                !json::getString(ev, "event", name)) {
+                std::fprintf(stderr, "malformed event: %s\n",
+                             line.c_str());
+                return 1;
+            }
+            if (name == "accepted")
+                continue;
+            if (name == "busy") {
+                if (!backoff("busy"))
+                    return 1;
+                resubmit = true;
+            } else if (name == "error") {
+                std::fprintf(stderr, "service error: %s\n",
+                             line.c_str());
+                return 1;
+            } else if (name == "job") {
+                std::uint64_t index = 0;
+                std::string key, status;
+                if (!json::getU64(ev, "index", index) ||
+                    !json::getString(ev, "key", key) ||
+                    !json::getString(ev, "status", status)) {
+                    std::fprintf(stderr, "malformed job event: %s\n",
+                                 line.c_str());
+                    return 1;
+                }
+                bool canceled = false;
+                json::getBool(ev, "canceled", canceled);
+                JobRow row;
+                row.ok = status == "ok";
+                row.canceled = canceled;
+                std::ostringstream ss;
+                json::Writer w(ss);
+                w.beginObject();
+                w.kv("index", index);
+                w.kv("key", key);
+                w.kv("status", status);
+                if (const json::Value *res = ev.find("result"))
+                    w.key("result").rawValue(
+                        [&](std::ostream &ro) {
+                            writeValue(ro, *res);
+                        });
+                if (!row.ok && !canceled) {
+                    std::string what;
+                    std::uint64_t sig = 0;
+                    json::getString(ev, "error", what);
+                    json::getU64(ev, "signal", sig);
+                    w.kv("error", what);
+                    w.kv("signal", sig);
+                }
+                w.endObject();
+                row.deterministic = ss.str();
+                rows[index] = std::move(row);
+                std::fprintf(stderr, "job %llu: %s\n",
+                             static_cast<unsigned long long>(index),
+                             status.c_str());
+            } else if (name == "interval") {
+                if (interval_ofs) {
+                    const json::Value *epoch = ev.find("epoch");
+                    if (epoch) {
+                        writeValue(interval_ofs, *epoch);
+                        interval_ofs << '\n';
+                    }
+                }
+            } else if (name == "done") {
+                std::uint64_t canceled = 0;
+                json::getU64(ev, "canceled", canceled);
+                if (canceled > 0) {
+                    // Graceful drain interrupted the batch: the
+                    // finished part is journaled, so resubmitting
+                    // runs only the canceled remainder (against the
+                    // restarted daemon).
+                    if (!backoff("batch partially canceled"))
+                        return 1;
+                    resubmit = true;
+                } else {
+                    complete = true;
+                }
+            }
+            // Unknown events are ignored for forward compatibility.
+        }
+        ::close(fd);
+    }
+
+    std::uint64_t failed = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        auto it = rows.find(i);
+        if (it == rows.end()) {
+            std::fprintf(stderr, "missing outcome for job %zu\n", i);
+            return 1;
+        }
+        if (!it->second.ok)
+            ++failed;
+    }
+    if (!out_path.empty()) {
+        std::ofstream ofs(out_path,
+                          std::ios::out | std::ios::trunc);
+        if (!ofs)
+            fatal("cannot open --out '%s'", out_path.c_str());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            ofs << rows[i].deterministic << '\n';
+    }
+    std::fprintf(stderr, "%zu job(s), %llu failed\n", specs.size(),
+                 static_cast<unsigned long long>(failed));
+    return failed > 0 ? 3 : 0;
+}
